@@ -1,0 +1,91 @@
+"""Figures 10 and 11: the ring-size sweep of section 6.3.
+
+The Gaussian workload of section 5.3 with the total query volume held
+stable, while the ring grows (5/10/15/20 nodes in the paper).  Claims
+reproduced here:
+
+* the BAT cycle duration grows with ring size ("for every five nodes
+  added, a latency growth of 75% in the BAT cycle duration"),
+* Figure 11: the biggest ring keeps its in-vogue BATs alive for the
+  most cycles (its capacity no longer forces cool-downs),
+* Figure 10: "the ring with highest number of nodes is the one with the
+  lower maximum request latency" -- in-vogue data effectively never
+  leaves the big ring, so worst-case re-load waits shrink.
+"""
+
+from bench_utils import FULL, write_result
+from repro.core import MB
+from repro.metrics.report import render_distribution, render_table
+from repro.xtn.pulsating import RingSizeSweep
+
+
+def run():
+    if FULL:
+        sweep = RingSizeSweep(seed=3)  # paper defaults: 1000 BATs, 1-10 MB
+        sizes = (5, 10, 15, 20)
+    else:
+        sweep = RingSizeSweep(
+            n_bats=120,
+            min_size=MB,
+            max_size=2 * MB,
+            total_rate=80.0,
+            duration=10.0,
+            min_proc_time=0.05,
+            max_proc_time=0.10,
+            bat_queue_capacity=10 * MB,
+            seed=3,
+        )
+        sizes = (3, 6, 9)
+    return sizes, sweep.run(sizes=sizes)
+
+
+def test_fig10_fig11_ring_size_sweep(benchmark):
+    sizes, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (
+            o.n_nodes,
+            round(o.mean_cycle_duration * 1e3, 1),
+            round(o.peak_latency, 2),
+            o.peak_cycles,
+            o.finished,
+        )
+        for o in outcomes
+    ]
+    write_result(
+        "fig10_fig11_summary",
+        render_table(
+            ["#nodes", "cycle(ms)", "max req latency(s)", "max cycles", "finished"],
+            rows,
+            title="Ring-size sweep (Figures 10 & 11)",
+        ),
+    )
+    for o in outcomes:
+        write_result(
+            f"fig10_latency_{o.n_nodes}nodes",
+            render_distribution(
+                f"max request latency, {o.n_nodes} nodes",
+                o.max_request_latency,
+            ),
+        )
+        write_result(
+            f"fig11_cycles_{o.n_nodes}nodes",
+            render_distribution(
+                f"max cycles per BAT, {o.n_nodes} nodes",
+                {b: float(c) for b, c in o.max_cycles.items()},
+            ),
+        )
+
+    # cycle duration grows with ring size (the 75%-per-5-nodes effect:
+    # here, proportional to the node count)
+    durations = [o.mean_cycle_duration for o in outcomes]
+    assert all(b > 1.3 * a for a, b in zip(durations, durations[1:]))
+
+    # Figure 11: more capacity -> in-vogue BATs survive more cycles
+    # relative to how many rotations the run allows; assert the largest
+    # ring's hot BATs are not starved of cycles
+    assert outcomes[-1].peak_cycles >= 3
+
+    # every configuration completed the stable workload
+    for o in outcomes:
+        assert o.finished > 0

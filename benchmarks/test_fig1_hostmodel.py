@@ -1,0 +1,63 @@
+"""Figure 1: CPU-load breakdown of legacy / NIC-offload / RDMA transfers.
+
+Paper claims reproduced here: only RDMA significantly reduces the local
+I/O overhead; offloading the network stack alone is not sufficient
+because intermediate data copying dominates; and the rule of thumb that
+1 GHz of CPU is needed per 1 Gb/s of legacy throughput [12].
+"""
+
+from bench_utils import write_result
+from repro.metrics.report import render_table
+from repro.net.hostmodel import HostCostModel, TransferMode
+
+
+def run():
+    model = HostCostModel(cpu_ghz=2.33 * 4)  # the paper's quad-core host
+    gbps = 10.0
+    rows = []
+    for mode in (TransferMode.LEGACY, TransferMode.OFFLOAD, TransferMode.RDMA):
+        breakdown = model.breakdown(mode, gbps)
+        rows.append(
+            (
+                mode.value,
+                round(100 * breakdown.data_copying, 1),
+                round(100 * breakdown.context_switches, 1),
+                round(100 * breakdown.driver, 1),
+                round(100 * breakdown.network_stack, 1),
+                round(100 * breakdown.total, 1),
+                round(model.max_throughput_gbps(mode, gbps), 2),
+                model.bus_crossings(mode),
+            )
+        )
+    return model, rows
+
+
+def test_fig1_cpu_breakdown(benchmark):
+    model, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "fig1_hostmodel",
+        render_table(
+            [
+                "mode",
+                "copy%",
+                "ctx%",
+                "drv%",
+                "stack%",
+                "total%",
+                "achievable Gb/s",
+                "bus crossings",
+            ],
+            rows,
+            title="Figure 1: CPU load at 10 Gb/s",
+        ),
+    )
+    legacy, offload, rdma = rows
+    # only RDMA collapses the overhead
+    assert rdma[5] < 0.05 * legacy[5]
+    # offload alone is not sufficient: copying still dominates
+    assert offload[1] > 0 and offload[5] > 0.5 * legacy[5]
+    # ~1 GHz per Gb/s: the host is (barely) saturated by 10 Gb/s legacy
+    assert 90 <= legacy[5] <= 130
+    # RDMA reaches the wire; legacy cannot exceed what the CPU sustains
+    assert rows[2][6] == 10.0
+    assert model.max_throughput_gbps(TransferMode.LEGACY, 40.0) < 40.0

@@ -1,0 +1,63 @@
+"""Figure 7: ring load in bytes and in #BATs over time, per LOIT level.
+
+Paper claims reproduced here: with a continuously overloaded ring, the
+load of big BATs is postponed -- the ring "gets loaded with more and
+more small BATs" -- so the mean size of circulating BATs sinks over the
+run, and low LOIT levels keep the ring fuller (in bytes) for longer.
+"""
+
+from bench_utils import loit_sweep_levels, run_loit_level, uniform_params, write_result
+from repro.metrics.report import render_series
+
+
+def sweep():
+    return {loit: run_loit_level(loit) for loit in loit_sweep_levels()}
+
+
+def _grids(metrics, end, step=1.0):
+    times, load_bytes = metrics.ring_bytes.grid(end, step)
+    _, load_bats = metrics.ring_bats.grid(end, step)
+    return times, load_bytes, load_bats
+
+
+def test_fig7_ring_load_bytes_and_bats(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    p = uniform_params()
+    end = p["duration"] * 3
+    lines_bytes, lines_bats = [], []
+    for loit, metrics in sorted(results.items()):
+        times, in_bytes, in_bats = _grids(metrics, end)
+        lines_bytes.append(
+            render_series(f"LoiT {loit} (MB)", times, [b / 2**20 for b in in_bytes])
+        )
+        lines_bats.append(render_series(f"LoiT {loit} (#BATs)", times, in_bats))
+    write_result("fig7a_ring_load_bytes", "\n".join(lines_bytes))
+    write_result("fig7b_ring_load_bats", "\n".join(lines_bats))
+
+    levels = sorted(results)
+    low, high = levels[0], levels[-1]
+
+    # ring occupancy approaches (but respects) the configured capacity
+    capacity = p["n_nodes"] * p["queue_capacity"]
+    for loit, metrics in results.items():
+        peak = metrics.ring_bytes.maximum()
+        assert peak > 0.2 * capacity, f"ring barely used at LoiT {loit}"
+
+    # a low threshold keeps data in rotation longer: time-integrated
+    # ring load is higher than at the high threshold
+    def integral(metrics):
+        times, in_bytes, _ = _grids(metrics, end)
+        return sum(in_bytes)
+
+    assert integral(results[low]) > integral(results[high])
+
+    # the small-BAT bias: the mean circulating BAT size at the end of
+    # the loaded phase is below the dataset mean
+    dataset_mean = (p["min_size"] + p["max_size"]) / 2
+    times, in_bytes, in_bats = _grids(results[low], end)
+    loaded = [
+        (b, n) for b, n in zip(in_bytes, in_bats) if n >= 5
+    ]
+    if loaded:
+        late_bytes, late_bats = loaded[-1]
+        assert late_bytes / late_bats < 1.15 * dataset_mean

@@ -1,0 +1,116 @@
+"""Figure 9: Gaussian data access -- touches, requests, loads per BAT.
+
+Paper claims reproduced here:
+
+* 9(a): the *in vogue* BATs (around the distribution centre) collect by
+  far the most touches (pin-level usage); the unpopular tails barely
+  any.
+* 9(b): the in-vogue BATs have a LOW load rate -- "the in vogue are the
+  ones staying longer periods as hot BATs" -- while the *standard* BATs
+  at the shoulders are "more frequently in and out of the ring": their
+  loads-per-touch ratio is higher.
+* the request anomaly: "The low rate of requests ... for the in vogue
+  BATs contradicts the common believe" -- a request serves every query
+  that joins it before the last pin, so popular BATs need *fewer*
+  request messages per touch, not more.
+"""
+
+from bench_utils import FULL, write_result
+from repro.core import DataCyclotron, DataCyclotronConfig, MB
+from repro.metrics.report import render_distribution
+from repro.workloads.base import UniformDataset, populate_ring
+from repro.workloads.gaussian import GaussianWorkload
+
+
+def build():
+    if FULL:
+        n_bats, nodes = 1000, 10
+        dataset = UniformDataset(n_bats=n_bats, seed=13)
+        config = DataCyclotronConfig(n_nodes=nodes, seed=13)
+        workload = GaussianWorkload(
+            dataset, n_nodes=nodes, queries_per_second=80, duration=60,
+            mean=500, std=50, seed=13,
+        )
+        max_time = 2000.0
+    else:
+        n_bats, nodes = 150, 4
+        dataset = UniformDataset(n_bats=n_bats, min_size=MB, max_size=2 * MB, seed=13)
+        config = DataCyclotronConfig(
+            n_nodes=nodes, bandwidth=40 * MB, bat_queue_capacity=15 * MB,
+            resend_timeout=5.0, seed=13,
+        )
+        workload = GaussianWorkload(
+            dataset, n_nodes=nodes, queries_per_second=40, duration=15,
+            mean=n_bats / 2, std=n_bats / 20, min_bats=1, max_bats=3,
+            min_proc_time=0.05, max_proc_time=0.1, seed=13,
+        )
+        max_time = 600.0
+    dc = DataCyclotron(config)
+    populate_ring(dc, dataset)
+    workload.submit_to(dc)
+    return dc, n_bats, max_time
+
+
+def run():
+    dc, n_bats, max_time = build()
+    finished = dc.run_until_done(max_time=max_time)
+    return dc, n_bats, finished
+
+
+def test_fig9_gaussian_access(benchmark):
+    dc, n, finished = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert finished
+    metrics = dc.metrics
+    centre, std = n / 2, n / 20
+
+    touches = {b: float(s.pins) for b, s in metrics.bats.items()}
+    requests = {b: float(s.requests) for b, s in metrics.bats.items()}
+    loads = {b: float(s.loads) for b, s in metrics.bats.items()}
+    write_result(
+        "fig9a_touches_requests",
+        render_distribution("touches", touches, key_range=(0, n - 1))
+        + "\n"
+        + render_distribution("requests", requests, key_range=(0, n - 1)),
+    )
+    write_result(
+        "fig9b_loads",
+        render_distribution("loads", loads, key_range=(0, n - 1)),
+    )
+
+    def zone(b):
+        d = abs(b - centre)
+        if d <= 1.5 * std:
+            return "in_vogue"
+        if d <= 4 * std:
+            return "standard"
+        return "unpopular"
+
+    def zone_sum(counter, z):
+        return sum(v for b, v in counter.items() if zone(b) == z)
+
+    def zone_count(z):
+        return max(sum(1 for b in range(n) if zone(b) == z), 1)
+
+    # 9(a): touches concentrate on the in-vogue group
+    vogue_rate = zone_sum(touches, "in_vogue") / zone_count("in_vogue")
+    standard_rate = zone_sum(touches, "standard") / zone_count("standard")
+    unpop_rate = zone_sum(touches, "unpopular") / zone_count("unpopular")
+    assert vogue_rate > 2 * standard_rate
+    assert standard_rate > 2 * unpop_rate
+
+    # 9(b): standard BATs cycle in and out more -- their loads per touch
+    # exceed the in-vogue BATs' loads per touch
+    vogue_loads = zone_sum(loads, "in_vogue") / max(zone_sum(touches, "in_vogue"), 1)
+    standard_loads = zone_sum(loads, "standard") / max(
+        zone_sum(touches, "standard"), 1
+    )
+    assert standard_loads > vogue_loads
+
+    # the request anomaly: in-vogue BATs need fewer requests per touch
+    vogue_reqs = zone_sum(requests, "in_vogue") / max(
+        zone_sum(touches, "in_vogue"), 1
+    )
+    standard_reqs = zone_sum(requests, "standard") / max(
+        zone_sum(touches, "standard"), 1
+    )
+    assert vogue_reqs < standard_reqs

@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the hot paths (conventional pytest-benchmark use).
+
+These measure the substrate itself -- event-engine throughput, kernel
+operator speed, protocol round-trips -- rather than reproducing a paper
+artefact.  They bound the cost of the full-scale runs: e.g. the paper-
+scale Figure 6 level simulates ~55 M events, so events/second here
+predicts its wall time.
+"""
+
+import numpy as np
+
+from repro.core import DataCyclotron, DataCyclotronConfig, MB, QuerySpec, new_loi
+from repro.dbms import Database, kernel
+from repro.dbms.bat import BAT
+from repro.sim.engine import Simulator
+
+
+def test_bench_event_engine_throughput(benchmark):
+    """Schedule+dispatch of 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_bench_loi_formula(benchmark):
+    """One million LOI recomputations (Fig. 5 runs per BAT per cycle)."""
+
+    def run():
+        loi = 1.0
+        for cycle in range(1, 1_000_001):
+            loi = new_loi(loi, 3, 10, 1 + cycle % 40)
+        return loi
+
+    assert benchmark(run) > 0
+
+
+def test_bench_kernel_join(benchmark):
+    rng = np.random.default_rng(0)
+    left = BAT.dense(rng.integers(0, 100_000, 200_000))
+    right = BAT(
+        rng.random(100_000), head=rng.permutation(100_000).astype(np.int64)
+    )
+    result = benchmark(kernel.join, left, right)
+    assert len(result) == 200_000
+
+
+def test_bench_kernel_group_aggregate(benchmark):
+    rng = np.random.default_rng(0)
+    values = BAT.dense(rng.random(500_000))
+    groups = BAT.dense(rng.integers(0, 1000, 500_000))
+    result = benchmark(kernel.group_aggregate, values, groups, 1000, "sum")
+    assert len(result) == 1000
+
+
+def test_bench_sql_compile(benchmark):
+    """SQL text -> DC-optimized plan, the per-query compile cost."""
+    db = Database()
+    db.load_table("t", {"id": np.arange(100), "v": np.arange(100) * 1.0})
+    db.load_table("c", {"t_id": np.arange(50), "w": np.arange(50) * 1.0})
+    sql = (
+        "SELECT t_id, sum(w) s FROM t, c WHERE c.t_id = t.id AND v > 10 "
+        "GROUP BY t_id ORDER BY s DESC LIMIT 5"
+    )
+    planned = benchmark(db.compile_dc, sql)
+    assert planned.plan.ops()
+
+
+def test_bench_protocol_round_trip(benchmark):
+    """End-to-end: one remote query on a 4-node ring, start to finish."""
+
+    def run():
+        dc = DataCyclotron(DataCyclotronConfig(n_nodes=4, seed=1))
+        for b in range(8):
+            dc.add_bat(b, size=MB)
+        dc.submit(QuerySpec.simple(0, node=0, arrival=0.0, bat_ids=[5],
+                                   processing_times=[0.01]))
+        assert dc.run_until_done(max_time=10.0)
+        return dc.sim.processed
+
+    events = benchmark(run)
+    assert events > 0

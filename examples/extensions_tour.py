@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""A tour of the section 6 future-work features.
+
+Demonstrates, on one small ring:
+
+1. nomadic query placement via cost bids (section 6.1),
+2. intra-query parallelism over disjoint BAT subsets (section 6.1),
+3. intermediate-result circulation with hit statistics (section 6.2),
+4. the pulsating-ring decision rule (section 6.3),
+5. multi-version updates with stale-read tolerance (section 6.4).
+
+Run:  python examples/extensions_tour.py
+"""
+
+from repro.core import DataCyclotron, DataCyclotronConfig, MB, QuerySpec
+from repro.xtn.bidding import BidScheduler
+from repro.xtn.parallel import submit_parallel
+from repro.xtn.pulsating import PulsatingController
+from repro.xtn.result_cache import ResultCache
+from repro.xtn.updates import UpdateCoordinator
+
+
+def fresh_ring() -> DataCyclotron:
+    dc = DataCyclotron(DataCyclotronConfig(n_nodes=4, seed=5, loit_static=0.05))
+    for bat_id in range(12):
+        dc.add_bat(bat_id, size=(1 + bat_id % 3) * MB)
+    return dc
+
+
+def demo_bidding() -> None:
+    print("=== 1. nomadic placement via cost bids ===")
+    dc = fresh_ring()
+    scheduler = BidScheduler(dc, load_weight=0.5, data_weight=1e-9)
+    specs = [
+        QuerySpec.simple(q, node=0, arrival=0.01 * q,
+                         bat_ids=[(q * 5 + 1) % 12], processing_times=[0.05])
+        for q in range(12)
+    ]
+    scheduler.submit_placed(specs)
+    assert dc.run_until_done(max_time=120.0)
+    print(f"   all queries entered at node 0; settled as {scheduler.placement_counts()}")
+
+
+def demo_parallel() -> None:
+    print("\n=== 2. intra-query parallelism ===")
+    dc = fresh_ring()
+    heavy = QuerySpec.simple(
+        1, node=0, arrival=0.0, bat_ids=list(range(1, 9)),
+        processing_times=[0.1] * 8,
+    )
+    done = []
+    subs = submit_parallel(dc, heavy, n_subqueries=4, merge_cost=0.01,
+                           on_done=done.append)
+    assert dc.run_until_done(max_time=120.0)
+    dc.run(until=dc.now + 0.1)
+    print(f"   8-BAT query split into {len(subs)} sub-queries on nodes "
+          f"{[s.node for s in subs]}; combined result at t={done[0]:.3f}s "
+          f"(serial net time would be {heavy.net_execution_time:.1f}s of CPU)")
+
+
+def demo_result_cache() -> None:
+    print("\n=== 3. intermediate-result circulation ===")
+    dc = fresh_ring()
+    cache = ResultCache(dc)
+    if cache.lookup("join(t,c)|filter(x>3)") is None:
+        entry = cache.publish("join(t,c)|filter(x>3)", size=2 * MB, owner=1)
+        print(f"   published intermediate as BAT {entry.bat_id} owned by node 1")
+    # two later queries at other nodes reuse it straight from the ring
+    for q, node in ((10, 0), (11, 3)):
+        hit = cache.lookup("join(t,c)|filter(x>3)")
+        dc.submit(QuerySpec.simple(q, node=node, arrival=0.05 * q,
+                                   bat_ids=[hit.bat_id], processing_times=[0.02]))
+    assert dc.run_until_done(max_time=120.0)
+    print(f"   cache hit rate {cache.hit_rate:.0%}; the intermediate was "
+          f"loaded {dc.metrics.bats[hit.bat_id].loads} time(s) and reused from the ring")
+
+
+def demo_pulsating() -> None:
+    print("\n=== 4. pulsating-ring decision rule ===")
+    controller = PulsatingController(leave_threshold=0.15, join_threshold=0.9,
+                                     patience=3)
+    samples = [0.05, 0.08, 0.06, 0.5, 0.95]
+    for load in samples:
+        action = controller.observe(node=2, exploitation=load)
+        print(f"   node 2 exploitation {load:.2f} -> {action or 'stay'}")
+    print(f"   ring-level recommendation at mean load 0.05: "
+          f"{controller.recommend_size(10, [0.05] * 10)} nodes (from 10)")
+
+
+def demo_updates() -> None:
+    print("\n=== 5. multi-version updates ===")
+    dc = fresh_ring()
+    coordinator = UpdateCoordinator(dc)
+    # a reader gets version 0 circulating
+    dc.submit(QuerySpec.simple(0, node=0, arrival=0.0, bat_ids=[5],
+                               processing_times=[0.05]))
+    # two concurrent updates on the same BAT serialise via the tag
+    first = coordinator.submit_update(bat_id=5, node=1, apply_time=0.05, arrival=0.02)
+    second = coordinator.submit_update(bat_id=5, node=3, apply_time=0.05, arrival=0.03)
+    assert dc.run_until_done(max_time=120.0)
+    print(f"   update A: v{first.new_version} at t={first.completed_at:.3f}s "
+          f"(waited for tag: {first.waited_for_lock})")
+    print(f"   update B: v{second.new_version} at t={second.completed_at:.3f}s "
+          f"(waited for tag: {second.waited_for_lock})")
+    print(f"   catalog now at version {coordinator.current_version(5)}; "
+          f"stale copies retire at the owner on their next pass")
+
+
+if __name__ == "__main__":
+    demo_bidding()
+    demo_parallel()
+    demo_result_cache()
+    demo_pulsating()
+    demo_updates()

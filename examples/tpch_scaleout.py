@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""TPC-H trace replay: throughput scaling with ring size (paper §5.4).
+
+Follows the paper's method end to end: generate a TPC-H-like database,
+run the 22 queries against the local column engine to *calibrate*
+per-operator traces (the OpT pin-scheduling rule), then replay the
+traces on simulated rings of growing size with four CPU cores per node
+-- reproducing the shape of the paper's Table 4.
+
+Run:  python examples/tpch_scaleout.py
+"""
+
+from repro.metrics.report import render_table
+from repro.workloads.tpch import TpchExperiment
+
+
+def main() -> None:
+    print("calibrating the 22 TPC-H query traces against the local engine...")
+    experiment = TpchExperiment(scale_factor=0.005, seed=1)
+    print(f"  time scale: x{experiment.time_scale:.0f} "
+          f"(normalised to ~1.05 core-seconds mean, as Table 4 implies)")
+    print("\nfastest and slowest calibrated queries:")
+    for trace in experiment.traces[:3] + experiment.traces[-3:]:
+        print(f"  q{trace.number:>2} ({trace.name[:32]:<32}) "
+              f"net={trace.net_time:6.2f}s pins={len(trace.steps)}")
+
+    queries_per_node = 150
+    rows = []
+    single = experiment.run(1, queries_per_node=queries_per_node, size_scale=200.0)
+    rows.append(experiment.monetdb_row(single))
+    rows.append(single)
+    for n in (2, 3, 4, 6, 8):
+        rows.append(
+            experiment.run(n, queries_per_node=queries_per_node, size_scale=200.0)
+        )
+
+    print("\n" + render_table(
+        ["#nodes", "exec(sec)", "throughput", "throughP/node", "CPU%"],
+        [r.row() for r in rows],
+        title=f"Table 4 shape at {queries_per_node} queries/node:",
+    ))
+    print(
+        "\npaper's SF-5 numbers for comparison: MonetDB 420s/2.8/70%;"
+        " 1 node 317s/3.8/99.7%; 8 nodes 371s/25.8 (3.2 per node)/85.3%"
+    )
+
+
+if __name__ == "__main__":
+    main()

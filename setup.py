@@ -1,0 +1,9 @@
+"""Setup shim so ``pip install -e .`` works offline (no wheel package).
+
+All metadata lives in pyproject.toml; this file only enables legacy
+editable installs (and their console scripts) in environments without
+the ``wheel`` module.
+"""
+from setuptools import setup
+
+setup(entry_points={"console_scripts": ["repro=repro.cli:main"]})

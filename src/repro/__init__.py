@@ -1,0 +1,55 @@
+"""repro: a reproduction of "The Data Cyclotron Query Processing Scheme".
+
+R. Goncalves and M. Kersten, EDBT 2010.  The Data Cyclotron turns data
+movement "from being an evil to avoid at all cost into an ally for
+improved system performance": the database hot set continuously rotates
+through a storage ring of processing nodes, and queries simply wait for
+their data to flow past.
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.sim` -- the discrete-event kernel (replaces NS-2),
+* :mod:`repro.net` -- links, channels, ring topology, RDMA cost model,
+* :mod:`repro.core` -- the Data Cyclotron protocols (the contribution),
+* :mod:`repro.dbms` -- a MonetDB-like column engine with a SQL front-end
+  and a distributed executor over the ring,
+* :mod:`repro.workloads` -- the section 5 experiment workloads,
+* :mod:`repro.metrics` -- measurement and report rendering,
+* :mod:`repro.xtn` -- the section 6 future-work features.
+
+Quickstart::
+
+    from repro.core import DataCyclotronConfig
+    from repro.dbms.executor import RingDatabase
+
+    rdb = RingDatabase(DataCyclotronConfig(n_nodes=4))
+    rdb.load_table("t", {"id": [1, 2, 3], "v": [1.0, 2.0, 3.0]})
+    handle = rdb.submit("SELECT v FROM t WHERE id >= 2", node=1)
+    rdb.run_until_done()
+    print(handle.result.rows())
+"""
+
+from repro.core import (
+    DataCyclotron,
+    DataCyclotronConfig,
+    LoitController,
+    PinStep,
+    QuerySpec,
+    new_loi,
+)
+from repro.dbms import Database
+from repro.dbms.executor import RingDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataCyclotron",
+    "DataCyclotronConfig",
+    "Database",
+    "LoitController",
+    "PinStep",
+    "QuerySpec",
+    "RingDatabase",
+    "__version__",
+    "new_loi",
+]

@@ -1,0 +1,23 @@
+"""Baseline architectures the paper positions itself against (section 7).
+
+* :mod:`repro.baselines.datacycle` -- the seminal DataCycle [18]: a
+  central pump repetitively broadcasts the *entire* database; clients
+  filter on the fly.  "The cycle time, i.e., the time to broadcast the
+  entire database, is the major performance factor."
+* :mod:`repro.baselines.broadcast_disks` -- Broadcast Disks [1]:
+  multiple virtual disks spinning at different speeds on one channel,
+  so bandwidth is "allocated to data items in proportion to their
+  importance".
+
+Both expose the same workload interface as
+:class:`~repro.core.ring.DataCyclotron` (``submit``/``run_until_done``/
+``metrics``), so the benchmarks can replay identical
+:class:`~repro.core.query.QuerySpec` streams against all three systems
+and compare query life times -- the quantitative version of the paper's
+qualitative related-work contrast.
+"""
+
+from repro.baselines.broadcast_disks import BroadcastDisks
+from repro.baselines.datacycle import DataCycle
+
+__all__ = ["BroadcastDisks", "DataCycle"]

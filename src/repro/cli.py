@@ -1,0 +1,282 @@
+"""Command-line interface: reproduce the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro fig6 [--full]        # the LOIT sweep (Figures 6-7)
+    python -m repro fig8 [--full]        # skewed workloads (Figure 8)
+    python -m repro fig9 [--full]        # Gaussian access (Figure 9)
+    python -m repro tab4 [--nodes 1 2 4] # TPC-H scaling (Table 4)
+    python -m repro sweep [--sizes 5 10] # ring-size sweep (Figures 10-11)
+    python -m repro fig1                 # the RDMA host cost model
+
+Each command prints the same rows/series the paper reports.  ``--full``
+switches to the paper's exact parameters (slow; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Optional
+
+from repro.core import DataCyclotron, DataCyclotronConfig, MB
+from repro.metrics.report import render_distribution, render_series, render_table
+from repro.net.hostmodel import HostCostModel, TransferMode
+from repro.workloads.base import UniformDataset, populate_ring
+from repro.workloads.gaussian import GaussianWorkload
+from repro.workloads.skewed import SkewedWorkload, paper_phases
+from repro.workloads.uniform import UniformWorkload
+from repro.xtn.pulsating import RingSizeSweep
+
+__all__ = ["main"]
+
+
+# ----------------------------------------------------------------------
+# shared scale handling
+# ----------------------------------------------------------------------
+def _uniform_setup(full: bool, seed: int):
+    if full:
+        dataset = UniformDataset(n_bats=1000, seed=seed)
+        config = dict(n_nodes=10, seed=seed)
+        workload = dict(
+            n_nodes=10, queries_per_second=80.0, duration=60.0,
+            min_bats=1, max_bats=5, min_proc_time=0.1, max_proc_time=0.2,
+        )
+        max_time = 2000.0
+    else:
+        dataset = UniformDataset(n_bats=150, min_size=MB, max_size=2 * MB, seed=seed)
+        config = dict(
+            n_nodes=4, bandwidth=40 * MB, bat_queue_capacity=15 * MB,
+            resend_timeout=5.0, seed=seed,
+        )
+        workload = dict(
+            n_nodes=4, queries_per_second=20.0, duration=10.0,
+            min_bats=1, max_bats=3, min_proc_time=0.05, max_proc_time=0.1,
+        )
+        max_time = 600.0
+    return dataset, config, workload, max_time
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_fig6(args: argparse.Namespace) -> int:
+    levels = (
+        [round(0.1 * i, 1) for i in range(1, 12)] if args.full else [0.1, 0.5, 1.1]
+    )
+    print(f"LOIT sweep over {levels} ({'paper' if args.full else 'quick'} scale)")
+    for loit in levels:
+        dataset, config, wl_kwargs, max_time = _uniform_setup(args.full, args.seed)
+        dc = DataCyclotron(DataCyclotronConfig(loit_static=loit, **config))
+        populate_ring(dc, dataset)
+        workload = UniformWorkload(dataset, seed=args.seed, **wl_kwargs)
+        total = workload.submit_to(dc)
+        dc.run_until_done(max_time=max_time)
+        lifetimes = dc.metrics.lifetimes()
+        print(
+            f"  LoiT {loit}: {dc.metrics.finished_count()}/{total} finished "
+            f"by t={dc.now:.0f}s, mean life time "
+            f"{statistics.mean(lifetimes):.2f}s, "
+            f"peak ring load {dc.metrics.ring_bytes.maximum() / MB:.0f} MB"
+        )
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    if args.full:
+        dataset = UniformDataset(n_bats=1000, seed=args.seed)
+        config = DataCyclotronConfig(n_nodes=10, seed=args.seed)
+        phases = paper_phases()
+        workload = SkewedWorkload(dataset, phases, n_nodes=10, seed=args.seed)
+        max_time = 2000.0
+    else:
+        dataset = UniformDataset(n_bats=200, min_size=MB, max_size=2 * MB, seed=args.seed)
+        config = DataCyclotronConfig(
+            n_nodes=4, bandwidth=40 * MB, bat_queue_capacity=15 * MB,
+            resend_timeout=5.0, loit_adapt_interval=0.1, seed=args.seed,
+        )
+        phases = paper_phases(time_scale=0.2, rate_scale=0.15)
+        workload = SkewedWorkload(
+            dataset, phases, n_nodes=4, min_bats=1, max_bats=3,
+            min_proc_time=0.05, max_proc_time=0.1, seed=args.seed,
+        )
+        max_time = 600.0
+    dc = DataCyclotron(config)
+    populate_ring(dc, dataset, tags=workload.bat_tags())
+    total = workload.submit_to(dc)
+    dc.run_until_done(max_time=max_time)
+    end = phases[-1].end * 1.3
+    metrics = dc.metrics
+    times, series = metrics.ring_bytes.grid(end, step=end / 40)
+    print(render_series("total MB", times, [b / 2**20 for b in series]))
+    for tag in sorted(metrics.ring_bytes_by_tag):
+        t, s = metrics.ring_bytes_by_tag[tag].grid(end, step=end / 40)
+        print(render_series(f"{tag} MB", t, [b / 2**20 for b in s]))
+    print(f"{metrics.finished_count()}/{total} queries finished; "
+          f"{metrics.loit_changes} LOIT adjustments")
+    return 0
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    dataset, config, wl_kwargs, max_time = _uniform_setup(args.full, args.seed)
+    dc = DataCyclotron(DataCyclotronConfig(**config))
+    populate_ring(dc, dataset)
+    n = dataset.n_bats
+    workload = GaussianWorkload(
+        dataset, mean=n / 2, std=n / 20, seed=args.seed, **wl_kwargs
+    )
+    workload.submit_to(dc)
+    dc.run_until_done(max_time=max_time)
+    metrics = dc.metrics
+    print(render_distribution(
+        "touches", {b: float(s.pins) for b, s in metrics.bats.items()},
+        key_range=(0, n - 1),
+    ))
+    print(render_distribution(
+        "requests", {b: float(s.requests) for b, s in metrics.bats.items()},
+        key_range=(0, n - 1),
+    ))
+    print(render_distribution(
+        "loads", {b: float(s.loads) for b, s in metrics.bats.items()},
+        key_range=(0, n - 1),
+    ))
+    return 0
+
+
+def cmd_tab4(args: argparse.Namespace) -> int:
+    from repro.workloads.tpch import TpchExperiment
+
+    scale = 0.01 if args.full else 0.005
+    queries = 1200 if args.full else 150
+    print(f"calibrating TPC-H traces (SF {scale})...")
+    # partition the tables so every scaled BAT fits a 200 MB queue
+    rows_per_partition = 10_000 if args.full else None
+    experiment = TpchExperiment(
+        scale_factor=scale, seed=args.seed, rows_per_partition=rows_per_partition
+    )
+    rows = []
+    single = experiment.run(args.nodes[0], queries_per_node=queries,
+                            size_scale=args.size_scale,
+                            transfer_mode=args.transfer_mode)
+    if args.nodes[0] == 1:
+        rows.append(experiment.monetdb_row(single))
+    rows.append(single)
+    for n in args.nodes[1:]:
+        rows.append(experiment.run(n, queries_per_node=queries,
+                                   size_scale=args.size_scale,
+                                   transfer_mode=args.transfer_mode))
+    print(render_table(
+        ["#nodes", "exec(sec)", "throughput", "throughP/node", "CPU%"],
+        [r.row() for r in rows],
+        title="Table 4: TPC-H trace replay",
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.full:
+        sweep = RingSizeSweep(seed=args.seed)
+    else:
+        sweep = RingSizeSweep(
+            n_bats=120, min_size=MB, max_size=2 * MB, total_rate=80.0,
+            duration=10.0, min_proc_time=0.05, max_proc_time=0.10,
+            bat_queue_capacity=10 * MB, seed=args.seed,
+        )
+    outcomes = sweep.run(sizes=tuple(args.sizes))
+    print(render_table(
+        ["#nodes", "cycle(ms)", "max req latency(s)", "max cycles", "finished"],
+        [
+            (o.n_nodes, round(o.mean_cycle_duration * 1e3, 1),
+             round(o.peak_latency, 2), o.peak_cycles, o.finished)
+            for o in outcomes
+        ],
+        title="Ring-size sweep (Figures 10 & 11)",
+    ))
+    return 0
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    model = HostCostModel(cpu_ghz=args.cpu_ghz)
+    rows = []
+    for mode in TransferMode:
+        bd = model.breakdown(mode, args.gbps)
+        rows.append((
+            mode.value,
+            round(100 * bd.data_copying, 1),
+            round(100 * bd.context_switches, 1),
+            round(100 * bd.driver, 1),
+            round(100 * bd.network_stack, 1),
+            round(100 * bd.total, 1),
+        ))
+    print(render_table(
+        ["mode", "copy%", "ctx%", "drv%", "stack%", "total%"],
+        rows,
+        title=f"Figure 1: CPU load at {args.gbps} Gb/s on a {args.cpu_ghz} GHz host",
+    ))
+    return 0
+
+
+def cmd_shell(args: argparse.Namespace) -> int:
+    from repro.shell import run_shell
+
+    return run_shell(sys.stdin, sys.stdout, n_nodes=args.nodes, seed=args.seed)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for name, (fn, help_text) in sorted(_COMMANDS.items()):
+        print(f"  {name:<6} {help_text}")
+    return 0
+
+
+_COMMANDS = {
+    "fig1": (cmd_fig1, "RDMA host CPU-cost breakdown (Figure 1)"),
+    "fig6": (cmd_fig6, "LOIT sweep: throughput & life time (Figures 6-7)"),
+    "fig8": (cmd_fig8, "skewed workloads SW1..SW4 (Figure 8)"),
+    "fig9": (cmd_fig9, "Gaussian access pattern (Figure 9)"),
+    "tab4": (cmd_tab4, "TPC-H trace replay scaling (Table 4)"),
+    "sweep": (cmd_sweep, "ring-size sweep (Figures 10-11)"),
+    "shell": (cmd_shell, "interactive SQL over a simulated ring"),
+    "list": (cmd_list, "list available experiments"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the Data Cyclotron experiments (EDBT 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, (fn, help_text) in _COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(fn=fn)
+        p.add_argument("--full", action="store_true",
+                       help="paper-scale parameters (slow)")
+        p.add_argument("--seed", type=int, default=7)
+        if name == "tab4":
+            p.add_argument("--nodes", type=int, nargs="+",
+                           default=[1, 2, 3, 4, 6, 8])
+            p.add_argument("--size-scale", type=float, default=200.0,
+                           dest="size_scale")
+            p.add_argument("--transfer-mode", default="rdma",
+                           choices=("rdma", "offload", "legacy"),
+                           dest="transfer_mode")
+        if name == "sweep":
+            p.add_argument("--sizes", type=int, nargs="+", default=[3, 6, 9])
+        if name == "shell":
+            p.add_argument("--nodes", type=int, default=4)
+        if name == "fig1":
+            p.add_argument("--gbps", type=float, default=10.0)
+            p.add_argument("--cpu-ghz", type=float, default=2.33 * 4,
+                           dest="cpu_ghz")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

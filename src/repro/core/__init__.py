@@ -1,0 +1,50 @@
+"""The Data Cyclotron core: the paper's primary contribution.
+
+The public surface:
+
+* :class:`DataCyclotron` -- build a ring, register BATs, run queries,
+* :class:`DataCyclotronConfig` -- every tunable, defaulting to the
+  paper's simulation setup (section 5),
+* :class:`QuerySpec` / :class:`PinStep` -- workload description,
+* :func:`new_loi` / :class:`LoitController` -- the level-of-interest
+  machinery of section 4.4,
+* :class:`NodeRuntime` -- one ring node (exposed for instrumentation).
+"""
+
+from repro.core.config import DataCyclotronConfig, MB, GBIT
+from repro.core.loi import LoitController, new_loi
+from repro.core.messages import BATMessage, RequestMessage
+from repro.core.query import PinStep, QuerySpec, query_process
+from repro.core.ring import DataCyclotron
+from repro.core.runtime import CachedBat, NodeRuntime, PinResult
+from repro.core.structures import (
+    OutstandingRequest,
+    OwnedBat,
+    OwnedCatalog,
+    PinTable,
+    PinWait,
+    RequestTable,
+)
+
+__all__ = [
+    "BATMessage",
+    "CachedBat",
+    "DataCyclotron",
+    "DataCyclotronConfig",
+    "GBIT",
+    "LoitController",
+    "MB",
+    "NodeRuntime",
+    "OutstandingRequest",
+    "OwnedBat",
+    "OwnedCatalog",
+    "PinResult",
+    "PinStep",
+    "PinTable",
+    "PinWait",
+    "QuerySpec",
+    "RequestMessage",
+    "RequestTable",
+    "new_loi",
+    "query_process",
+]

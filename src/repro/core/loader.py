@@ -1,0 +1,136 @@
+"""The DC data loader: the owner side of hot-set membership.
+
+Section 4 (Figure 2): BATs "are randomly assigned to nodes in the ring
+where the local DC data loader becomes their owner and administers them
+in its own catalog (Structure S1).  The BAT owner node is responsible
+for putting it into or pulling it out of the hot set occupying the
+storage ring.  Infrequently used BATs are retained on a local disk at
+the discretion of the DC data loader."
+
+Section 4.2.3: ``loadAll()`` "executes postponed BAT loads ... Every T
+msec, it starts the load for the oldest ones.  If a BAT does not fit in
+the BAT queue, it tries the next one and so on until it fills up the
+queue.  The leftovers stay for the next call."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.core.messages import BATMessage
+from repro.core.structures import OwnedBat
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import NodeRuntime
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Owner-side load/unload machinery of one node."""
+
+    def __init__(self, runtime: "NodeRuntime"):
+        self.runtime = runtime
+        self.config = runtime.config
+        self.sim = runtime.sim
+        # Bytes of queue space promised to disk fetches that have not yet
+        # reached the BAT queue; prevents loadAll over-committing space.
+        self.reserved_bytes = 0
+        # Functional mode: real column payloads keyed by bat_id.
+        self.payloads: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # space accounting
+    # ------------------------------------------------------------------
+    def wire_size(self, entry: OwnedBat) -> int:
+        return entry.size + self.config.bat_header_size
+
+    def fits_in_queue(self, entry: OwnedBat) -> bool:
+        """Outcome-4 test of Request Propagation: ``bat_can_be_loaded``."""
+        used = self.runtime.out_data.queued_bytes + self.reserved_bytes
+        return used + self.wire_size(entry) <= self.config.bat_queue_capacity
+
+    def disk_fetch_time(self, size: int) -> float:
+        return self.config.disk_latency + size / self.config.disk_bandwidth
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def try_load(self, bat_id: int) -> bool:
+        """Load ``bat_id`` into the ring if the BAT queue has room.
+
+        Returns True when a load started (or is already under way);
+        otherwise the BAT is tagged pending (outcome 3 of Request
+        Propagation) for a later ``load_all`` tick.
+        """
+        entry = self.runtime.s1.get(bat_id)
+        if entry.deleted:
+            return False
+        if entry.loaded or entry.loading:
+            return True
+        if not self.fits_in_queue(entry):
+            self.tag_pending(entry)
+            return False
+        self._start_fetch(entry)
+        return True
+
+    def tag_pending(self, entry: OwnedBat) -> None:
+        if not entry.pending:
+            entry.pending = True
+            entry.pending_since = self.sim.now
+            self.runtime.metrics.pending_postponed += 1
+
+    def _start_fetch(self, entry: OwnedBat) -> None:
+        entry.loading = True
+        entry.pending = False
+        size = self.wire_size(entry)
+        self.reserved_bytes += size
+        self.sim.schedule(
+            self.disk_fetch_time(entry.size), self._fetch_done, entry
+        )
+
+    def _fetch_done(self, entry: OwnedBat) -> None:
+        size = self.wire_size(entry)
+        self.reserved_bytes -= size
+        entry.loading = False
+        if entry.deleted:
+            return
+        entry.incarnation += 1
+        message = BATMessage(
+            owner=self.runtime.node_id,
+            bat_id=entry.bat_id,
+            size=entry.size,
+            loi=self.config.initial_loi,
+            payload=self.payloads.get(entry.bat_id),
+            version=entry.version,
+            incarnation=entry.incarnation,
+        )
+        entry.loaded = True
+        entry.loads += 1
+        self.runtime.note_bat_forwarded(entry)
+        self.runtime.metrics.bat_loaded(self.sim.now, entry.bat_id, entry.size)
+        self.runtime.forward_bat(message)
+
+    # ------------------------------------------------------------------
+    # the periodic loadAll tick (section 4.2.3)
+    # ------------------------------------------------------------------
+    def load_all(self) -> int:
+        """Start every pending load that currently fits; returns how many."""
+        started = 0
+        for entry in self.runtime.s1.pending_oldest_first(self.config.load_priority):
+            if entry.loaded or entry.loading:
+                entry.pending = False
+                continue
+            if self.fits_in_queue(entry):
+                self._start_fetch(entry)
+                started += 1
+            # else: leftovers stay for the next call
+        return started
+
+    # ------------------------------------------------------------------
+    # unloading (Hot Set Management, Figure 5)
+    # ------------------------------------------------------------------
+    def unload(self, entry: OwnedBat) -> None:
+        """Pull the BAT out of circulation; it stays on the local disk."""
+        entry.loaded = False
+        self.runtime.metrics.bat_unloaded(self.sim.now, entry.bat_id, entry.size)

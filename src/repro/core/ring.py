@@ -1,0 +1,267 @@
+"""The Data Cyclotron system facade.
+
+Builds the storage ring of Figure 2 -- nodes, clockwise data channels,
+anti-clockwise request channels -- seeds BAT ownership, schedules the
+periodic ``loadAll`` / LOIT-adaptation ticks, and runs workloads of
+:class:`~repro.core.query.QuerySpec` objects to completion.
+
+>>> from repro.core import DataCyclotron, DataCyclotronConfig, QuerySpec
+>>> dc = DataCyclotron(DataCyclotronConfig(n_nodes=4))
+>>> for bat_id in range(8):
+...     _ = dc.add_bat(bat_id, size=1 << 20)
+>>> _ = dc.submit(QuerySpec.simple(0, node=0, arrival=0.0,
+...                                bat_ids=[5], processing_times=[0.01]))
+>>> dc.run_until_done(max_time=10.0)
+True
+>>> dc.metrics.finished_count()
+1
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.config import DataCyclotronConfig
+from repro.core.query import QuerySpec, query_process
+from repro.core.runtime import NodeRuntime
+from repro.metrics.collector import MetricsCollector
+from repro.net.topology import Ring
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+__all__ = ["DataCyclotron"]
+
+
+class DataCyclotron:
+    """A complete simulated Data Cyclotron deployment."""
+
+    def __init__(
+        self,
+        config: Optional[DataCyclotronConfig] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ):
+        self.config = config if config is not None else DataCyclotronConfig()
+        self.sim = Simulator()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.rng = RngRegistry(self.config.seed)
+
+        self.ring = Ring(
+            self.sim,
+            n_nodes=self.config.n_nodes,
+            bandwidth=self.config.bandwidth,
+            delay=self.config.link_delay,
+            data_queue_capacity=self.config.bat_queue_capacity,
+            request_queue_capacity=self.config.request_queue_capacity,
+            data_loss_rate=self.config.data_loss_rate,
+            request_loss_rate=self.config.request_loss_rate,
+            rng=self.rng.stream("loss"),
+        )
+
+        self.nodes: List[NodeRuntime] = [
+            NodeRuntime(
+                node_id=i,
+                sim=self.sim,
+                config=self.config,
+                metrics=self.metrics,
+                out_data=self.ring.data_channel(i),
+                out_request=self.ring.request_channel(i),
+            )
+            for i in range(self.config.n_nodes)
+        ]
+        # Wire message delivery: node i receives BATs from its
+        # predecessor's data channel and requests from its successor's
+        # request channel.
+        for i, node in enumerate(self.nodes):
+            pred = self.ring.predecessor(i)
+            succ = self.ring.successor(i)
+            self.ring.data_channel(pred).set_receiver(node.on_bat_message)
+            if self.config.requests_clockwise:
+                # ablation: requests chase the data instead of meeting it
+                self.ring.request_channel(pred).set_receiver(node.on_request_message)
+            else:
+                self.ring.request_channel(succ).set_receiver(node.on_request_message)
+            # DropTail drops happen at the *sending* node's queue.
+            self.ring.data_channel(i).set_drop_handler(node.on_data_drop)
+
+        self._bat_sizes: Dict[int, int] = {}
+        self._bat_owner: Dict[int, int] = {}
+        self._next_owner = 0
+        self._submitted = 0
+        self._ticks_started = False
+
+    # ------------------------------------------------------------------
+    # data placement
+    # ------------------------------------------------------------------
+    def add_bat(
+        self,
+        bat_id: int,
+        size: int,
+        owner: Optional[int] = None,
+        payload: Any = None,
+        tag: Optional[str] = None,
+    ) -> int:
+        """Register a BAT with the ring; returns the owning node.
+
+        Without an explicit ``owner`` BATs are spread round-robin, the
+        paper's "randomly assigned ... uniformly distributed over all
+        nodes" placement (any feasible partitioning scheme is allowed).
+        """
+        if bat_id in self._bat_sizes:
+            raise ValueError(f"BAT {bat_id} already registered")
+        if size <= 0:
+            raise ValueError("BAT size must be positive")
+        if owner is None:
+            owner = self._next_owner
+            self._next_owner = (self._next_owner + 1) % self.config.n_nodes
+        if not 0 <= owner < self.config.n_nodes:
+            raise ValueError(f"owner {owner} out of range")
+        self._bat_sizes[bat_id] = size
+        self._bat_owner[bat_id] = owner
+        node = self.nodes[owner]
+        node.s1.add(bat_id, size)
+        if payload is not None:
+            node.loader.payloads[bat_id] = payload
+        if tag is not None:
+            self.metrics.tag_bat(bat_id, tag)
+        return owner
+
+    def bat_owner(self, bat_id: int) -> int:
+        return self._bat_owner[bat_id]
+
+    def bat_size(self, bat_id: int) -> int:
+        return self._bat_sizes[bat_id]
+
+    @property
+    def bat_ids(self) -> List[int]:
+        return list(self._bat_sizes)
+
+    @property
+    def total_data_bytes(self) -> int:
+        return sum(self._bat_sizes.values())
+
+    # ------------------------------------------------------------------
+    # workload submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: QuerySpec) -> Process:
+        """Schedule one query to register at its arrival time."""
+        unknown = [b for b in spec.bat_ids if b not in self._bat_sizes]
+        if unknown:
+            raise ValueError(f"query {spec.query_id} references unknown BATs {unknown}")
+        if not 0 <= spec.node < self.config.n_nodes:
+            raise ValueError(f"query {spec.query_id} targets invalid node {spec.node}")
+        self._submitted += 1
+        runtime = self.nodes[spec.node]
+        delay = spec.arrival - self.sim.now
+        if delay < 0:
+            raise ValueError(f"query {spec.query_id} arrives in the past")
+        return Process(self.sim, query_process(runtime, spec), start_delay=delay)
+
+    def submit_all(self, specs: Iterable[QuerySpec]) -> int:
+        count = 0
+        for spec in specs:
+            self.submit(spec)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _start_ticks(self) -> None:
+        if self._ticks_started:
+            return
+        self._ticks_started = True
+        total = sum(self._bat_sizes.values())
+        mean_size = total / len(self._bat_sizes) if self._bat_sizes else 1024 * 1024
+        self.config.note_total_data(total if total else 1024 * 1024)
+        timeout = self.config.derived_resend_timeout(mean_size)
+        for node in self.nodes:
+            node.loss_timeout = timeout
+        self.sim.schedule(self.config.load_all_interval, self._tick_load_all)
+        self.sim.schedule(self.config.loit_adapt_interval, self._tick_loit)
+
+    def _tick_load_all(self) -> None:
+        for node in self.nodes:
+            node.tick_load_all()
+        self.sim.schedule(self.config.load_all_interval, self._tick_load_all)
+
+    def _tick_loit(self) -> None:
+        for node in self.nodes:
+            node.tick_loit()
+        self.sim.schedule(self.config.loit_adapt_interval, self._tick_loit)
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute time ``until``."""
+        self._start_ticks()
+        self.sim.run(until=until)
+
+    def run_until_done(self, max_time: float = 3600.0, check_interval: float = 1.0) -> bool:
+        """Run until every submitted query finished (or ``max_time``).
+
+        Returns True on full completion.  The periodic ticks never drain
+        the event queue on their own, so completion is polled on a
+        simulated-time grid.
+        """
+        self._start_ticks()
+        while self.sim.now < max_time:
+            if self.completed_queries >= self._submitted:
+                return True
+            self.sim.run(until=min(self.sim.now + check_interval, max_time))
+        return self.completed_queries >= self._submitted
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def submitted_queries(self) -> int:
+        return self._submitted
+
+    @property
+    def completed_queries(self) -> int:
+        return sum(n.queries_finished + n.queries_failed for n in self.nodes)
+
+    @property
+    def ring_load_bytes(self) -> float:
+        """Current bytes of hot-set data in circulation (Figure 7a)."""
+        return self.metrics.ring_bytes.current
+
+    @property
+    def ring_load_bats(self) -> float:
+        return self.metrics.ring_bats.current
+
+    def summary(self) -> dict:
+        """Headline counters of the run so far (for reports and shells)."""
+        metrics = self.metrics
+        lifetimes = metrics.lifetimes()
+        return {
+            "simulated_seconds": round(self.sim.now, 6),
+            "queries_submitted": self._submitted,
+            "queries_finished": metrics.finished_count(),
+            "queries_failed": sum(1 for r in metrics.queries.values() if r.failed),
+            "mean_lifetime": (
+                sum(lifetimes) / len(lifetimes) if lifetimes else 0.0
+            ),
+            "bat_loads": sum(s.loads for s in metrics.bats.values()),
+            "bat_unloads": sum(s.unloads for s in metrics.bats.values()),
+            "bat_messages_forwarded": metrics.bat_messages_forwarded,
+            "requests_sent": metrics.requests_sent,
+            "requests_absorbed": metrics.requests_absorbed,
+            "resends": metrics.resends,
+            "droptail_drops": metrics.droptail_drops,
+            "loss_drops": metrics.loss_drops,
+            "loit_changes": metrics.loit_changes,
+            "ring_load_bytes": self.ring_load_bytes,
+            "events_processed": self.sim.processed,
+        }
+
+    def cpu_utilisation(self, horizon: Optional[float] = None) -> float:
+        """Average core utilisation across the ring (Table 4, CPU%)."""
+        span = horizon if horizon is not None else self.sim.now
+        if span <= 0:
+            return 0.0
+        busy = sum(n.cores.busy_time() for n in self.nodes)
+        return busy / (span * self.config.n_nodes * self.config.cores_per_node)

@@ -1,0 +1,530 @@
+"""The per-node Data Cyclotron runtime: the control centre of Figure 2.
+
+One :class:`NodeRuntime` instance per ring node serves the three message
+streams of section 4.2: (a) requests from the local DBMS instance, (b)
+the predecessor's BATs, and (c) the successor's requests.  It implements
+
+* the **Request Propagation** algorithm (Figure 3, six outcomes),
+* the **BAT Propagation** algorithm (Figure 4),
+* **Hot Set Management** with the LOI recomputation (Figure 5, Eq. 1),
+* the DBMS-layer API ``request() / pin() / unpin()`` injected into query
+  plans by the DC optimizer (section 4.1, Table 2),
+* the robustness machinery of section 4.2.3: ``resend()`` timeouts for
+  lost requests, lazy detection of BATs lost to DropTail, and the
+  periodic ``loadAll`` / LOIT-adaptation ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import DataCyclotronConfig
+from repro.core.loader import DataLoader
+from repro.core.loi import LoitController, new_loi
+from repro.core.messages import BATMessage, RequestMessage
+from repro.core.structures import (
+    OutstandingRequest,
+    OwnedCatalog,
+    PinTable,
+    PinWait,
+    RequestTable,
+)
+from repro.metrics.collector import MetricsCollector
+from repro.net.channel import Channel
+from repro.sim.engine import Event, Simulator
+from repro.sim.process import Future
+from repro.sim.timeline import CoreTimeline
+
+__all__ = ["NodeRuntime", "PinResult", "CachedBat"]
+
+
+@dataclass
+class PinResult:
+    """Resolution value of a pin() future."""
+
+    ok: bool
+    bat_id: int
+    payload: Any = None
+    version: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class CachedBat:
+    """A BAT held in local DBMS memory while one or more queries pin it.
+
+    The DC runtime hands a passing BAT over "as a pointer to a memory
+    mapped region.  This memory region is freed by the unpin() call"
+    (section 4.2.2) -- modelled as a refcount that eviction waits on.
+    """
+
+    bat_id: int
+    size: int
+    payload: Any = None
+    refcount: int = 0
+    version: int = 0
+
+
+class NodeRuntime:
+    """DBMS layer + DC layer + network layer of a single ring node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        config: DataCyclotronConfig,
+        metrics: MetricsCollector,
+        out_data: Channel,
+        out_request: Channel,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.config = config
+        self.metrics = metrics
+        self.out_data = out_data          # clockwise, to the successor
+        self.out_request = out_request    # anti-clockwise, to the predecessor
+
+        # the three catalog structures of Figure 2
+        self.s1 = OwnedCatalog()
+        self.s2 = RequestTable()
+        self.s3 = PinTable()
+
+        self.loader = DataLoader(self)
+        self.loit = LoitController(
+            levels=config.loit_levels,
+            initial_level=config.loit_initial_level,
+            high_watermark=config.loit_high_watermark,
+            low_watermark=config.loit_low_watermark,
+            static=config.loit_static,
+        )
+        self.loit_history: List[Tuple[float, float]] = [(0.0, self.loit.threshold)]
+
+        # local DBMS memory holding pinned BATs
+        self.cache: Dict[int, CachedBat] = {}
+        self.pinned_bytes = 0
+        self._local_fetches: Dict[int, List[Future]] = {}
+
+        # CPU model (only the TPC-H experiment constrains cores); the
+        # plain counter tracks demand even in unconstrained mode
+        self.cores = CoreTimeline(config.cores_per_node)
+        self.cpu_seconds = 0.0
+        # section 2 / Figure 1: non-RDMA stacks burn CPU per transfer
+        self.network_cpu_factor = config.network_cpu_factor()
+        self.network_cpu_seconds = 0.0
+
+        # loss recovery
+        self.loss_timeout = 1.0  # overwritten by the ring facade
+        self._resend_timers: Dict[int, Event] = {}
+
+        self.queries_finished = 0
+        self.queries_failed = 0
+
+    # ==================================================================
+    # the DBMS-layer API (section 4.1): request / pin / unpin
+    # ==================================================================
+    def request(self, query_id: int, bat_ids: List[int]) -> None:
+        """The request() call the DC optimizer injects for every bind.
+
+        Owned BATs need no ring traffic -- "if the BAT is owned by the
+        local DC data loader, it is retrieved from disk or local memory
+        and put into the DBMS space" at pin time.  For remote BATs the
+        call updates S2 and sends one request message anti-clockwise per
+        BAT not already in flight (section 4.2.1).
+        """
+        now = self.sim.now
+        for bat_id in bat_ids:
+            if self.s1.owns(bat_id):
+                continue
+            entry = self.s2.register(bat_id, query_id, now)
+            if not entry.sent:
+                self._send_request(entry)
+
+    def pin(self, query_id: int, bat_id: int) -> Future:
+        """Blocking data access: resolves when the BAT is in local memory.
+
+        Checks the local cache first (another query may hold the BAT
+        pinned); owned BATs are fetched from the local disk; everything
+        else blocks in S3 until the BAT flows in from the predecessor.
+        """
+        fut = Future(self.sim)
+        now = self.sim.now
+
+        cached = self.cache.get(bat_id)
+        if cached is not None:
+            cached.refcount += 1
+            self.metrics.bat_pinned(now, bat_id)
+            self._note_query_pinned(bat_id, query_id)
+            fut.resolve(
+                PinResult(True, bat_id, cached.payload, cached.version)
+            )
+            return fut
+
+        if self.s1.owns(bat_id):
+            self._local_fetch(bat_id, fut)
+            return fut
+
+        # Remote BAT: make sure a request is outstanding (a pin without a
+        # prior request() is legal, just slower) and block in S3.
+        entry = self.s2.register(bat_id, query_id, now)
+        if not entry.sent:
+            self._send_request(entry)
+        self.s3.add(bat_id, PinWait(query_id=query_id, future=fut, since=now))
+        return fut
+
+    def unpin(self, query_id: int, bat_id: int) -> None:
+        """Release a pinned BAT; frees the memory region at refcount zero."""
+        cached = self.cache.get(bat_id)
+        if cached is None:
+            return
+        cached.refcount -= 1
+        if cached.refcount <= 0:
+            del self.cache[bat_id]
+            self.pinned_bytes -= cached.size
+
+    def finish_query(self, query_id: int, failed: bool = False, error: str = "") -> None:
+        """Last-unpin bookkeeping: drop the query from S2 and S3."""
+        self.s3.drop_query(query_id)
+        self.s2.drop_query(query_id)
+        self._sweep_resend_timers()
+        if failed:
+            self.queries_failed += 1
+            self.metrics.query_failed(self.sim.now, query_id, error)
+        else:
+            self.queries_finished += 1
+            self.metrics.query_finished(self.sim.now, query_id)
+
+    def exec_op(self, duration: float) -> Future:
+        """Execute one relational operator for ``duration`` CPU seconds.
+
+        With ``cpu_constrained`` (the TPC-H experiment, section 5.4) the
+        operator occupies one of the node's cores on the earliest-free
+        timeline; otherwise it simply takes ``duration`` of wall time.
+        """
+        fut = Future(self.sim)
+        if duration <= 0:
+            fut.resolve(None)
+            return fut
+        self.cpu_seconds += duration
+        if self.config.cpu_constrained:
+            _core, _start, end = self.cores.schedule(self.sim.now, duration)
+            self.sim.schedule_at(end, fut.resolve, None)
+        else:
+            self.sim.schedule(duration, fut.resolve, None)
+        return fut
+
+    # ==================================================================
+    # network-layer entry points
+    # ==================================================================
+    def on_request_message(self, msg: RequestMessage, _size: int) -> None:
+        """Request Propagation (Figure 3)."""
+        msg.hops += 1
+        now = self.sim.now
+
+        # Outcome 1: the request circled back to its origin -- the BAT
+        # does not exist (anymore); associated queries raise an exception.
+        if msg.origin == self.node_id:
+            self.metrics.requests_returned_to_origin += 1
+            self._fail_request(msg.bat_id, "BAT does not exist")
+            return
+
+        # Outcomes 2-4: this node owns the BAT.
+        if self.s1.owns(msg.bat_id):
+            entry = self.s1.get(msg.bat_id)
+            if entry.loaded:
+                # Lazy loss detection: if the BAT has not come around for
+                # far longer than a rotation, it was dropped in transit.
+                if now - entry.last_seen > self.loss_timeout:
+                    entry.loaded = False
+                else:
+                    return  # outcome 2: already in the hot set
+            if entry.loading:
+                return
+            self.loader.try_load(msg.bat_id)  # outcomes 3 (pending) / 4 (load)
+            return
+
+        # Outcome 5: same request outstanding locally -> absorb it.
+        local = self.s2.get(msg.bat_id) if self.config.request_absorption else None
+        if local is not None:
+            if not local.sent:
+                # the passing request doubles as ours
+                local.sent = True
+                local.sent_at = now
+                self._arm_resend(local)
+            self.metrics.requests_absorbed += 1
+            return
+
+        # Outcome 6: just forward it anti-clockwise.
+        self.metrics.requests_forwarded += 1
+        self.out_request.send(msg, self.config.request_message_size)
+
+    def on_bat_message(self, msg: BATMessage, _size: int) -> None:
+        """Dispatch of section 4.3: owner -> Hot Set Management, else
+        BAT Propagation."""
+        if msg.owner == self.node_id:
+            self._hot_set_management(msg)
+        else:
+            self._bat_propagation(msg)
+
+    def on_data_drop(self, msg: BATMessage, _size: int) -> None:
+        """DropTail discarded a BAT from the full transmit queue."""
+        self.metrics.bat_dropped(self.sim.now, msg.bat_id, msg.size, by_loss=False)
+
+    # ==================================================================
+    # the core algorithms
+    # ==================================================================
+    def _bat_propagation(self, msg: BATMessage) -> None:
+        """Figure 4: serve local pins, update the header, forward."""
+        msg.hops += 1
+        bat_id = msg.bat_id
+        req = self.s2.get(bat_id)
+        if req is not None:
+            req.sent = True  # data arriving satisfies the in-flight request
+            req.last_data_seen = self.sim.now
+            if self.s3.has_pins(bat_id) and self._memory_admits(msg.size):
+                msg.copies += 1
+                self.metrics.bat_touched(self.sim.now, bat_id)
+                self._serve_pins(msg, req)
+            if req.all_pinned():
+                self.s2.unregister(bat_id)
+                self._cancel_resend(bat_id)
+        self.forward_bat(msg)
+
+    def _hot_set_management(self, msg: BATMessage) -> None:
+        """Figure 5: the owner recomputes the LOI and keeps or unloads."""
+        entry = self.s1.maybe(msg.bat_id)
+        if entry is None or entry.deleted or not entry.loaded:
+            # Owned BAT came back after deletion or after being declared
+            # lost; swallow it rather than circulate a ghost.
+            self.metrics.bat_unloaded(self.sim.now, msg.bat_id, msg.size)
+            return
+        if msg.incarnation != entry.incarnation:
+            # a presumed-lost copy survived a reload: retire the stale
+            # incarnation so exactly one copy stays in flight
+            self.metrics.bat_unloaded(self.sim.now, msg.bat_id, msg.size)
+            return
+        if msg.version != entry.version:
+            # A stale version returned after an update (section 6.4): the
+            # owner retires it and circulates the current version instead.
+            self.metrics.bat_unloaded(self.sim.now, msg.bat_id, msg.size)
+            entry.loaded = False
+            self.loader.try_load(msg.bat_id)
+            return
+        msg.cycles += 1
+        self.metrics.bat_cycle(self.sim.now, msg.bat_id, msg.cycles)
+        updated = new_loi(msg.loi, msg.copies, msg.hops, msg.cycles)
+        msg.copies = 0
+        msg.hops = 0
+        if not self.loit.is_hot(updated):
+            self.loader.unload(entry)
+            return
+        msg.loi = updated
+        self.note_bat_forwarded(entry)
+        self.forward_bat(msg)
+
+    def forward_bat(self, msg: BATMessage) -> None:
+        """Enqueue a BAT for the successor; accounts loss-injected drops.
+
+        Under a non-RDMA ``transfer_mode`` the send also charges the
+        Figure 1 host CPU overhead (data copying, context switches,
+        stack processing), stealing core time from query execution --
+        the cost the paper's RDMA design avoids.
+        """
+        wire = msg.wire_size(self.config.bat_header_size)
+        if self.network_cpu_factor > 1e-12:
+            overhead = (wire / self.config.bandwidth) * self.network_cpu_factor
+            self.network_cpu_seconds += overhead
+            if self.config.cpu_constrained:
+                self.cores.schedule(self.sim.now, overhead)
+        sent = self.out_data.send(msg, wire)
+        if sent:
+            self.metrics.bat_messages_forwarded += 1
+        else:
+            # Channel-level loss injection drops silently (DropTail drops
+            # arrive via on_data_drop instead).
+            if self.out_data.loss_rate > 0:
+                self.metrics.bat_dropped(
+                    self.sim.now, msg.bat_id, msg.size, by_loss=True
+                )
+
+    def note_bat_forwarded(self, entry) -> None:
+        entry.last_seen = self.sim.now
+
+    # ==================================================================
+    # pin service
+    # ==================================================================
+    def _memory_admits(self, size: int) -> bool:
+        """Section 4.2.2: without local memory space "the BAT will
+        continue its journey and the queries waiting for it remain
+        blocked for one more cycle"."""
+        budget = self.config.local_memory_bytes
+        if budget is None:
+            return True
+        return self.pinned_bytes + size <= budget
+
+    def _serve_pins(self, msg: BATMessage, req: OutstandingRequest) -> None:
+        now = self.sim.now
+        waits = self.s3.pop_all(msg.bat_id)
+        if not waits:
+            return
+        cached = CachedBat(
+            bat_id=msg.bat_id,
+            size=msg.size,
+            payload=msg.payload,
+            refcount=len(waits),
+            version=msg.version,
+        )
+        self.cache[msg.bat_id] = cached
+        self.pinned_bytes += msg.size
+        if req.served_at is None:
+            req.served_at = now
+            self.metrics.request_served(now, msg.bat_id, now - req.registered_at)
+        self.metrics.bat_pinned(now, msg.bat_id, count=len(waits))
+        result = PinResult(True, msg.bat_id, msg.payload, msg.version)
+        for wait in waits:
+            req.queries[wait.query_id] = True
+            wait.future.resolve(result)
+
+    def _note_query_pinned(self, bat_id: int, query_id: int) -> None:
+        """Cache-hit pins still count toward request completion."""
+        req = self.s2.get(bat_id)
+        if req is None:
+            return
+        self.s2.mark_pinned(bat_id, query_id)
+        if req.all_pinned():
+            self.s2.unregister(bat_id)
+            self._cancel_resend(bat_id)
+
+    def _local_fetch(self, bat_id: int, fut: Future) -> None:
+        """Owner-local access: "retrieved from disk or local memory and
+        put into the DBMS space" (section 4.2.1)."""
+        waiters = self._local_fetches.get(bat_id)
+        if waiters is not None:
+            waiters.append(fut)
+            return
+        self._local_fetches[bat_id] = [fut]
+        entry = self.s1.get(bat_id)
+        self.sim.schedule(
+            self.loader.disk_fetch_time(entry.size), self._local_fetch_done, bat_id
+        )
+
+    def _local_fetch_done(self, bat_id: int) -> None:
+        waiters = self._local_fetches.pop(bat_id, [])
+        entry = self.s1.maybe(bat_id)
+        if entry is None or entry.deleted:
+            result = PinResult(False, bat_id, error="BAT does not exist")
+        else:
+            cached = self.cache.get(bat_id)
+            if cached is None:
+                cached = CachedBat(
+                    bat_id=bat_id,
+                    size=entry.size,
+                    payload=self.loader.payloads.get(bat_id),
+                    refcount=0,
+                    version=entry.version,
+                )
+                self.cache[bat_id] = cached
+                self.pinned_bytes += entry.size
+            cached.refcount += len(waiters)
+            result = PinResult(True, bat_id, cached.payload, cached.version)
+        for fut in waiters:
+            fut.resolve(result)
+
+    # ==================================================================
+    # requests: sending, resend timeouts, failure
+    # ==================================================================
+    def _send_request(self, entry: OutstandingRequest) -> None:
+        now = self.sim.now
+        entry.sent = True
+        entry.sent_at = now
+        self.metrics.request_created(now, entry.bat_id)
+        msg = RequestMessage(origin=self.node_id, bat_id=entry.bat_id)
+        self.out_request.send(msg, self.config.request_message_size)
+        self._arm_resend(entry)
+
+    def _arm_resend(self, entry: OutstandingRequest) -> None:
+        self._cancel_resend(entry.bat_id)
+        self._resend_timers[entry.bat_id] = self.sim.schedule(
+            self.loss_timeout, self._resend_fired, entry.bat_id
+        )
+
+    def _cancel_resend(self, bat_id: int) -> None:
+        timer = self._resend_timers.pop(bat_id, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _resend_fired(self, bat_id: int) -> None:
+        """Section 4.2.3: "A resend() function is triggered by a timeout
+        on the rotational delay for BATs requested into the storage ring.
+        It indicates a package loss."
+
+        A resend is only warranted when the BAT has genuinely stopped
+        flowing: no sighting since the request (or its last pass) for a
+        full timeout.  While the BAT keeps rotating, blocked pins will be
+        served on its next pass and the timer merely re-arms.
+        """
+        self._resend_timers.pop(bat_id, None)
+        entry = self.s2.get(bat_id)
+        if entry is None:
+            return
+        now = self.sim.now
+        last_sign_of_life = max(
+            entry.sent_at,
+            entry.last_data_seen if entry.last_data_seen is not None else 0.0,
+        )
+        stale_in = last_sign_of_life + self.loss_timeout - now
+        if stale_in > 1e-12:
+            # The BAT flowed past recently; check again when it turns stale.
+            self._resend_timers[bat_id] = self.sim.schedule(
+                stale_in, self._resend_fired, bat_id
+            )
+            return
+        entry.resends += 1
+        self.metrics.resends += 1
+        entry.sent_at = now
+        msg = RequestMessage(origin=self.node_id, bat_id=bat_id)
+        self.out_request.send(msg, self.config.request_message_size)
+        self._arm_resend(entry)
+
+    def _sweep_resend_timers(self) -> None:
+        """Cancel timers whose S2 entry disappeared with a finished query."""
+        stale = [bat_id for bat_id in self._resend_timers if not self.s2.has(bat_id)]
+        for bat_id in stale:
+            self._cancel_resend(bat_id)
+
+    def _fail_request(self, bat_id: int, reason: str) -> None:
+        self.s2.unregister(bat_id)
+        self._cancel_resend(bat_id)
+        result = PinResult(False, bat_id, error=reason)
+        for wait in self.s3.pop_all(bat_id):
+            wait.future.resolve(result)
+
+    # ==================================================================
+    # periodic ticks (scheduled by the ring facade)
+    # ==================================================================
+    def tick_load_all(self) -> None:
+        self.loader.load_all()
+
+    def tick_loit(self) -> None:
+        load = self.out_data.queued_bytes / self.config.bat_queue_capacity
+        before = self.loit.threshold
+        after = self.loit.observe(load)
+        if after != before:
+            self.metrics.loit_changes += 1
+            self.loit_history.append((self.sim.now, after))
+
+    # ==================================================================
+    # introspection
+    # ==================================================================
+    @property
+    def buffer_load(self) -> float:
+        return self.out_data.queued_bytes / self.config.bat_queue_capacity
+
+    def owned_loaded_bytes(self) -> int:
+        return self.s1.loaded_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Node {self.node_id}: owns={len(self.s1)} s2={len(self.s2)} "
+            f"s3={len(self.s3)} loit={self.loit.threshold}>"
+        )

@@ -1,0 +1,218 @@
+"""The three catalog structures of the DC layer (section 4.2, Figure 2).
+
+* **S1** -- the DC data loader's catalog of all BATs *owned* by the local
+  node: their size, whether they are currently loaded into the storage
+  ring, and whether a load is pending because the ring was full.
+* **S2** -- the outstanding requests of the local node, organised by BAT
+  identifier; each entry remembers which active queries depend on the
+  BAT and which of them have already pinned it.
+* **S3** -- "the identity of the BATs needed urgently as indicated by the
+  pin calls": the blocked pin() calls waiting for a BAT to flow past.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.process import Future
+
+__all__ = [
+    "OwnedBat",
+    "OwnedCatalog",
+    "OutstandingRequest",
+    "RequestTable",
+    "PinWait",
+    "PinTable",
+]
+
+
+# ----------------------------------------------------------------------
+# S1: the owner-side catalog
+# ----------------------------------------------------------------------
+@dataclass
+class OwnedBat:
+    """State the DC data loader keeps per owned BAT."""
+
+    bat_id: int
+    size: int
+    loaded: bool = False          # currently part of the hot set (in the ring)
+    loading: bool = False         # disk fetch in flight
+    pending: bool = False         # load postponed: ring was full (outcome 3)
+    pending_since: float = 0.0
+    loads: int = 0                # times this BAT entered the ring
+    incarnation: int = 0          # increments per (re-)load; stamps messages
+    last_seen: float = 0.0        # when the owner last forwarded it
+    version: int = 0              # update extension (section 6.4)
+    deleted: bool = False         # dropped from the database
+
+
+class OwnedCatalog:
+    """S1: all BATs owned by the local node."""
+
+    def __init__(self) -> None:
+        self._bats: Dict[int, OwnedBat] = {}
+
+    def add(self, bat_id: int, size: int) -> OwnedBat:
+        if bat_id in self._bats:
+            raise ValueError(f"BAT {bat_id} already owned")
+        entry = OwnedBat(bat_id=bat_id, size=size)
+        self._bats[bat_id] = entry
+        return entry
+
+    def remove(self, bat_id: int) -> None:
+        self._bats.pop(bat_id, None)
+
+    def owns(self, bat_id: int) -> bool:
+        entry = self._bats.get(bat_id)
+        return entry is not None and not entry.deleted
+
+    def get(self, bat_id: int) -> OwnedBat:
+        return self._bats[bat_id]
+
+    def maybe(self, bat_id: int) -> Optional[OwnedBat]:
+        return self._bats.get(bat_id)
+
+    def pending_oldest_first(self, mode: str = "age_size") -> List[OwnedBat]:
+        """Pending loads ordered by waiting time (oldest first).
+
+        ``loadAll`` "starts the load for the oldest ones" every T msec
+        (section 4.2.3); in the paper's policy (``age_size``) ties break
+        toward the smaller BAT so the queue fills greedily, matching the
+        observed small-BAT bias of Fig. 7.  ``fifo`` ignores size -- the
+        ablation baseline.
+        """
+        pending = [b for b in self._bats.values() if b.pending and not b.deleted]
+        if mode == "fifo":
+            pending.sort(key=lambda b: (b.pending_since, b.bat_id))
+        else:
+            pending.sort(key=lambda b: (b.pending_since, b.size, b.bat_id))
+        return pending
+
+    def __len__(self) -> int:
+        return len(self._bats)
+
+    def __iter__(self):
+        return iter(self._bats.values())
+
+    @property
+    def loaded_bytes(self) -> int:
+        return sum(b.size for b in self._bats.values() if b.loaded)
+
+
+# ----------------------------------------------------------------------
+# S2: outstanding requests
+# ----------------------------------------------------------------------
+@dataclass
+class OutstandingRequest:
+    """A local request for a remote BAT, shared by all interested queries."""
+
+    bat_id: int
+    registered_at: float
+    sent: bool = False            # the request message left this node
+    sent_at: float = 0.0
+    served_at: Optional[float] = None  # first time the BAT reached this node
+    last_data_seen: Optional[float] = None  # last time the BAT flowed past
+    resends: int = 0
+    # query id -> has that query pinned the BAT yet?
+    queries: Dict[int, bool] = field(default_factory=dict)
+
+    def all_pinned(self) -> bool:
+        """Fig. 4 line 09: every associated query pinned the BAT."""
+        return bool(self.queries) and all(self.queries.values())
+
+
+class RequestTable:
+    """S2: outstanding requests organised by BAT identifier."""
+
+    def __init__(self) -> None:
+        self._requests: Dict[int, OutstandingRequest] = {}
+
+    def register(self, bat_id: int, query_id: int, now: float) -> OutstandingRequest:
+        """Attach ``query_id`` to the request for ``bat_id``, creating it.
+
+        Returns the entry; callers check ``sent`` to decide whether a
+        request message must actually leave the node -- several queries
+        share one in-flight request (the absorption of section 4.2.2).
+        """
+        entry = self._requests.get(bat_id)
+        if entry is None:
+            entry = OutstandingRequest(bat_id=bat_id, registered_at=now)
+            self._requests[bat_id] = entry
+        entry.queries.setdefault(query_id, False)
+        return entry
+
+    def unregister(self, bat_id: int) -> None:
+        self._requests.pop(bat_id, None)
+
+    def has(self, bat_id: int) -> bool:
+        return bat_id in self._requests
+
+    def get(self, bat_id: int) -> Optional[OutstandingRequest]:
+        return self._requests.get(bat_id)
+
+    def mark_pinned(self, bat_id: int, query_id: int) -> None:
+        entry = self._requests.get(bat_id)
+        if entry is not None and query_id in entry.queries:
+            entry.queries[query_id] = True
+
+    def drop_query(self, query_id: int) -> None:
+        """Remove a finished/aborted query from every request it joined."""
+        empty = []
+        for bat_id, entry in self._requests.items():
+            entry.queries.pop(query_id, None)
+            if not entry.queries:
+                empty.append(bat_id)
+        for bat_id in empty:
+            del self._requests[bat_id]
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self):
+        return iter(self._requests.values())
+
+
+# ----------------------------------------------------------------------
+# S3: blocked pin calls
+# ----------------------------------------------------------------------
+@dataclass
+class PinWait:
+    """A pin() call blocked until its BAT flows in from the predecessor."""
+
+    query_id: int
+    future: Future
+    since: float
+
+
+class PinTable:
+    """S3: blocked pin calls keyed by BAT identifier."""
+
+    def __init__(self) -> None:
+        self._waits: Dict[int, List[PinWait]] = {}
+
+    def add(self, bat_id: int, wait: PinWait) -> None:
+        self._waits.setdefault(bat_id, []).append(wait)
+
+    def has_pins(self, bat_id: int) -> bool:
+        """Fig. 4 line 06: ``request_has_pin_calls``."""
+        return bool(self._waits.get(bat_id))
+
+    def pop_all(self, bat_id: int) -> List[PinWait]:
+        """Take (and clear) every blocked pin for ``bat_id``."""
+        return self._waits.pop(bat_id, [])
+
+    def drop_query(self, query_id: int) -> None:
+        empty = []
+        for bat_id, waits in self._waits.items():
+            waits[:] = [w for w in waits if w.query_id != query_id]
+            if not waits:
+                empty.append(bat_id)
+        for bat_id in empty:
+            del self._waits[bat_id]
+
+    def waiting_queries(self, bat_id: int) -> List[int]:
+        return [w.query_id for w in self._waits.get(bat_id, [])]
+
+    def __len__(self) -> int:
+        return sum(len(w) for w in self._waits.values())

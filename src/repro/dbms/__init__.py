@@ -1,0 +1,37 @@
+"""A MonetDB-like column engine (paper section 3).
+
+Layers, bottom-up, mirroring the MonetDB software stack the paper
+describes:
+
+* :mod:`repro.dbms.bat` / :mod:`repro.dbms.kernel` -- the binary-column
+  storage engine (BATs and their operators),
+* :mod:`repro.dbms.mal` / :mod:`repro.dbms.interpreter` -- MAL plans and
+  their linear interpreter,
+* :mod:`repro.dbms.optimizer` -- the targeted DC optimizer injecting
+  request/pin/unpin (section 4.1),
+* :mod:`repro.dbms.sql` -- the SQL front-end compiling to MAL,
+* :mod:`repro.dbms.database` -- an embedded single-node database,
+* :mod:`repro.dbms.executor` -- distributed execution over the ring.
+"""
+
+from repro.dbms.bat import BAT
+from repro.dbms.catalog import Catalog, ColumnHandle, Table
+from repro.dbms.database import Database
+from repro.dbms.interpreter import Interpreter, ResultSet, local_registry
+from repro.dbms.mal import Instruction, Plan, Var
+from repro.dbms.optimizer import dc_optimize
+
+__all__ = [
+    "BAT",
+    "Catalog",
+    "ColumnHandle",
+    "Database",
+    "Instruction",
+    "Interpreter",
+    "Plan",
+    "ResultSet",
+    "Table",
+    "Var",
+    "dc_optimize",
+    "local_registry",
+]

@@ -1,0 +1,182 @@
+"""Binary Association Tables: the column format of the engine.
+
+Section 3.1 of the paper: MonetDB "stores data column-wise in binary
+structures, called Binary Association Tables, or BATs, which represent a
+mapping from an OID to a base type value.  The storage structure is
+equivalent to large, memory-mapped dense arrays."
+
+A :class:`BAT` here is a pair of numpy arrays -- ``head`` (OIDs) and
+``tail`` (values).  Like MonetDB's *void* columns, a dense head is not
+materialised: ``head=None`` means OIDs ``hseqbase, hseqbase+1, ...``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BAT"]
+
+OID_DTYPE = np.int64
+
+
+class BAT:
+    """An ordered mapping from head OIDs to tail values.
+
+    Like MonetDB, BATs carry cached ordering *properties* ("Additional
+    BAT properties are used to steer selection of more efficient
+    algorithms, e.g., sorted columns lead to sort-merge join
+    operations", paper section 3.1).  The kernel treats BATs as
+    immutable; code that mutates ``tail``/``head`` in place must not
+    rely on previously computed properties.
+    """
+
+    __slots__ = ("head", "tail", "hseqbase", "_tsorted", "_hsorted")
+
+    def __init__(
+        self,
+        tail: np.ndarray,
+        head: Optional[np.ndarray] = None,
+        hseqbase: int = 0,
+        tail_sorted: Optional[bool] = None,
+        head_sorted: Optional[bool] = None,
+    ):
+        tail = np.asarray(tail)
+        if tail.ndim != 1:
+            raise ValueError("tail must be one-dimensional")
+        if head is not None:
+            head = np.asarray(head, dtype=OID_DTYPE)
+            if head.shape != tail.shape:
+                raise ValueError(
+                    f"head/tail length mismatch: {head.shape} vs {tail.shape}"
+                )
+        self.tail = tail
+        self.head = head
+        self.hseqbase = int(hseqbase)
+        # ordering properties: None = unknown (computed lazily)
+        self._tsorted = tail_sorted
+        self._hsorted = True if head is None else head_sorted
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def dense(cls, values: Sequence, hseqbase: int = 0) -> "BAT":
+        """A void-headed BAT: OIDs are ``hseqbase..hseqbase+n-1``."""
+        return cls(np.asarray(values), head=None, hseqbase=hseqbase)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, object]]) -> "BAT":
+        pairs = list(pairs)
+        if not pairs:
+            return cls(np.empty(0), head=np.empty(0, dtype=OID_DTYPE))
+        head = np.array([p[0] for p in pairs], dtype=OID_DTYPE)
+        tail = np.array([p[1] for p in pairs])
+        return cls(tail, head=head)
+
+    @classmethod
+    def empty(cls, dtype=np.float64) -> "BAT":
+        return cls(np.empty(0, dtype=dtype), head=np.empty(0, dtype=OID_DTYPE))
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.tail)
+
+    def __len__(self) -> int:
+        return len(self.tail)
+
+    @property
+    def is_dense_head(self) -> bool:
+        return self.head is None
+
+    def head_array(self) -> np.ndarray:
+        """The head OIDs, materialising a dense head on demand."""
+        if self.head is not None:
+            return self.head
+        return np.arange(
+            self.hseqbase, self.hseqbase + len(self.tail), dtype=OID_DTYPE
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint: what the Data Cyclotron ships around."""
+        tail_bytes = self.tail.nbytes
+        head_bytes = self.head.nbytes if self.head is not None else 0
+        return tail_bytes + head_bytes
+
+    def tail_is_sorted(self) -> bool:
+        """Non-decreasing tail?  Computed once and cached."""
+        if self._tsorted is None:
+            self._tsorted = (
+                len(self.tail) <= 1
+                or bool(np.all(self.tail[:-1] <= self.tail[1:]))
+            )
+        return self._tsorted
+
+    def head_is_sorted(self) -> bool:
+        """Non-decreasing head OIDs?  Dense heads are sorted by nature."""
+        if self._hsorted is None:
+            self._hsorted = (
+                len(self.head) <= 1
+                or bool(np.all(self.head[:-1] <= self.head[1:]))
+            )
+        return self._hsorted
+
+    # ------------------------------------------------------------------
+    # core transformations (the rest live in repro.dbms.kernel)
+    # ------------------------------------------------------------------
+    def reverse(self) -> "BAT":
+        """Swap head and tail: ``bat.reverse`` of the MAL plans."""
+        return BAT(self.head_array(), head=np.asarray(self.tail))
+
+    def mirror(self) -> "BAT":
+        """(head, head): useful for candidate lists."""
+        heads = self.head_array()
+        return BAT(heads.copy(), head=heads)
+
+    def mark(self, base: int = 0) -> "BAT":
+        """``algebra.markH``: replace the head with a dense sequence.
+
+        Keeps the tail, renumbers rows 0..n-1 (plus ``base``); used after
+        joins to re-establish positional alignment.
+        """
+        return BAT(np.asarray(self.tail), head=None, hseqbase=base)
+
+    def mark_tail(self, base: int = 0) -> "BAT":
+        """``algebra.markT`` of the paper's Table 1: replace the *tail*
+        with a dense OID sequence, keeping the head."""
+        seq = np.arange(base, base + len(self), dtype=OID_DTYPE)
+        return BAT(seq, head=self.head_array().copy())
+
+    def slice(self, lo: int, hi: int) -> "BAT":
+        head = None if self.head is None else self.head[lo:hi]
+        seq = self.hseqbase + lo if self.head is None else 0
+        return BAT(self.tail[lo:hi], head=head, hseqbase=seq)
+
+    def copy(self) -> "BAT":
+        head = None if self.head is None else self.head.copy()
+        return BAT(self.tail.copy(), head=head, hseqbase=self.hseqbase)
+
+    # ------------------------------------------------------------------
+    def to_pairs(self) -> list:
+        return list(zip(self.head_array().tolist(), self.tail.tolist()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BAT):
+            return NotImplemented
+        return (
+            len(self) == len(other)
+            and bool(np.array_equal(self.head_array(), other.head_array()))
+            and bool(np.array_equal(self.tail, other.tail))
+        )
+
+    def __hash__(self) -> int:  # BATs are mutable containers
+        raise TypeError("BAT is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "void" if self.is_dense_head else "oid"
+        return f"<BAT {kind}->{self.tail.dtype} n={len(self)}>"

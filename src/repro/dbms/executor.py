@@ -1,0 +1,303 @@
+"""Distributed query execution over the storage ring (functional mode).
+
+This module closes the loop of the paper's architecture (Figure 2): SQL
+compiles to a MAL plan (section 3.2), the DC optimizer injects
+request/pin/unpin (section 4.1, Table 2), and the plan is interpreted on
+a ring node -- pins blocking until the BAT, *with its actual column
+payload*, flows in from the predecessor.  Operator results are computed
+for real by the numpy kernel while simulated time is charged through an
+:class:`OperatorCostModel`, so a :class:`RingDatabase` answers queries
+both *correctly* and with *faithful timing*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from repro.core.config import DataCyclotronConfig
+from repro.core.ring import DataCyclotron
+from repro.core.runtime import NodeRuntime
+from repro.dbms.bat import BAT
+from repro.dbms.catalog import Catalog
+from repro.dbms.interpreter import Interpreter, ResultSet, local_registry
+from repro.dbms.optimizer import dc_optimize
+from repro.dbms.sql import parse, plan_select
+from repro.dbms.sql.planner import PlannedQuery
+from repro.sim.process import Process
+
+__all__ = ["OperatorCostModel", "QueryHandle", "RingDatabase", "QueryAbort"]
+
+
+class QueryAbort(RuntimeError):
+    """A pin failed (e.g. the BAT no longer exists): the query aborts."""
+
+
+class OperatorCostModel:
+    """Simulated CPU seconds per relational operator.
+
+    The paper keeps interpreter overhead "well below one usec per
+    instruction" (section 3.2); operator cost itself scales with the
+    data touched.  We charge ``fixed + bytes/throughput`` where bytes
+    sums the BAT operands and the result.
+    """
+
+    def __init__(self, throughput: float = 2e9, fixed: float = 1e-6):
+        if throughput <= 0:
+            raise ValueError("throughput must be positive")
+        self.throughput = throughput
+        self.fixed = fixed
+
+    def cost(self, args: Sequence[Any], result: Any) -> float:
+        nbytes = 0
+        for arg in args:
+            if isinstance(arg, BAT):
+                nbytes += arg.nbytes
+        if isinstance(result, BAT):
+            nbytes += result.nbytes
+        elif isinstance(result, tuple):
+            nbytes += sum(r.nbytes for r in result if isinstance(r, BAT))
+        return self.fixed + nbytes / self.throughput
+
+
+@dataclass
+class QueryHandle:
+    """Tracks one submitted distributed query."""
+
+    query_id: int
+    node: int
+    sql: str
+    process: Process
+
+    @property
+    def done(self) -> bool:
+        return self.process.finished
+
+    @property
+    def result(self) -> Optional[ResultSet]:
+        """The ResultSet, or None if the query failed / is still running."""
+        if not self.process.finished:
+            return None
+        return self.process.result
+
+
+def _dc_registry(
+    base: Dict[str, Any],
+    runtime: NodeRuntime,
+    query_id: int,
+    catalog: Catalog,
+    cost_model: OperatorCostModel,
+) -> Dict[str, Any]:
+    """Wrap the local registry for ring execution.
+
+    Local operators become generators that charge simulated CPU time;
+    the three datacyclotron calls talk to the node's DC runtime.
+    """
+    pinned_ids: Dict[int, int] = {}  # id(payload BAT) -> bat_id
+
+    def wrap(fn):
+        def runner(*args) -> Generator:
+            result = fn(*args)
+            cost = cost_model.cost(args, result)
+            if cost > 0:
+                yield runtime.exec_op(cost)
+            return result
+
+        return runner
+
+    registry: Dict[str, Any] = {name: wrap(fn) for name, fn in base.items()}
+
+    def dc_request(schema: str, table: str, column: str, partition: int) -> int:
+        handle = catalog.handle(schema, table, column, partition)
+        runtime.request(query_id, [handle.bat_id])
+        return handle.bat_id
+
+    def dc_pin(bat_id: int) -> Generator:
+        fut = runtime.pin(query_id, bat_id)
+        yield fut
+        result = fut.value
+        if not result.ok:
+            raise QueryAbort(result.error or f"pin of BAT {bat_id} failed")
+        payload = result.payload
+        if payload is None:
+            raise QueryAbort(f"BAT {bat_id} carries no payload (performance mode?)")
+        pinned_ids[id(payload)] = bat_id
+        return payload
+
+    def dc_unpin(payload: BAT) -> None:
+        bat_id = pinned_ids.pop(id(payload), None)
+        if bat_id is not None:
+            runtime.unpin(query_id, bat_id)
+
+    registry["datacyclotron.request"] = dc_request
+    registry["datacyclotron.pin"] = dc_pin
+    registry["datacyclotron.unpin"] = dc_unpin
+    return registry
+
+
+class RingDatabase:
+    """A distributed database over a simulated Data Cyclotron ring.
+
+    >>> from repro.core import DataCyclotronConfig
+    >>> rdb = RingDatabase(DataCyclotronConfig(n_nodes=4))
+    >>> _ = rdb.load_table("t", {"id": [1, 2, 3], "v": [1.0, 2.0, 3.0]})
+    >>> handle = rdb.submit("SELECT v FROM t WHERE id >= 2", node=1)
+    >>> rdb.run_until_done()
+    True
+    >>> handle.result.rows()
+    [(2.0,), (3.0,)]
+    """
+
+    def __init__(
+        self,
+        config: Optional[DataCyclotronConfig] = None,
+        cost_model: Optional[OperatorCostModel] = None,
+        schema: str = "sys",
+        cache_intermediates: bool = False,
+        cache_min_bytes: int = 64 * 1024,
+        dataflow: bool = False,
+    ):
+        """``dataflow=True`` executes plans with instruction-level
+        concurrency (the paper's "concurrent interpreter threads"),
+        letting several pins block at once; mutually exclusive with
+        ``cache_intermediates``."""
+        if dataflow and cache_intermediates:
+            raise ValueError(
+                "dataflow execution and intermediate caching are mutually exclusive"
+            )
+        self.dataflow = dataflow
+        self.schema = schema
+        self.catalog = Catalog()
+        self.dc = DataCyclotron(config)
+        self.cost_model = cost_model if cost_model is not None else OperatorCostModel()
+        self._local_registry = local_registry(self.catalog)
+        self._next_query_id = 0
+        self._plan_counter = 0
+        self.handles: List[QueryHandle] = []
+        # section 6.2: intermediates circulate as first-class ring data
+        self.result_cache = None
+        self.cache_min_bytes = cache_min_bytes
+        if cache_intermediates:
+            from repro.xtn.result_cache import ResultCache
+
+            self.result_cache = ResultCache(self.dc)
+
+    # ------------------------------------------------------------------
+    # data loading
+    # ------------------------------------------------------------------
+    def load_table(
+        self,
+        name: str,
+        data: Dict[str, Sequence],
+        rows_per_partition: Optional[int] = None,
+        schema: Optional[str] = None,
+    ):
+        """Load a table and spread its partition BATs over the ring.
+
+        Every partition becomes an individually owned BAT (section 4,
+        Figure 2): round-robin placement over the nodes, with the real
+        column payload attached so pins hand back usable data.
+        """
+        schema = schema if schema is not None else self.schema
+        table = self.catalog.load_table(
+            schema, name, data, rows_per_partition=rows_per_partition
+        )
+        for handle in self.catalog.all_handles():
+            if handle.schema == schema and handle.table == name:
+                self.dc.add_bat(
+                    handle.bat_id,
+                    size=max(handle.bat.nbytes, 1),
+                    payload=handle.bat,
+                )
+        return table
+
+    def load_csv(
+        self,
+        name: str,
+        path,
+        rows_per_partition: Optional[int] = None,
+        schema: Optional[str] = None,
+    ):
+        """Load a headered CSV and spread its partitions over the ring."""
+        from repro.dbms.io_utils import read_csv_columns
+
+        return self.load_table(
+            name,
+            read_csv_columns(path),
+            rows_per_partition=rows_per_partition,
+            schema=schema,
+        )
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def compile(self, sql: str) -> PlannedQuery:
+        self._plan_counter += 1
+        ast = parse(sql)
+        planned = plan_select(
+            ast, self.catalog, name=f"user.s{self._plan_counter}_1"
+        )
+        return PlannedQuery(
+            plan=dc_optimize(planned.plan),
+            result_var=planned.result_var,
+            column_names=planned.column_names,
+        )
+
+    def submit(self, sql: str, node: int = 0, arrival: float = 0.0) -> QueryHandle:
+        """Compile and schedule a query on ``node`` at ``arrival``."""
+        if not 0 <= node < self.dc.config.n_nodes:
+            raise ValueError(f"node {node} out of range")
+        planned = self.compile(sql)
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        runtime = self.dc.nodes[node]
+        registry = _dc_registry(
+            self._local_registry, runtime, query_id, self.catalog, self.cost_model
+        )
+        if self.result_cache is not None:
+            from repro.dbms.caching import CachingInterpreter
+
+            interpreter: Interpreter = CachingInterpreter(
+                registry,
+                cache=self.result_cache,
+                runtime=runtime,
+                query_id=query_id,
+                min_publish_bytes=self.cache_min_bytes,
+            )
+        else:
+            interpreter = Interpreter(registry)
+
+        def process() -> Generator:
+            self.dc.metrics.query_registered(
+                runtime.sim.now, query_id, node, tag="sql"
+            )
+            try:
+                if self.dataflow:
+                    from repro.dbms.dataflow import DataflowExecutor
+
+                    executor = DataflowExecutor(registry, runtime.sim)
+                    env = yield from executor.run(planned.plan)
+                else:
+                    env = yield from interpreter.run_gen(planned.plan)
+            except QueryAbort as abort:
+                runtime.finish_query(query_id, failed=True, error=str(abort))
+                return None
+            runtime.finish_query(query_id)
+            return env[planned.result_var]
+
+        delay = arrival - self.dc.sim.now
+        if delay < 0:
+            raise ValueError("arrival is in the past")
+        self.dc._submitted += 1
+        proc = Process(self.dc.sim, process(), start_delay=delay)
+        handle = QueryHandle(query_id=query_id, node=node, sql=sql, process=proc)
+        self.handles.append(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    def run_until_done(self, max_time: float = 600.0) -> bool:
+        return self.dc.run_until_done(max_time=max_time)
+
+    @property
+    def metrics(self):
+        return self.dc.metrics

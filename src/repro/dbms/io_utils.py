@@ -1,0 +1,73 @@
+"""Loading tabular data from CSV into column arrays.
+
+A small, dependency-free CSV reader feeding :class:`~repro.dbms.
+database.Database` / :class:`~repro.dbms.executor.RingDatabase`: columns
+come back as numpy arrays with inferred types (int64 -> float64 ->
+string), ready for :meth:`load_table`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["read_csv_columns", "infer_column"]
+
+
+def infer_column(values: Sequence[str]) -> np.ndarray:
+    """Best-effort typed array from string cells: int, float, or str."""
+    try:
+        return np.array([int(v) for v in values], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.array([float(v) for v in values], dtype=np.float64)
+    except ValueError:
+        pass
+    return np.array(list(values))
+
+
+def read_csv_columns(
+    path,
+    delimiter: str = ",",
+    columns: Optional[Sequence[str]] = None,
+) -> Dict[str, np.ndarray]:
+    """Read a headered CSV into ``{column: typed array}``.
+
+    ``columns`` restricts (and orders) the loaded subset.  Raises on an
+    empty file, a missing requested column, or ragged rows (csv module
+    semantics: short rows raise via the length check).
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        header = [name.strip() for name in header]
+        if len(set(header)) != len(header):
+            raise ValueError(f"{path} has duplicate column names")
+        rows: List[List[str]] = []
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{lineno}: expected {len(header)} cells, got {len(row)}"
+                )
+            rows.append(row)
+    if not rows:
+        raise ValueError(f"{path} has a header but no data rows")
+    wanted = list(columns) if columns is not None else header
+    missing = [c for c in wanted if c not in header]
+    if missing:
+        raise ValueError(f"{path} lacks columns {missing}")
+    out: Dict[str, np.ndarray] = {}
+    for name in wanted:
+        index = header.index(name)
+        out[name] = infer_column([row[index] for row in rows])
+    return out

@@ -1,0 +1,172 @@
+"""Targeted plan-rewriting passes (paper section 3.1).
+
+"The next layer, between the kernel and front-end, is formed by a
+series of targeted query optimizers.  They perform plan
+transformations, i.e., take a MAL program and transform it into an
+improved one."
+
+This module provides that pipeline shape plus three classic passes:
+
+* :func:`dead_code` -- drop instructions whose results are never used
+  (transitively), keeping effectful roots (``sql.*``, ``io.*``,
+  ``datacyclotron.*``),
+* :func:`common_subexpressions` -- alias structurally identical pure
+  instructions (same fingerprint machinery the ring-wide result cache
+  uses), so repeated projections/joins compute once,
+* :func:`fold_doubles` -- peephole: cancel ``bat.reverse(bat.reverse(x))``
+  and collapse ``markH`` over ``markH``.
+
+The Data Cyclotron optimizer (:func:`repro.dbms.optimizer.dc_optimize`)
+composes with these; run them first so pins cover only surviving uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+from repro.dbms.caching import plan_fingerprints
+from repro.dbms.mal import Instruction, Plan, Var
+
+__all__ = [
+    "PURE_OPS",
+    "common_subexpressions",
+    "dead_code",
+    "fold_doubles",
+    "optimize",
+]
+
+#: operators safe to deduplicate / remove: value-only, no side effects
+PURE_OPS: Tuple[str, ...] = (
+    "algebra.",
+    "bat.",
+    "group.",
+    "aggr.",
+    "calc.",
+)
+
+#: result-effecting roots that anchor liveness
+_EFFECT_PREFIXES = ("sql.", "io.", "datacyclotron.")
+
+
+def _is_pure(instr: Instruction) -> bool:
+    return instr.opname.startswith(PURE_OPS)
+
+
+def _rewrite_args(instr: Instruction, mapping: Dict[str, str]) -> Instruction:
+    def sub(arg):
+        if isinstance(arg, Var):
+            return Var(mapping.get(arg.name, arg.name))
+        if isinstance(arg, (list, tuple)):
+            return type(arg)(sub(a) for a in arg)
+        return arg
+
+    return Instruction(
+        module=instr.module,
+        fn=instr.fn,
+        args=tuple(sub(a) for a in instr.args),
+        results=instr.results,
+    )
+
+
+def _copy_into(plan: Plan, instructions: Sequence[Instruction]) -> Plan:
+    out = Plan(plan.name)
+    out._counter = plan._counter
+    for instr in instructions:
+        out.append(instr)
+    return out
+
+
+# ----------------------------------------------------------------------
+def dead_code(plan: Plan) -> Plan:
+    """Remove pure instructions whose results nothing (live) consumes."""
+    live: Set[str] = set()
+    keep: List[bool] = [False] * len(plan.instructions)
+    for index in range(len(plan.instructions) - 1, -1, -1):
+        instr = plan.instructions[index]
+        is_root = instr.opname.startswith(_EFFECT_PREFIXES) or not instr.results
+        if is_root or any(name in live for name in instr.results):
+            keep[index] = True
+            live.update(instr.uses())
+    return _copy_into(
+        plan, [i for i, k in zip(plan.instructions, keep) if k]
+    )
+
+
+def common_subexpressions(plan: Plan) -> Plan:
+    """Alias repeated pure computations to their first occurrence."""
+    fingerprints = plan_fingerprints(plan)
+    seen: Dict[str, str] = {}        # fingerprint -> canonical var
+    alias: Dict[str, str] = {}       # var -> canonical var
+    out: List[Instruction] = []
+    for index, instr in enumerate(plan.instructions):
+        rewritten = _rewrite_args(instr, alias)
+        fingerprint = fingerprints.get(index)
+        if (
+            fingerprint is not None
+            and _is_pure(instr)
+            and len(instr.results) == 1
+        ):
+            canonical = seen.get(fingerprint)
+            if canonical is not None:
+                alias[instr.results[0]] = canonical
+                continue  # drop the duplicate computation
+            seen[fingerprint] = instr.results[0]
+        out.append(rewritten)
+    return _copy_into(plan, out)
+
+
+def fold_doubles(plan: Plan) -> Plan:
+    """Peephole: reverse(reverse(x)) -> x; markH over markH collapses."""
+    producer: Dict[str, Instruction] = {}
+    alias: Dict[str, str] = {}
+    out: List[Instruction] = []
+    for instr in plan.instructions:
+        rewritten = _rewrite_args(instr, alias)
+        if (
+            rewritten.opname == "bat.reverse"
+            and len(rewritten.args) == 1
+            and isinstance(rewritten.args[0], Var)
+        ):
+            inner = producer.get(rewritten.args[0].name)
+            if (
+                inner is not None
+                and inner.opname == "bat.reverse"
+                and isinstance(inner.args[0], Var)
+            ):
+                alias[rewritten.results[0]] = inner.args[0].name
+                continue
+        if (
+            rewritten.opname == "algebra.markH"
+            and isinstance(rewritten.args[0], Var)
+        ):
+            inner = producer.get(rewritten.args[0].name)
+            if (
+                inner is not None
+                and inner.opname == "algebra.markH"
+                and rewritten.args[1:] == inner.args[1:]
+            ):
+                alias[rewritten.results[0]] = inner.results[0]
+                continue
+        for name in rewritten.results:
+            producer[name] = rewritten
+        out.append(rewritten)
+    return _copy_into(plan, out)
+
+
+# ----------------------------------------------------------------------
+DEFAULT_PASSES: Tuple[Callable[[Plan], Plan], ...] = (
+    fold_doubles,
+    common_subexpressions,
+    dead_code,
+)
+
+
+def optimize(plan: Plan, passes: Sequence[Callable[[Plan], Plan]] = DEFAULT_PASSES) -> Plan:
+    """Run the pass pipeline to a fixed point (bounded iterations)."""
+    for _ in range(8):
+        before = plan.render()
+        for transform in passes:
+            plan = transform(plan)
+        if plan.render() == before:
+            break
+    return plan

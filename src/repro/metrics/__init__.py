@@ -1,0 +1,28 @@
+"""Measurement plumbing for the experiments of section 5.
+
+The :class:`~repro.metrics.collector.MetricsCollector` is the single
+sink every Data Cyclotron component reports to; the experiments then
+read the derived artefacts:
+
+* cumulative registered/executed query series (Figure 6a, 8b),
+* query life-time histograms (Figure 6b),
+* ring-load step series in bytes and #BATs (Figures 7, 8a),
+* per-BAT touches / requests / loads / cycles / request latency
+  (Figures 9, 10, 11).
+"""
+
+from repro.metrics.collector import MetricsCollector, BatStats
+from repro.metrics.histogram import Histogram
+from repro.metrics.stats import Summary, replicate, summarise
+from repro.metrics.timeseries import StepSeries, binned_cumulative
+
+__all__ = [
+    "BatStats",
+    "Histogram",
+    "MetricsCollector",
+    "StepSeries",
+    "Summary",
+    "binned_cumulative",
+    "replicate",
+    "summarise",
+]

@@ -1,0 +1,205 @@
+"""The central metrics sink every Data Cyclotron component reports to."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.histogram import Histogram
+from repro.metrics.timeseries import StepSeries, binned_cumulative
+
+__all__ = ["BatStats", "QueryRecord", "MetricsCollector"]
+
+
+@dataclass
+class BatStats:
+    """Per-BAT aggregates feeding Figures 9, 10 and 11."""
+
+    bat_id: int
+    touches: int = 0            # copies events: a node pinned the passing BAT
+    pins: int = 0               # pin() calls served (incl. local cache hits)
+    requests: int = 0           # request messages created for this BAT
+    loads: int = 0              # times the owner (re-)loaded it into the ring
+    unloads: int = 0
+    max_cycles: int = 0         # highest cycle count observed (Fig. 11)
+    max_request_latency: float = 0.0   # worst request->pin delay (Fig. 10)
+    drops: int = 0              # DropTail losses of this BAT
+
+
+@dataclass
+class QueryRecord:
+    """Lifecycle of one query."""
+
+    query_id: int
+    node: int
+    registered_at: float
+    tag: str = ""
+    finished_at: Optional[float] = None
+    failed: bool = False
+    error: Optional[str] = None
+
+    @property
+    def lifetime(self) -> Optional[float]:
+        """The paper's "query life time": gross time from arrival to finish."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.registered_at
+
+
+class MetricsCollector:
+    """Accumulates everything the section 5 experiments report."""
+
+    def __init__(self) -> None:
+        self.queries: Dict[int, QueryRecord] = {}
+        self.bats: Dict[int, BatStats] = {}
+        # ring load step series (Figures 7a/7b); per-tag series for Fig. 8a
+        self.ring_bytes = StepSeries()
+        self.ring_bats = StepSeries()
+        self.ring_bytes_by_tag: Dict[str, StepSeries] = {}
+        self._bat_tags: Dict[int, str] = {}
+        # counters
+        self.requests_sent = 0
+        self.requests_absorbed = 0
+        self.requests_forwarded = 0
+        self.requests_returned_to_origin = 0
+        self.resends = 0
+        self.bat_messages_forwarded = 0
+        self.droptail_drops = 0
+        self.loss_drops = 0
+        self.pending_postponed = 0
+        self.loit_changes = 0
+
+    # ------------------------------------------------------------------
+    # query lifecycle
+    # ------------------------------------------------------------------
+    def query_registered(self, t: float, query_id: int, node: int, tag: str = "") -> None:
+        self.queries[query_id] = QueryRecord(
+            query_id=query_id, node=node, registered_at=t, tag=tag
+        )
+
+    def query_finished(self, t: float, query_id: int) -> None:
+        self.queries[query_id].finished_at = t
+
+    def query_failed(self, t: float, query_id: int, error: str) -> None:
+        rec = self.queries[query_id]
+        rec.finished_at = t
+        rec.failed = True
+        rec.error = error
+
+    # ------------------------------------------------------------------
+    # BAT lifecycle
+    # ------------------------------------------------------------------
+    def bat_stats(self, bat_id: int) -> BatStats:
+        stats = self.bats.get(bat_id)
+        if stats is None:
+            stats = BatStats(bat_id=bat_id)
+            self.bats[bat_id] = stats
+        return stats
+
+    def tag_bat(self, bat_id: int, tag: str) -> None:
+        """Attach a workload tag (e.g. ``dh2``) for per-set ring-load series."""
+        self._bat_tags[bat_id] = tag
+        self.ring_bytes_by_tag.setdefault(tag, StepSeries())
+
+    def bat_loaded(self, t: float, bat_id: int, size: int) -> None:
+        self.bat_stats(bat_id).loads += 1
+        self.ring_bytes.add(t, size)
+        self.ring_bats.add(t, 1)
+        tag = self._bat_tags.get(bat_id)
+        if tag is not None:
+            self.ring_bytes_by_tag[tag].add(t, size)
+
+    def bat_unloaded(self, t: float, bat_id: int, size: int) -> None:
+        self.bat_stats(bat_id).unloads += 1
+        self.ring_bytes.add(t, -size)
+        self.ring_bats.add(t, -1)
+        tag = self._bat_tags.get(bat_id)
+        if tag is not None:
+            self.ring_bytes_by_tag[tag].add(t, -size)
+
+    def bat_touched(self, t: float, bat_id: int) -> None:
+        self.bat_stats(bat_id).touches += 1
+
+    def bat_pinned(self, t: float, bat_id: int, count: int = 1) -> None:
+        self.bat_stats(bat_id).pins += count
+
+    def bat_cycle(self, t: float, bat_id: int, cycles: int) -> None:
+        stats = self.bat_stats(bat_id)
+        stats.max_cycles = max(stats.max_cycles, cycles)
+
+    def bat_dropped(self, t: float, bat_id: int, size: int, by_loss: bool) -> None:
+        self.bat_stats(bat_id).drops += 1
+        if by_loss:
+            self.loss_drops += 1
+        else:
+            self.droptail_drops += 1
+        # a dropped BAT leaves the ring without an unload event
+        self.ring_bytes.add(t, -size)
+        self.ring_bats.add(t, -1)
+        tag = self._bat_tags.get(bat_id)
+        if tag is not None:
+            self.ring_bytes_by_tag[tag].add(t, -size)
+
+    def request_created(self, t: float, bat_id: int) -> None:
+        self.bat_stats(bat_id).requests += 1
+        self.requests_sent += 1
+
+    def request_served(self, t: float, bat_id: int, latency: float) -> None:
+        stats = self.bat_stats(bat_id)
+        stats.max_request_latency = max(stats.max_request_latency, latency)
+
+    # ------------------------------------------------------------------
+    # derived artefacts
+    # ------------------------------------------------------------------
+    def lifetimes(self, tag: Optional[str] = None) -> List[float]:
+        return [
+            rec.lifetime
+            for rec in self.queries.values()
+            if rec.lifetime is not None
+            and not rec.failed
+            and (tag is None or rec.tag == tag)
+        ]
+
+    def lifetime_histogram(self, bin_width: float = 5.0, tag: Optional[str] = None) -> Histogram:
+        hist = Histogram(bin_width=bin_width)
+        hist.extend(self.lifetimes(tag))
+        return hist
+
+    def finished_count(self, tag: Optional[str] = None) -> int:
+        return sum(
+            1
+            for rec in self.queries.values()
+            if rec.finished_at is not None
+            and not rec.failed
+            and (tag is None or rec.tag == tag)
+        )
+
+    def registered_times(self, tag: Optional[str] = None) -> List[float]:
+        return [
+            rec.registered_at
+            for rec in self.queries.values()
+            if tag is None or rec.tag == tag
+        ]
+
+    def finished_times(self, tag: Optional[str] = None) -> List[float]:
+        return [
+            rec.finished_at
+            for rec in self.queries.values()
+            if rec.finished_at is not None
+            and not rec.failed
+            and (tag is None or rec.tag == tag)
+        ]
+
+    def throughput_series(
+        self, end: float, step: float = 1.0, tag: Optional[str] = None
+    ) -> Tuple[List[float], List[int]]:
+        """Cumulative executed queries over time (Figure 6a / 8b)."""
+        return binned_cumulative(self.finished_times(tag), end, step)
+
+    def registered_series(
+        self, end: float, step: float = 1.0, tag: Optional[str] = None
+    ) -> Tuple[List[float], List[int]]:
+        return binned_cumulative(self.registered_times(tag), end, step)
+
+    def all_finished(self) -> bool:
+        return all(rec.finished_at is not None for rec in self.queries.values())

@@ -1,0 +1,76 @@
+"""Fixed-width histograms for query life-time distributions (Figure 6b)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Histogram"]
+
+
+class Histogram:
+    """A streaming fixed-bin-width histogram over non-negative samples."""
+
+    def __init__(self, bin_width: float = 5.0):
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.bin_width = bin_width
+        self._bins: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def add(self, sample: float) -> None:
+        if sample < 0:
+            raise ValueError(f"negative sample: {sample}")
+        idx = int(sample // self.bin_width)
+        self._bins[idx] = self._bins.get(idx, 0) + 1
+        self.count += 1
+        self.total += sample
+        self.min = sample if self.min is None else min(self.min, sample)
+        self.max = sample if self.max is None else max(self.max, sample)
+
+    def extend(self, samples: Sequence[float]) -> None:
+        for s in samples:
+            self.add(s)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bins(self) -> List[Tuple[float, float, int]]:
+        """Sorted ``(low, high, count)`` triples for non-empty bins."""
+        return [
+            (i * self.bin_width, (i + 1) * self.bin_width, self._bins[i])
+            for i in sorted(self._bins)
+        ]
+
+    def dense_counts(self) -> List[int]:
+        """Counts for every bin from 0 up to the highest non-empty one."""
+        if not self._bins:
+            return []
+        top = max(self._bins)
+        return [self._bins.get(i, 0) for i in range(top + 1)]
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples strictly inside bins ending at or below ``threshold``."""
+        if self.count == 0:
+            return 0.0
+        full_bins = int(math.floor(threshold / self.bin_width))
+        below = sum(c for i, c in self._bins.items() if i < full_bins)
+        return below / self.count
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (upper edge of the bin holding it)."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i in sorted(self._bins):
+            seen += self._bins[i]
+            if seen >= target:
+                return (i + 1) * self.bin_width
+        return (max(self._bins) + 1) * self.bin_width

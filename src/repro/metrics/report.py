@@ -1,0 +1,93 @@
+"""Text rendering of the paper's tables and figure series.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep that output uniform: fixed-width tables, sparkline-ish series, and
+the per-BAT scatter summaries of Figures 9-11.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "render_distribution", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode block sparkline of a numeric series."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _BLOCKS[1] * len(values)
+    span = hi - lo
+    return "".join(
+        _BLOCKS[1 + int((v - lo) / span * (len(_BLOCKS) - 2))] for v in values
+    )
+
+
+def render_series(
+    name: str,
+    times: Sequence[float],
+    values: Sequence[float],
+    max_points: int = 24,
+) -> str:
+    """One labelled series: downsampled numbers plus a sparkline."""
+    if len(times) != len(values):
+        raise ValueError("times and values must align")
+    if not times:
+        return f"{name}: (empty)"
+    step = max(1, len(times) // max_points)
+    picked = list(zip(times, values))[::step]
+    points = " ".join(f"{t:.0f}s:{v:.0f}" for t, v in picked)
+    return f"{name}: {sparkline([v for _, v in picked])}\n  {points}"
+
+
+def render_distribution(
+    name: str,
+    per_key: Dict[int, float],
+    n_buckets: int = 20,
+    key_range: Optional[Tuple[int, int]] = None,
+) -> str:
+    """Bucket a per-BAT-id metric (Figures 9-11) into a text profile."""
+    if not per_key:
+        return f"{name}: (empty)"
+    keys = sorted(per_key)
+    lo, hi = key_range if key_range else (keys[0], keys[-1])
+    width = max((hi - lo + 1) // n_buckets, 1)
+    buckets: List[float] = []
+    labels: List[str] = []
+    for start in range(lo, hi + 1, width):
+        end = min(start + width - 1, hi)
+        vals = [per_key[k] for k in keys if start <= k <= end]
+        buckets.append(max(vals) if vals else 0.0)
+        labels.append(f"{start}-{end}")
+    body = "\n".join(
+        f"  {label:>11}: {value:8.2f}" for label, value in zip(labels, buckets)
+    )
+    return f"{name} (bucket max):\n{body}"

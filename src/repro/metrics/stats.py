@@ -1,0 +1,114 @@
+"""Multi-seed replication statistics.
+
+Simulation results depend on the workload seed; the paper reports single
+runs, but a careful reproduction should show its *shape* claims hold
+across seeds.  :func:`replicate` runs an experiment function under
+several seeds and summarises each scalar metric as mean, standard
+deviation and a Student-t confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+__all__ = ["Summary", "replicate", "summarise"]
+
+# two-sided 95% Student-t critical values by degrees of freedom
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    15: 2.131, 20: 2.086, 30: 2.042,
+}
+
+
+def _t_value(df: int) -> float:
+    if df <= 0:
+        return float("inf")
+    if df in _T95:
+        return _T95[df]
+    candidates = [k for k in _T95 if k <= df]
+    return _T95[max(candidates)] if candidates else 1.96
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread and 95% confidence half-width of one metric."""
+
+    metric: str
+    n: int
+    mean: float
+    std: float
+    ci95: float
+    minimum: float
+    maximum: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci95
+
+    def overlaps(self, other: "Summary") -> bool:
+        """True when the two 95% intervals intersect."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.metric}: {self.mean:.4g} ± {self.ci95:.2g} "
+            f"(n={self.n}, range {self.minimum:.4g}..{self.maximum:.4g})"
+        )
+
+
+def summarise(metric: str, samples: Sequence[float]) -> Summary:
+    """Summarise raw samples of one metric."""
+    if not samples:
+        raise ValueError("no samples")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n > 1:
+        var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+        std = math.sqrt(var)
+        ci95 = _t_value(n - 1) * std / math.sqrt(n)
+    else:
+        std = 0.0
+        ci95 = 0.0
+    return Summary(
+        metric=metric,
+        n=n,
+        mean=mean,
+        std=std,
+        ci95=ci95,
+        minimum=min(samples),
+        maximum=max(samples),
+    )
+
+
+def replicate(
+    experiment: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+) -> Dict[str, Summary]:
+    """Run ``experiment(seed)`` per seed; summarise each returned metric.
+
+    Every run must return the same metric keys.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: Dict[str, List[float]] = {}
+    keys = None
+    for seed in seeds:
+        metrics = experiment(seed)
+        if keys is None:
+            keys = set(metrics)
+            for key in keys:
+                collected[key] = []
+        elif set(metrics) != keys:
+            raise ValueError(
+                f"inconsistent metrics: {sorted(keys)} vs {sorted(metrics)}"
+            )
+        for key, value in metrics.items():
+            collected[key].append(float(value))
+    return {key: summarise(key, values) for key, values in collected.items()}

@@ -1,0 +1,96 @@
+"""Step-function time series and binning helpers.
+
+The ring-load plots of Figures 7 and 8a are step functions: the load
+changes at discrete load/unload instants.  A :class:`StepSeries` records
+``(time, value)`` change points and can be resampled onto a regular grid
+for reporting.  ``binned_cumulative`` turns raw event timestamps into
+the cumulative counts plotted in Figures 6a and 8b.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["StepSeries", "binned_cumulative"]
+
+
+class StepSeries:
+    """A piecewise-constant series recorded as change points."""
+
+    def __init__(self, initial: float = 0.0):
+        self._times: List[float] = [0.0]
+        self._values: List[float] = [float(initial)]
+
+    def record(self, time: float, value: float) -> None:
+        """Record that the series took ``value`` from ``time`` onwards."""
+        if time < self._times[-1]:
+            raise ValueError(
+                f"time went backwards: {time} < {self._times[-1]}"
+            )
+        if time == self._times[-1]:
+            self._values[-1] = value
+        else:
+            self._times.append(time)
+            self._values.append(value)
+
+    def add(self, time: float, delta: float) -> float:
+        """Record a relative change; returns the new value."""
+        value = self._values[-1] + delta
+        self.record(time, value)
+        return value
+
+    @property
+    def current(self) -> float:
+        return self._values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Series value at ``time`` (values hold until the next change)."""
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            return self._values[0]
+        return self._values[idx]
+
+    def sample(self, times: Iterable[float]) -> List[float]:
+        return [self.value_at(t) for t in times]
+
+    def grid(self, end: float, step: float) -> Tuple[List[float], List[float]]:
+        """Sample onto a regular grid ``0, step, 2*step, ... <= end``."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        times: List[float] = []
+        t = 0.0
+        while t <= end + 1e-12:
+            times.append(t)
+            t += step
+        return times, self.sample(times)
+
+    def maximum(self) -> float:
+        return max(self._values)
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+
+def binned_cumulative(
+    timestamps: Sequence[float], end: float, step: float
+) -> Tuple[List[float], List[int]]:
+    """Cumulative event count sampled on a regular grid.
+
+    This is the presentation of Figure 6(a): "the cumulative number of
+    queries finished over time".
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    stamps = sorted(timestamps)
+    times: List[float] = []
+    counts: List[int] = []
+    t = 0.0
+    while t <= end + 1e-12:
+        times.append(t)
+        counts.append(bisect.bisect_right(stamps, t))
+        t += step
+    return times, counts

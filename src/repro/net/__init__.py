@@ -1,0 +1,28 @@
+"""Network substrate: links, channels, ring topology, host cost model.
+
+Models the paper's simulated network (section 5, "Setup"): every pair of
+adjacent ring nodes is interconnected through a duplex link with 10 Gb/s
+bandwidth, 350 us propagation delay, and a DropTail queue policy.  On top
+of the raw :class:`~repro.net.link.Link` sits an in-order asynchronous
+:class:`~repro.net.channel.Channel` (the paper requires "asynchronous
+channels with guaranteed order of arrival", section 4.3) and the
+:class:`~repro.net.topology.Ring` builder that wires data clockwise and
+requests anti-clockwise (section 4, Figure 2).
+
+:mod:`repro.net.hostmodel` reproduces the analytic CPU-load breakdown of
+Figure 1 (legacy stack vs NIC offload vs RDMA).
+"""
+
+from repro.net.channel import Channel
+from repro.net.link import Link, LinkStats
+from repro.net.hostmodel import HostCostModel, TransferMode
+from repro.net.topology import Ring
+
+__all__ = [
+    "Channel",
+    "HostCostModel",
+    "Link",
+    "LinkStats",
+    "Ring",
+    "TransferMode",
+]

@@ -1,0 +1,156 @@
+"""A simplex network link with bandwidth, propagation delay and DropTail.
+
+The paper's base topology interconnects each pair of ring neighbours
+"through a duplex-link with 10 Gb/s bandwidth, 350 us delay, and DropTail
+as full queue policy" (section 5, Setup).  A duplex link is modelled as
+two independent :class:`Link` objects, one per direction -- which is also
+how the Data Cyclotron uses them: BATs clockwise, requests anti-clockwise.
+
+Transmission of a message of ``size`` bytes occupies the link for
+``size / bandwidth`` seconds (serialisation) and the message arrives
+``delay`` seconds after serialisation completes.  Messages that would
+overflow the transmit queue are dropped from the tail and reported to an
+optional callback -- the event the DC ``resend()`` timeout recovers from
+(section 4.2.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Link", "LinkStats"]
+
+GBIT = 1e9 / 8  # bytes per second in one gigabit per second
+
+
+@dataclass
+class LinkStats:
+    """Counters a link accumulates over its lifetime."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    bytes_dropped: int = 0
+    busy_time: float = 0.0
+    # queue high-water mark in bytes
+    max_queue_bytes: int = field(default=0)
+
+
+class Link:
+    """A simplex link: FIFO transmit queue -> serialisation -> propagation.
+
+    Parameters
+    ----------
+    sim:
+        The event engine.
+    bandwidth:
+        Bytes per second (default 10 Gb/s, the paper's setup).
+    delay:
+        Propagation delay in seconds (default 350 us).
+    queue_capacity:
+        Transmit queue capacity in bytes; ``None`` means unbounded.
+        A full queue drops new messages from the tail (DropTail).
+    on_receive:
+        Callback ``fn(message, size)`` invoked at the destination when a
+        message fully arrives.
+    on_drop:
+        Optional callback ``fn(message, size)`` when DropTail discards.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float = 10 * GBIT,
+        delay: float = 350e-6,
+        queue_capacity: Optional[int] = None,
+        on_receive: Optional[Callable[[Any, int], None]] = None,
+        on_drop: Optional[Callable[[Any, int], None]] = None,
+        name: str = "link",
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.queue_capacity = queue_capacity
+        self.on_receive = on_receive
+        self.on_drop = on_drop
+        self.name = name
+        self.stats = LinkStats()
+        self._queue: Deque[Tuple[Any, int]] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes currently waiting in the transmit queue."""
+        return self._queued_bytes
+
+    @property
+    def queued_messages(self) -> int:
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """True while a message is being serialised onto the wire."""
+        return self._busy
+
+    def transfer_time(self, size: int) -> float:
+        """Serialisation + propagation time for an unqueued message."""
+        return size / self.bandwidth + self.delay
+
+    # ------------------------------------------------------------------
+    def send(self, message: Any, size: int) -> bool:
+        """Enqueue ``message`` of ``size`` bytes; False if DropTail dropped it."""
+        if size < 0:
+            raise ValueError("message size cannot be negative")
+        if (
+            self.queue_capacity is not None
+            and self._queued_bytes + size > self.queue_capacity
+        ):
+            self.stats.messages_dropped += 1
+            self.stats.bytes_dropped += size
+            if self.on_drop is not None:
+                self.on_drop(message, size)
+            return False
+        self._queue.append((message, size))
+        self._queued_bytes += size
+        self.stats.max_queue_bytes = max(self.stats.max_queue_bytes, self._queued_bytes)
+        if not self._busy:
+            self._transmit_next()
+        return True
+
+    # ------------------------------------------------------------------
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        message, size = self._queue.popleft()
+        self._queued_bytes -= size
+        tx_time = size / self.bandwidth
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size
+        self.stats.busy_time += tx_time
+        # Serialisation finishes after tx_time; the wire is then free for
+        # the next message while this one propagates for ``delay`` more.
+        self.sim.schedule(tx_time, self._serialised, message, size)
+
+    def _serialised(self, message: Any, size: int) -> None:
+        self.sim.schedule(self.delay, self._deliver, message, size)
+        self._transmit_next()
+
+    def _deliver(self, message: Any, size: int) -> None:
+        self.stats.messages_delivered += 1
+        self.stats.bytes_delivered += size
+        if self.on_receive is not None:
+            self.on_receive(message, size)

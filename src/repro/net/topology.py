@@ -1,0 +1,110 @@
+"""Ring topology wiring (paper section 4, Figure 2).
+
+"The data is moved through the ring clockwise, i.e., a node sends BATs
+... to its successor and it receives BATs from its predecessor.  The BAT
+requests ... are sent anti-clockwise to reduce the latency when a
+requested BAT is already on its way."
+
+A :class:`Ring` therefore creates, for every adjacent node pair, two
+directed channels:
+
+* ``data`` -- node *i* -> node *i+1* (clockwise),
+* ``request`` -- node *i* -> node *i-1* (anti-clockwise).
+
+Indices are modulo the ring size; the object also answers successor /
+predecessor queries and ring-wide aggregates used by the experiments
+(total queued bytes = the "ring load" series of Figure 7).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.net.channel import Channel
+from repro.sim.engine import Simulator
+
+__all__ = ["Ring"]
+
+
+class Ring:
+    """Channels for an *n*-node storage ring."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        bandwidth: float,
+        delay: float,
+        data_queue_capacity: Optional[int] = None,
+        request_queue_capacity: Optional[int] = None,
+        data_loss_rate: float = 0.0,
+        request_loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if n_nodes < 1:
+            raise ValueError("a ring needs at least one node")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        rng = rng if rng is not None else random.Random(0)
+        # data[i] carries BATs from node i to its successor
+        self.data: List[Channel] = [
+            Channel(
+                sim,
+                bandwidth=bandwidth,
+                delay=delay,
+                queue_capacity=data_queue_capacity,
+                loss_rate=data_loss_rate,
+                rng=rng,
+                name=f"data[{i}->{(i + 1) % n_nodes}]",
+            )
+            for i in range(n_nodes)
+        ]
+        # request[i] carries requests from node i to its predecessor
+        self.request: List[Channel] = [
+            Channel(
+                sim,
+                bandwidth=bandwidth,
+                delay=delay,
+                queue_capacity=request_queue_capacity,
+                loss_rate=request_loss_rate,
+                rng=rng,
+                name=f"req[{i}->{(i - 1) % n_nodes}]",
+            )
+            for i in range(n_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    def successor(self, node: int) -> int:
+        """Clockwise neighbour of ``node``."""
+        return (node + 1) % self.n_nodes
+
+    def predecessor(self, node: int) -> int:
+        """Anti-clockwise neighbour of ``node``."""
+        return (node - 1) % self.n_nodes
+
+    def data_channel(self, node: int) -> Channel:
+        """The channel on which ``node`` sends BATs to its successor."""
+        return self.data[node]
+
+    def request_channel(self, node: int) -> Channel:
+        """The channel on which ``node`` sends requests to its predecessor."""
+        return self.request[node]
+
+    def hops_clockwise(self, src: int, dst: int) -> int:
+        """Number of clockwise hops from ``src`` to ``dst``."""
+        return (dst - src) % self.n_nodes
+
+    def hops_anticlockwise(self, src: int, dst: int) -> int:
+        """Number of anti-clockwise hops from ``src`` to ``dst``."""
+        return (src - dst) % self.n_nodes
+
+    # ------------------------------------------------------------------
+    @property
+    def total_data_queued_bytes(self) -> int:
+        """Bytes of BATs sitting in all transmit queues (ring load proxy)."""
+        return sum(ch.queued_bytes for ch in self.data)
+
+    @property
+    def total_data_messages_dropped(self) -> int:
+        return sum(ch.stats.messages_dropped for ch in self.data)

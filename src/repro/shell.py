@@ -1,0 +1,171 @@
+"""An interactive SQL shell over a simulated Data Cyclotron ring.
+
+``python -m repro shell [--nodes N]`` starts a REPL: load CSVs as
+tables (their partitions spread over the ring), type SQL, and watch it
+answered by data flowing past the submitting node.  Meta commands:
+
+    \\load <table> <file.csv> [rows_per_partition]
+    \\tables
+    \\plan <sql>        -- show the DC-optimized MAL plan (Table 2 shape)
+    \\stats             -- ring counters so far
+    \\help
+    \\quit
+
+The REPL reads/writes explicit streams so it is unit-testable.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import IO, Optional
+
+from repro.core import DataCyclotronConfig
+from repro.dbms.executor import RingDatabase
+from repro.metrics.report import render_table
+
+__all__ = ["Shell", "run_shell"]
+
+_HELP = """commands:
+  \\load <table> <file.csv> [rows_per_partition]   load a CSV table
+  \\tables                                         list loaded tables
+  \\nodes                                          per-node ring state
+  \\plan <sql>                                     show the DC plan
+  \\stats                                          ring statistics
+  \\help                                           this text
+  \\quit                                           leave
+anything else is executed as SQL on the ring (round-robin node choice)."""
+
+
+class Shell:
+    """The REPL engine: one command in, text out."""
+
+    def __init__(self, n_nodes: int = 4, seed: int = 0):
+        self.ring = RingDatabase(DataCyclotronConfig(n_nodes=n_nodes, seed=seed))
+        self._next_node = 0
+
+    # ------------------------------------------------------------------
+    def execute(self, line: str) -> Optional[str]:
+        """Handle one input line; returns output text (None = quit)."""
+        line = line.strip()
+        if not line:
+            return ""
+        if line.startswith("\\"):
+            return self._meta(line)
+        return self._sql(line)
+
+    # ------------------------------------------------------------------
+    def _meta(self, line: str) -> Optional[str]:
+        # split the command name off before shlex: it would otherwise
+        # treat the leading backslash as an escape character
+        name, _, rest = line[1:].partition(" ")
+        command = "\\" + name
+        parts = [command] + shlex.split(rest)
+        if command in ("\\quit", "\\q", "\\exit"):
+            return None
+        if command == "\\help":
+            return _HELP
+        if command == "\\tables":
+            tables = self.ring.catalog.tables()
+            if not tables:
+                return "(no tables loaded)"
+            return render_table(
+                ["table", "rows", "columns", "partitions"],
+                [
+                    (t.name, t.n_rows, len(t.columns), t.n_partitions)
+                    for t in tables
+                ],
+            )
+        if command == "\\load":
+            if len(parts) not in (3, 4):
+                return "usage: \\load <table> <file.csv> [rows_per_partition]"
+            rows_per_partition = int(parts[3]) if len(parts) == 4 else None
+            try:
+                table = self.ring.load_csv(
+                    parts[1], parts[2], rows_per_partition=rows_per_partition
+                )
+            except (OSError, ValueError) as error:
+                return f"error: {error}"
+            return (
+                f"loaded {table.name}: {table.n_rows} rows, "
+                f"{len(table.columns)} columns, {table.n_partitions} partition(s)"
+            )
+        if command == "\\plan":
+            sql = line[len("\\plan") :].strip()
+            if not sql:
+                return "usage: \\plan <sql>"
+            try:
+                return self.ring.compile(sql).plan.render()
+            except Exception as error:  # parser/planner diagnostics
+                return f"error: {error}"
+        if command == "\\nodes":
+            rows = []
+            for node in self.ring.dc.nodes:
+                rows.append((
+                    node.node_id,
+                    len(node.s1),
+                    sum(1 for b in node.s1 if b.loaded),
+                    len(node.s2),
+                    len(node.s3),
+                    node.loit.threshold,
+                    round(node.cpu_seconds, 4),
+                ))
+            return render_table(
+                ["node", "owned", "in ring", "S2", "S3", "LOIT", "cpu(s)"],
+                rows,
+            )
+        if command == "\\stats":
+            m = self.ring.metrics
+            rows = [
+                ("queries finished", m.finished_count()),
+                ("BAT loads", sum(s.loads for s in m.bats.values())),
+                ("BAT messages forwarded", m.bat_messages_forwarded),
+                ("requests absorbed", m.requests_absorbed),
+                ("resends", m.resends),
+                ("simulated seconds", round(self.ring.dc.now, 3)),
+            ]
+            return render_table(["counter", "value"], rows)
+        return f"unknown command {command!r}; try \\help"
+
+    def _sql(self, sql: str) -> str:
+        node = self._next_node
+        self._next_node = (self._next_node + 1) % self.ring.dc.config.n_nodes
+        try:
+            handle = self.ring.submit(sql, node=node, arrival=self.ring.dc.now)
+        except Exception as error:  # compile-time diagnostics
+            return f"error: {error}"
+        if not self.ring.run_until_done(max_time=self.ring.dc.now + 600.0):
+            return "error: query did not finish within the time budget"
+        result = handle.result
+        if result is None:
+            record = self.ring.metrics.queries.get(handle.query_id)
+            reason = record.error if record and record.error else "unknown"
+            return f"error: query failed ({reason})"
+        body = render_table(result.names, result.rows())
+        lifetime = self.ring.metrics.queries[handle.query_id].lifetime
+        return f"{body}\n({result.n_rows} row(s) via node {node}, {lifetime:.4f}s simulated)"
+
+
+def run_shell(
+    in_stream: IO[str],
+    out_stream: IO[str],
+    n_nodes: int = 4,
+    seed: int = 0,
+    prompt: str = "dc> ",
+) -> int:
+    """Drive a :class:`Shell` over text streams until EOF or \\quit."""
+    shell = Shell(n_nodes=n_nodes, seed=seed)
+    out_stream.write(
+        f"Data Cyclotron shell: {n_nodes}-node simulated ring. \\help for help.\n"
+    )
+    while True:
+        out_stream.write(prompt)
+        out_stream.flush()
+        line = in_stream.readline()
+        if not line:
+            out_stream.write("\n")
+            return 0
+        output = shell.execute(line)
+        if output is None:
+            return 0
+        if output:
+            out_stream.write(output + "\n")

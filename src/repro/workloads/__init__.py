@@ -1,0 +1,27 @@
+"""Workload generators for the section 5 experiments.
+
+* :mod:`repro.workloads.base` -- the shared dataset builder (1000 BATs
+  of 1-10 MB, uniformly spread; section 5 "Setup") and helpers,
+* :mod:`repro.workloads.uniform` -- the section 5.1 micro-benchmark,
+* :mod:`repro.workloads.skewed` -- the section 5.2 skewed workloads
+  SW1..SW4 (Table 3),
+* :mod:`repro.workloads.gaussian` -- the section 5.3 Gaussian access
+  pattern,
+* :mod:`repro.workloads.tpch` -- the section 5.4 TPC-H trace workload
+  with its calibration pass.
+"""
+
+from repro.workloads.base import UniformDataset, populate_ring
+from repro.workloads.gaussian import GaussianWorkload
+from repro.workloads.skewed import SkewedPhase, SkewedWorkload, paper_phases
+from repro.workloads.uniform import UniformWorkload
+
+__all__ = [
+    "GaussianWorkload",
+    "SkewedPhase",
+    "SkewedWorkload",
+    "UniformDataset",
+    "UniformWorkload",
+    "paper_phases",
+    "populate_ring",
+]

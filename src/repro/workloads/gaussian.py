@@ -1,0 +1,111 @@
+"""The section 5.3 non-uniform (Gaussian) access workload.
+
+"The used scenario is the one defined in section 5.1 with exception for
+the data access distribution.  The Gaussian distribution is centered
+around BAT id 500 with a standard deviation of 50.  All the nodes use
+the same distribution."
+
+The resulting BAT populations (paper's terminology):
+
+* *in vogue*  -- ids within roughly one standard deviation of the mean,
+  touched hundreds of times,
+* *standard*  -- the borders of the bell,
+* *unpopular* -- the far tails, touched fewer than ~20 times.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.core.query import QuerySpec
+from repro.sim.rng import RngRegistry
+from repro.workloads.base import UniformDataset, Workload
+
+__all__ = ["GaussianWorkload"]
+
+
+class GaussianWorkload(Workload):
+    """Gaussian BAT choice around a hot centre."""
+
+    def __init__(
+        self,
+        dataset: UniformDataset,
+        n_nodes: int = 10,
+        queries_per_second: float = 80.0,
+        duration: float = 60.0,
+        mean: float = 500.0,
+        std: float = 50.0,
+        min_bats: int = 1,
+        max_bats: int = 5,
+        min_proc_time: float = 0.100,
+        max_proc_time: float = 0.200,
+        remote_only: bool = True,
+        seed: int = 0,
+        tag: str = "",
+    ):
+        if queries_per_second <= 0 or duration <= 0:
+            raise ValueError("rate and duration must be positive")
+        if std <= 0:
+            raise ValueError("std must be positive")
+        self.dataset = dataset
+        self.n_nodes = n_nodes
+        self.queries_per_second = queries_per_second
+        self.duration = duration
+        self.mean = mean
+        self.std = std
+        self.min_bats = min_bats
+        self.max_bats = max_bats
+        self.min_proc_time = min_proc_time
+        self.max_proc_time = max_proc_time
+        self.remote_only = remote_only
+        self.tag = tag
+        self._rng = RngRegistry(seed)
+
+    # ------------------------------------------------------------------
+    def draw_bat(self, rng: random.Random, node: int) -> int:
+        """One Gaussian draw, clipped to the id range; remote-only
+        workloads re-draw BATs the node owns."""
+        n = self.dataset.n_bats
+        while True:
+            bat_id = int(round(rng.gauss(self.mean, self.std)))
+            if not 0 <= bat_id < n:
+                continue
+            if self.remote_only and self.n_nodes > 1 and bat_id % self.n_nodes == node:
+                continue
+            return bat_id
+
+    def pick_bats(self, rng: random.Random, node: int) -> List[int]:
+        count = rng.randint(self.min_bats, self.max_bats)
+        bats: List[int] = []
+        while len(bats) < count:
+            bat_id = self.draw_bat(rng, node)
+            if bat_id not in bats:
+                bats.append(bat_id)
+        return bats
+
+    @property
+    def total_queries(self) -> int:
+        return int(self.queries_per_second * self.duration) * self.n_nodes
+
+    def queries(self) -> Iterator[QuerySpec]:
+        interval = 1.0 / self.queries_per_second
+        per_node = int(self.queries_per_second * self.duration)
+        query_id = 0
+        for node in range(self.n_nodes):
+            rng = self._rng.stream(f"node-{node}")
+            for k in range(per_node):
+                bats = self.pick_bats(rng, node)
+                times = [
+                    rng.uniform(self.min_proc_time, self.max_proc_time)
+                    for _ in bats
+                ]
+                yield QuerySpec.simple(
+                    query_id,
+                    node=node,
+                    arrival=k * interval,
+                    bat_ids=bats,
+                    processing_times=times,
+                    tag=self.tag,
+                )
+                query_id += 1

@@ -1,0 +1,177 @@
+"""The section 5.2 skewed workloads SW1..SW4 (Table 3).
+
+"A skewed workload SWi only uses a subset of the entire database.  The
+hot set Hi used by SWi has disjoint data DHi which is not used by any
+other skewed workload. ... Each Di is composed by BATs for which the
+modulo of their id and a skewed value is equal to zero."  Table 3 gives
+the four phases:
+
+    workload    SW1   SW2    SW3    SW4
+    skewed        3     5      7      9
+    start (s)     0    15   37.5   67.5
+    end (s)      30    45   67.5   97.5
+    queries/s   200   300    400    500
+
+DH4 is contained in DH1 (every multiple of 9 is a multiple of 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
+
+from repro.core.query import QuerySpec
+from repro.sim.rng import RngRegistry
+from repro.workloads.base import UniformDataset, Workload
+
+__all__ = ["SkewedPhase", "SkewedWorkload", "paper_phases"]
+
+
+@dataclass(frozen=True)
+class SkewedPhase:
+    """One SWi row of Table 3."""
+
+    name: str
+    skew: int
+    start: float
+    end: float
+    queries_per_second: float  # aggregate over the whole ring
+
+    def __post_init__(self) -> None:
+        if self.skew < 1:
+            raise ValueError("skew must be >= 1")
+        if not self.start < self.end:
+            raise ValueError("phase must have positive duration")
+        if self.queries_per_second <= 0:
+            raise ValueError("rate must be positive")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def total_queries(self) -> int:
+        return int(self.queries_per_second * self.duration)
+
+
+def paper_phases(time_scale: float = 1.0, rate_scale: float = 1.0) -> List[SkewedPhase]:
+    """The Table 3 phases, optionally scaled down for quick runs."""
+    rows = [
+        ("sw1", 3, 0.0, 30.0, 200.0),
+        ("sw2", 5, 15.0, 45.0, 300.0),
+        ("sw3", 7, 37.5, 67.5, 400.0),
+        ("sw4", 9, 67.5, 97.5, 500.0),
+    ]
+    return [
+        SkewedPhase(
+            name=name,
+            skew=skew,
+            start=start * time_scale,
+            end=end * time_scale,
+            queries_per_second=rate * rate_scale,
+        )
+        for name, skew, start, end, rate in rows
+    ]
+
+
+class SkewedWorkload(Workload):
+    """Several overlapping skewed phases over one dataset."""
+
+    def __init__(
+        self,
+        dataset: UniformDataset,
+        phases: Sequence[SkewedPhase],
+        n_nodes: int = 10,
+        min_bats: int = 1,
+        max_bats: int = 5,
+        min_proc_time: float = 0.100,
+        max_proc_time: float = 0.200,
+        remote_only: bool = True,
+        seed: int = 0,
+    ):
+        if not phases:
+            raise ValueError("need at least one phase")
+        names = [p.name for p in phases]
+        if len(names) != len(set(names)):
+            raise ValueError("phase names must be unique")
+        self.dataset = dataset
+        self.phases = list(phases)
+        self.n_nodes = n_nodes
+        self.min_bats = min_bats
+        self.max_bats = max_bats
+        self.min_proc_time = min_proc_time
+        self.max_proc_time = max_proc_time
+        self.remote_only = remote_only
+        self._rng = RngRegistry(seed)
+
+    # ------------------------------------------------------------------
+    # data subsets
+    # ------------------------------------------------------------------
+    def subset(self, phase: SkewedPhase) -> List[int]:
+        """D_i: every BAT whose id is a multiple of the phase skew."""
+        return [b for b in self.dataset.bat_ids() if b % phase.skew == 0]
+
+    def disjoint_subset(self, phase: SkewedPhase) -> List[int]:
+        """DH_i: D_i minus the other phases' data.
+
+        The paper's exception: DH4 (multiples of 9) is contained in DH1
+        (multiples of 3), so SW1 does not exclude SW4's skew and vice
+        versa when one skew divides the other.
+        """
+        other_skews = [
+            p.skew
+            for p in self.phases
+            if p.name != phase.name
+            and phase.skew % p.skew != 0  # keep containing sets
+            and p.skew % phase.skew != 0  # and contained sets
+        ]
+        return [
+            b
+            for b in self.subset(phase)
+            if all(b % s != 0 for s in other_skews)
+        ]
+
+    def bat_tags(self) -> Dict[int, str]:
+        """Per-BAT DH tag for the Figure 8a ring-space accounting.
+
+        A BAT in several DH sets (the DH4-in-DH1 case) gets the tag of
+        the most selective (largest-skew) phase.
+        """
+        tags: Dict[int, str] = {}
+        for phase in sorted(self.phases, key=lambda p: p.skew):
+            label = phase.name.replace("sw", "dh")
+            for bat_id in self.disjoint_subset(phase):
+                tags[bat_id] = label
+        return tags
+
+    # ------------------------------------------------------------------
+    def queries(self) -> Iterator[QuerySpec]:
+        query_id = 0
+        for phase in self.phases:
+            rng = self._rng.stream(phase.name)
+            data = self.subset(phase)
+            interval = 1.0 / phase.queries_per_second
+            for k in range(phase.total_queries):
+                node = k % self.n_nodes
+                eligible = (
+                    [b for b in data if b % self.n_nodes != node]
+                    if self.remote_only and self.n_nodes > 1
+                    else data
+                )
+                if not eligible:
+                    continue
+                count = rng.randint(self.min_bats, min(self.max_bats, len(eligible)))
+                bats = rng.sample(eligible, count)
+                times = [
+                    rng.uniform(self.min_proc_time, self.max_proc_time)
+                    for _ in bats
+                ]
+                yield QuerySpec.simple(
+                    query_id,
+                    node=node,
+                    arrival=phase.start + k * interval,
+                    bat_ids=bats,
+                    processing_times=times,
+                    tag=phase.name,
+                )
+                query_id += 1

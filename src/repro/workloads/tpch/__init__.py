@@ -1,0 +1,32 @@
+"""The TPC-H trace workload of section 5.4.
+
+The paper "starts with a calibration of the simulator using traces from
+TPC-H ran against a single node MonetDB instance ... Such traces contain
+the execution time for each operator as well as the information about
+intermediate result sizes."  We reproduce the same method against our
+own engine:
+
+1. :mod:`repro.workloads.tpch.schema` generates a TPC-H-like database
+   at a configurable scale factor (integer-coded categorical columns),
+2. :mod:`repro.workloads.tpch.queries` defines the 22 queries in the
+   supported SQL dialect (documented simplifications),
+3. :mod:`repro.workloads.tpch.calibration` executes the DC-optimized
+   plans locally, recording per-operator costs and the pin schedule --
+   the paper's OpT rule -- into replayable :class:`QueryTrace` objects,
+4. :mod:`repro.workloads.tpch.workload` replays those traces against a
+   simulated ring with four CPU cores per node (Table 4).
+"""
+
+from repro.workloads.tpch.calibration import QueryTrace, calibrate
+from repro.workloads.tpch.queries import TPCH_QUERIES
+from repro.workloads.tpch.schema import generate_tpch
+from repro.workloads.tpch.workload import TpchExperiment, TpchResult
+
+__all__ = [
+    "QueryTrace",
+    "TPCH_QUERIES",
+    "TpchExperiment",
+    "TpchResult",
+    "calibrate",
+    "generate_tpch",
+]

@@ -1,0 +1,333 @@
+"""The 22 TPC-H queries in the engine's SQL dialect.
+
+The paper replays *traces* of the TPC-H queries (operator durations and
+BAT access sequences), not SQL text, so what matters for the section 5.4
+experiment is that every query touches the right tables and columns with
+a realistic operator mix.  Our dialect is conjunctive SELECT-project-
+join-aggregate, so queries that rely on OR, correlated subqueries,
+EXISTS, LIKE or outer joins are structurally simplified; each entry
+documents its deviation in ``note``.  Categorical literals are the
+integer codes of :mod:`repro.workloads.tpch.schema`; dates are day
+numbers (1992-01-01 = 0, ~365 days per year).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["TpchQuery", "TPCH_QUERIES"]
+
+
+@dataclass(frozen=True)
+class TpchQuery:
+    number: int
+    name: str
+    sql: str
+    note: str = ""
+
+
+TPCH_QUERIES: List[TpchQuery] = [
+    TpchQuery(
+        1,
+        "pricing summary report",
+        """
+        SELECT l_returnflag, l_linestatus,
+               sum(l_quantity) sum_qty,
+               sum(l_extendedprice) sum_base_price,
+               sum(l_extendedprice * (1 - l_discount)) sum_disc_price,
+               avg(l_quantity) avg_qty,
+               avg(l_extendedprice) avg_price,
+               count(*) count_order
+        FROM lineitem
+        WHERE l_shipdate <= 2480
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+        """,
+    ),
+    TpchQuery(
+        2,
+        "minimum cost supplier",
+        """
+        SELECT s_acctbal, s_suppkey, p_partkey, ps_supplycost
+        FROM part, partsupp, supplier, nation, region
+        WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+          AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+          AND r_name = 2 AND p_size = 15
+        ORDER BY s_acctbal DESC LIMIT 100
+        """,
+        note="correlated min-cost subquery dropped; same join graph",
+    ),
+    TpchQuery(
+        3,
+        "shipping priority",
+        """
+        SELECT o_orderkey,
+               sum(l_extendedprice * (1 - l_discount)) revenue
+        FROM customer, orders, lineitem
+        WHERE c_mktsegment = 1
+          AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+          AND o_orderdate < 795 AND l_shipdate > 795
+        GROUP BY o_orderkey
+        ORDER BY revenue DESC LIMIT 10
+        """,
+    ),
+    TpchQuery(
+        4,
+        "order priority checking",
+        """
+        SELECT o_orderpriority, count(*) order_count
+        FROM orders, lineitem
+        WHERE l_orderkey = o_orderkey
+          AND o_orderdate >= 850 AND o_orderdate < 940
+          AND l_commitdate < l_receiptdate
+        GROUP BY o_orderpriority
+        ORDER BY o_orderpriority
+        """,
+        note="EXISTS decorrelated into a plain join",
+    ),
+    TpchQuery(
+        5,
+        "local supplier volume",
+        """
+        SELECT n_name, sum(l_extendedprice * (1 - l_discount)) revenue
+        FROM customer, orders, lineitem, supplier, nation, region
+        WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+          AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+          AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+          AND r_name = 3 AND o_orderdate >= 730 AND o_orderdate < 1095
+        GROUP BY n_name
+        ORDER BY revenue DESC
+        """,
+    ),
+    TpchQuery(
+        6,
+        "forecasting revenue change",
+        """
+        SELECT sum(l_extendedprice * l_discount) revenue
+        FROM lineitem
+        WHERE l_shipdate >= 730 AND l_shipdate < 1095
+          AND l_discount BETWEEN 0.05 AND 0.07
+          AND l_quantity < 24
+        """,
+    ),
+    TpchQuery(
+        7,
+        "volume shipping",
+        """
+        SELECT sum(l_extendedprice * (1 - l_discount)) revenue
+        FROM supplier, lineitem, orders, customer, nation n1, nation n2
+        WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+          AND c_custkey = o_custkey
+          AND s_nationkey = n1.n_nationkey AND c_nationkey = n2.n_nationkey
+          AND n1.n_name = 4 AND n2.n_name = 7
+          AND l_shipdate BETWEEN 730 AND 1460
+        """,
+        note="one nation-pair direction (no OR); per-year grouping dropped",
+    ),
+    TpchQuery(
+        8,
+        "national market share",
+        """
+        SELECT s_nationkey, sum(l_extendedprice * (1 - l_discount)) volume
+        FROM part, lineitem, supplier, orders, customer, nation, region
+        WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+          AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+          AND c_nationkey = n_nationkey AND n_regionkey = r_regionkey
+          AND r_name = 1 AND p_type = 100
+          AND o_orderdate BETWEEN 1095 AND 1825
+        GROUP BY s_nationkey
+        ORDER BY volume DESC
+        """,
+        note="market-share ratio (CASE) dropped; same 7-table join",
+    ),
+    TpchQuery(
+        9,
+        "product type profit measure",
+        """
+        SELECT n_name, sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) profit
+        FROM part, supplier, lineitem, partsupp, orders, nation
+        WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey
+          AND ps_partkey = l_partkey AND p_partkey = l_partkey
+          AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+          AND p_mfgr = 2
+        GROUP BY n_name
+        ORDER BY profit DESC
+        """,
+        note="p_name LIKE replaced by a p_mfgr filter; per-year grouping dropped",
+    ),
+    TpchQuery(
+        10,
+        "returned item reporting",
+        """
+        SELECT c_custkey, sum(l_extendedprice * (1 - l_discount)) revenue
+        FROM customer, orders, lineitem, nation
+        WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+          AND c_nationkey = n_nationkey
+          AND o_orderdate >= 850 AND o_orderdate < 940
+          AND l_returnflag = 2
+        GROUP BY c_custkey
+        ORDER BY revenue DESC LIMIT 20
+        """,
+    ),
+    TpchQuery(
+        11,
+        "important stock identification",
+        """
+        SELECT ps_partkey, sum(ps_supplycost * ps_availqty) value
+        FROM partsupp, supplier, nation
+        WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+          AND n_name = 8
+        GROUP BY ps_partkey
+        ORDER BY value DESC LIMIT 20
+        """,
+        note="global-fraction HAVING threshold replaced by LIMIT",
+    ),
+    TpchQuery(
+        12,
+        "shipping modes and order priority",
+        """
+        SELECT l_shipmode, count(*) line_count
+        FROM orders, lineitem
+        WHERE o_orderkey = l_orderkey
+          AND l_shipmode IN (2, 4)
+          AND l_commitdate < l_receiptdate
+          AND l_shipdate < l_commitdate
+          AND l_receiptdate >= 730 AND l_receiptdate < 1095
+        GROUP BY l_shipmode
+        ORDER BY l_shipmode
+        """,
+        note="high/low priority CASE split into a single count",
+    ),
+    TpchQuery(
+        13,
+        "customer distribution",
+        """
+        SELECT c_custkey, count(*) c_count
+        FROM customer, orders
+        WHERE o_custkey = c_custkey
+        GROUP BY c_custkey
+        ORDER BY c_count DESC LIMIT 20
+        """,
+        note="LEFT JOIN + NOT LIKE approximated by an inner join",
+    ),
+    TpchQuery(
+        14,
+        "promotion effect",
+        """
+        SELECT sum(l_extendedprice * (1 - l_discount)) promo_revenue
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey
+          AND l_shipdate >= 1000 AND l_shipdate < 1030
+          AND p_type < 50
+        """,
+        note="promo-share CASE ratio replaced by the filtered numerator",
+    ),
+    TpchQuery(
+        15,
+        "top supplier",
+        """
+        SELECT l_suppkey, sum(l_extendedprice * (1 - l_discount)) total_revenue
+        FROM lineitem
+        WHERE l_shipdate >= 1100 AND l_shipdate < 1190
+        GROUP BY l_suppkey
+        ORDER BY total_revenue DESC LIMIT 1
+        """,
+        note="revenue view + MAX subquery folded into ORDER BY/LIMIT",
+    ),
+    TpchQuery(
+        16,
+        "parts/supplier relationship",
+        """
+        SELECT p_brand, p_size, count(DISTINCT ps_suppkey) supplier_cnt
+        FROM partsupp, part
+        WHERE p_partkey = ps_partkey
+          AND p_brand != 11
+          AND p_size IN (9, 14, 19, 23, 36, 45, 49, 3)
+        GROUP BY p_brand, p_size
+        ORDER BY supplier_cnt DESC LIMIT 10
+        """,
+        note="NOT IN complaint-supplier subquery dropped",
+    ),
+    TpchQuery(
+        17,
+        "small-quantity-order revenue",
+        """
+        SELECT sum(l_extendedprice * 0.142857) avg_yearly
+        FROM lineitem, part
+        WHERE p_partkey = l_partkey
+          AND p_brand = 3 AND p_container = 12
+          AND l_quantity < 10
+        """,
+        note="per-part AVG subquery replaced by a fixed quantity cut",
+    ),
+    TpchQuery(
+        18,
+        "large volume customer",
+        """
+        SELECT o_orderkey, sum(l_quantity) total_qty
+        FROM orders, lineitem
+        WHERE o_orderkey = l_orderkey
+        GROUP BY o_orderkey
+        HAVING sum(l_quantity) > 100
+        ORDER BY total_qty DESC LIMIT 100
+        """,
+        note="customer join folded away; HAVING threshold scaled to the"
+        " generator's ~4 lines/order",
+    ),
+    TpchQuery(
+        19,
+        "discounted revenue",
+        """
+        SELECT sum(l_extendedprice * (1 - l_discount)) revenue
+        FROM lineitem, part
+        WHERE p_partkey = l_partkey
+          AND p_brand = 5 AND p_container IN (1, 2, 3, 4)
+          AND l_quantity BETWEEN 1 AND 11
+          AND p_size BETWEEN 1 AND 5
+          AND l_shipmode IN (0, 1)
+          AND l_shipinstruct = 0
+        """,
+        note="one branch of the three-way OR",
+    ),
+    TpchQuery(
+        20,
+        "potential part promotion",
+        """
+        SELECT s_suppkey, count(*) offers
+        FROM supplier, nation, partsupp
+        WHERE s_nationkey = n_nationkey AND ps_suppkey = s_suppkey
+          AND n_name = 5 AND ps_availqty > 5000
+        GROUP BY s_suppkey
+        ORDER BY offers DESC LIMIT 20
+        """,
+        note="nested IN-subqueries decorrelated into a join + filter",
+    ),
+    TpchQuery(
+        21,
+        "suppliers who kept orders waiting",
+        """
+        SELECT s_suppkey, count(*) numwait
+        FROM supplier, lineitem, orders, nation
+        WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+          AND s_nationkey = n_nationkey
+          AND o_orderstatus = 0 AND n_name = 6
+          AND l_receiptdate > l_commitdate
+        GROUP BY s_suppkey
+        ORDER BY numwait DESC LIMIT 100
+        """,
+        note="EXISTS / NOT EXISTS pair dropped; same join core",
+    ),
+    TpchQuery(
+        22,
+        "global sales opportunity",
+        """
+        SELECT c_nationkey, count(*) numcust, sum(c_acctbal) totacctbal
+        FROM customer
+        WHERE c_acctbal > 7000
+        GROUP BY c_nationkey
+        ORDER BY c_nationkey
+        """,
+        note="phone-prefix substring and NOT EXISTS anti-join dropped",
+    ),
+]

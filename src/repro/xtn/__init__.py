@@ -1,0 +1,41 @@
+"""Future-work features of the paper's section 6, as library extensions.
+
+* :mod:`repro.xtn.bidding` -- nomadic query placement via cost bids
+  (section 6.1, "Query Processing"),
+* :mod:`repro.xtn.parallel` -- intra-query parallelism: splitting a
+  query into sub-queries over disjoint data subsets (section 6.1),
+* :mod:`repro.xtn.result_cache` -- intermediate results circulating as
+  first-class ring citizens (section 6.2),
+* :mod:`repro.xtn.pulsating` -- pulsating rings: size adaptation and the
+  section 6.3 ring-size sweep behind Figures 10 and 11,
+* :mod:`repro.xtn.updates` -- multi-version updates with the "updating"
+  tag protocol (section 6.4).
+"""
+
+from repro.xtn.bidding import BidScheduler, NodeBid
+from repro.xtn.parallel import combine_results, split_query
+from repro.xtn.pulsating import (
+    EpochReport,
+    PulsatingController,
+    PulsatingRing,
+    RingSizeSweep,
+    SweepOutcome,
+)
+from repro.xtn.result_cache import CachedResult, ResultCache
+from repro.xtn.updates import UpdateCoordinator, UpdateRequest
+
+__all__ = [
+    "BidScheduler",
+    "CachedResult",
+    "EpochReport",
+    "NodeBid",
+    "PulsatingController",
+    "PulsatingRing",
+    "ResultCache",
+    "RingSizeSweep",
+    "SweepOutcome",
+    "UpdateCoordinator",
+    "UpdateRequest",
+    "combine_results",
+    "split_query",
+]

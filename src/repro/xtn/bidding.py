@@ -1,0 +1,160 @@
+"""Nomadic query placement via cost bids (paper section 6.1).
+
+"Once the BAT requests are sent off, a query can start with a nomadic
+phase, 'chasing' the data requests upstream to find a more satisfactory
+node to settle for its execution.  At each node visited, we ask for a
+bid to execute the query locally.  The price is the result of a
+heuristic cost model for solving the query, based on its data needs and
+the node's current workload."
+
+:class:`BidScheduler` implements that heuristic: each node quotes a
+price combining its current load (outstanding queries) with the data
+cost of serving the query's BATs there (bytes owned elsewhere weighted
+by ring distance from the owner).  The query settles on the cheapest
+node; the nomadic hop itself costs one request-channel traversal per
+visited node, charged to the query's arrival time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.core.query import QuerySpec
+from repro.core.ring import DataCyclotron
+
+__all__ = ["NodeBid", "BidScheduler"]
+
+
+@dataclass(frozen=True)
+class NodeBid:
+    """One node's quote for executing a query."""
+
+    node: int
+    load_cost: float
+    data_cost: float
+
+    @property
+    def price(self) -> float:
+        return self.load_cost + self.data_cost
+
+
+class BidScheduler:
+    """Places queries on the cheapest-bidding node.
+
+    Parameters
+    ----------
+    load_weight:
+        Seconds of price per outstanding query at the node.
+    data_weight:
+        Seconds of price per byte-hop of remote data (a BAT owned
+        ``h`` clockwise hops away contributes ``size * h * data_weight``
+        -- data arrives faster when the owner is just upstream).
+    """
+
+    def __init__(
+        self,
+        dc: DataCyclotron,
+        load_weight: float = 0.05,
+        data_weight: float = 1e-9,
+    ):
+        self.dc = dc
+        self.load_weight = load_weight
+        self.data_weight = data_weight
+        self._outstanding: Dict[int, int] = {n: 0 for n in range(dc.config.n_nodes)}
+        self.placements: Dict[int, int] = {}  # query_id -> chosen node
+
+    # ------------------------------------------------------------------
+    def bid(self, node: int, spec: QuerySpec) -> NodeBid:
+        """The node's quote: its workload plus the query's data needs."""
+        load_cost = self._outstanding[node] * self.load_weight
+        data_cost = 0.0
+        for bat_id in spec.bat_ids:
+            owner = self.dc.bat_owner(bat_id)
+            if owner == node:
+                continue  # local disk access: no ring traffic
+            hops = self.dc.ring.hops_clockwise(owner, node)
+            data_cost += self.dc.bat_size(bat_id) * hops * self.data_weight
+        return NodeBid(node=node, load_cost=load_cost, data_cost=data_cost)
+
+    def collect_bids(self, spec: QuerySpec) -> List[NodeBid]:
+        return [self.bid(n, spec) for n in range(self.dc.config.n_nodes)]
+
+    def place(self, spec: QuerySpec) -> QuerySpec:
+        """The nomadic phase: pick the cheapest node, charge the travel.
+
+        The query visits nodes upstream (anti-clockwise) from its entry
+        node until it has seen every node; settling ``k`` hops away
+        delays its start by ``k`` request-channel traversals.
+        """
+        bids = self.collect_bids(spec)
+        best = min(bids, key=lambda b: (b.price, b.node))
+        hops = self.dc.ring.hops_anticlockwise(spec.node, best.node)
+        travel = hops * self.dc.config.link_delay
+        self._outstanding[best.node] += 1
+        self.placements[spec.query_id] = best.node
+        return replace(
+            spec, node=best.node, arrival=spec.arrival + travel
+        )
+
+    def query_finished(self, spec_or_node) -> None:
+        """Feed back completions so load costs stay current."""
+        node = spec_or_node.node if isinstance(spec_or_node, QuerySpec) else spec_or_node
+        if self._outstanding.get(node, 0) > 0:
+            self._outstanding[node] -= 1
+
+    # ------------------------------------------------------------------
+    def place_split(
+        self,
+        spec: QuerySpec,
+        max_subqueries: int = 4,
+        split_threshold: float = 0.0,
+        merge_cost: float = 0.0,
+        on_done=None,
+    ) -> List[QuerySpec]:
+        """The full section 6.1 nomadic phase: bid, maybe split, settle.
+
+        "During the nomadic phase, a query can be split into independent
+        sub-queries to consume disjoint data subsets.  The number of
+        sub-queries depend on the price attached dynamically."  If the
+        cheapest bid exceeds ``split_threshold`` (every node is loaded or
+        the data is spread far), the query splits into up to
+        ``max_subqueries`` sub-queries, each placed by its own bids;
+        otherwise it settles whole on the winning node.
+
+        Submits the placed specs and returns them.  ``on_done`` receives
+        the combined completion time once every piece finished.
+        """
+        from repro.sim.process import Process, all_of
+        from repro.xtn.parallel import split_query
+
+        best = min(self.collect_bids(spec), key=lambda b: (b.price, b.node))
+        if best.price <= split_threshold or len(spec.steps) < 2:
+            placed = [self.place(spec)]
+        else:
+            n_subqueries = min(max_subqueries, len(spec.steps))
+            placed = [self.place(sub) for sub in split_query(spec, n_subqueries)]
+        processes = [self.dc.submit(p) for p in placed]
+        if on_done is not None:
+
+            def watcher():
+                joined = all_of(self.dc.sim, [proc.join() for proc in processes])
+                yield joined
+                on_done(self.dc.sim.now + merge_cost)
+
+            Process(self.dc.sim, watcher())
+        return placed
+
+    def submit_placed(self, specs) -> int:
+        """Place and submit a whole workload; returns the count."""
+        count = 0
+        for spec in specs:
+            self.dc.submit(self.place(spec))
+            count += 1
+        return count
+
+    def placement_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {n: 0 for n in range(self.dc.config.n_nodes)}
+        for node in self.placements.values():
+            counts[node] += 1
+        return counts

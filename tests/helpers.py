@@ -1,0 +1,32 @@
+"""Shared helpers for building small Data Cyclotron test deployments."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core import DataCyclotron, DataCyclotronConfig
+
+MB = 1024 * 1024
+
+
+def build_dc(
+    n_nodes: int = 4,
+    bats: Optional[Dict[int, int]] = None,
+    owners: Optional[Dict[int, int]] = None,
+    **config_overrides,
+) -> DataCyclotron:
+    """A small ring with fast defaults suitable for unit tests."""
+    defaults = dict(
+        n_nodes=n_nodes,
+        seed=1,
+        disk_latency=1e-4,
+        load_all_interval=0.01,
+        loit_adapt_interval=0.05,
+    )
+    defaults.update(config_overrides)
+    dc = DataCyclotron(DataCyclotronConfig(**defaults))
+    bats = bats if bats is not None else {i: MB for i in range(8)}
+    for bat_id, size in bats.items():
+        owner = owners.get(bat_id) if owners else None
+        dc.add_bat(bat_id, size=size, owner=owner)
+    return dc

@@ -1,0 +1,153 @@
+"""Tests for the DataCycle and Broadcast Disks baselines (section 7)."""
+
+import pytest
+
+from repro.baselines import BroadcastDisks, DataCycle
+from repro.core import MB, QuerySpec
+
+
+# ----------------------------------------------------------------------
+# DataCycle
+# ----------------------------------------------------------------------
+def make_datacycle(sizes, bandwidth=1 * MB):
+    pump = DataCycle(bandwidth=bandwidth, header_size=0)
+    for bat_id, size in enumerate(sizes):
+        pump.add_bat(bat_id, size)
+    return pump
+
+
+def test_datacycle_cycle_time():
+    pump = make_datacycle([MB, MB, 2 * MB], bandwidth=1 * MB)
+    assert pump.cycle_time == pytest.approx(4.0)
+    assert pump.total_bytes == 4 * MB
+
+
+def test_datacycle_offsets_are_cumulative():
+    pump = make_datacycle([MB, MB, 2 * MB], bandwidth=1 * MB)
+    assert pump.next_available(0, 0.0) == pytest.approx(1.0)
+    assert pump.next_available(1, 0.0) == pytest.approx(2.0)
+    assert pump.next_available(2, 0.0) == pytest.approx(4.0)
+
+
+def test_datacycle_wraps_to_next_cycle():
+    pump = make_datacycle([MB, MB, 2 * MB], bandwidth=1 * MB)
+    # BAT 0 completes at 1, 5, 9, ...
+    assert pump.next_available(0, 1.0) == pytest.approx(1.0)
+    assert pump.next_available(0, 1.01) == pytest.approx(5.0)
+    assert pump.next_available(0, 7.2) == pytest.approx(9.0)
+
+
+def test_datacycle_query_lifetime_includes_broadcast_wait():
+    pump = make_datacycle([MB, MB, 2 * MB], bandwidth=1 * MB)
+    pump.submit(QuerySpec.simple(0, node=0, arrival=0.0, bat_ids=[2],
+                                 processing_times=[0.5]))
+    assert pump.run_until_done(max_time=60.0)
+    # waits until t=4 for BAT 2, then 0.5s of processing
+    assert pump.metrics.queries[0].lifetime == pytest.approx(4.5)
+
+
+def test_datacycle_validation():
+    with pytest.raises(ValueError):
+        DataCycle(bandwidth=0)
+    pump = make_datacycle([MB])
+    with pytest.raises(ValueError):
+        pump.add_bat(0, MB)
+    with pytest.raises(ValueError):
+        pump.add_bat(5, 0)
+    with pytest.raises(ValueError):
+        pump.submit(QuerySpec.simple(0, 0, 0.0, [99], [0.1]))
+
+
+def test_datacycle_many_queries_complete():
+    pump = make_datacycle([MB] * 10, bandwidth=5 * MB)
+    for q in range(20):
+        pump.submit(QuerySpec.simple(q, node=0, arrival=0.1 * q,
+                                     bat_ids=[q % 10], processing_times=[0.05]))
+    assert pump.run_until_done(max_time=120.0)
+    assert pump.metrics.finished_count() == 20
+
+
+# ----------------------------------------------------------------------
+# Broadcast Disks
+# ----------------------------------------------------------------------
+def make_disks(popularities, bandwidth=1 * MB, rel_freqs=(4, 2, 1)):
+    disks = BroadcastDisks(bandwidth=bandwidth, rel_freqs=rel_freqs,
+                           header_size=0)
+    for bat_id, pop in enumerate(popularities):
+        disks.add_bat(bat_id, MB, popularity=pop)
+    return disks
+
+
+def test_disks_partition_by_popularity():
+    disks = make_disks([9.0, 1.0, 5.0, 0.5, 7.0, 0.1])
+    disks.finalise()
+    # ranking: 0 (9), 4 (7), 2 (5), 1 (1), 3 (0.5), 5 (0.1)
+    assert disks.disk_of[0] == 0 and disks.disk_of[4] == 0
+    assert disks.disk_of[2] == 1 and disks.disk_of[1] == 1
+    assert disks.disk_of[3] == 2 and disks.disk_of[5] == 2
+
+
+def test_hot_items_broadcast_more_often():
+    disks = make_disks([9.0, 1.0, 5.0, 0.5, 7.0, 0.1])
+    disks.finalise()
+    hot = disks.broadcasts_per_major_cycle(0)
+    cold = disks.broadcasts_per_major_cycle(5)
+    assert hot > cold >= 1
+
+
+def test_hot_items_wait_less_on_average():
+    disks = make_disks([9.0, 1.0, 5.0, 0.5, 7.0, 0.1])
+    disks.finalise()
+
+    def mean_wait(bat_id, samples=200):
+        total = 0.0
+        for k in range(samples):
+            t = k * disks.cycle_time / samples
+            total += disks.next_available(bat_id, t) - t
+        return total / samples
+
+    assert mean_wait(0) < mean_wait(5)
+
+
+def test_disks_queries_complete():
+    disks = make_disks([5.0, 4.0, 3.0, 2.0, 1.0, 0.5], bandwidth=4 * MB)
+    for q in range(12):
+        disks.submit(QuerySpec.simple(q, node=0, arrival=0.05 * q,
+                                      bat_ids=[q % 6], processing_times=[0.02]))
+    assert disks.run_until_done(max_time=120.0)
+    assert disks.metrics.finished_count() == 12
+
+
+def test_disks_next_available_monotone():
+    disks = make_disks([3.0, 2.0, 1.0])
+    disks.finalise()
+    for bat_id in range(3):
+        prev = 0.0
+        for k in range(20):
+            t = k * 0.13
+            available = disks.next_available(bat_id, t)
+            assert available >= t
+            assert available >= prev - 1e-9
+            prev = available
+
+
+def test_disks_validation():
+    with pytest.raises(ValueError):
+        BroadcastDisks(bandwidth=0)
+    with pytest.raises(ValueError):
+        BroadcastDisks(rel_freqs=())
+    with pytest.raises(ValueError):
+        BroadcastDisks(rel_freqs=(1, 2))  # must be non-increasing
+    disks = make_disks([1.0])
+    disks.finalise()
+    with pytest.raises(RuntimeError):
+        disks.add_bat(9, MB)
+
+
+def test_single_disk_equals_datacycle_order_modulo_ranking():
+    """With one disk at frequency 1, Broadcast Disks degenerates to a
+    flat cyclic broadcast."""
+    disks = make_disks([1.0, 1.0, 1.0], rel_freqs=(1,))
+    disks.finalise()
+    assert disks.broadcasts_per_major_cycle(0) == 1
+    assert disks.cycle_time == pytest.approx(3 * MB / (1 * MB))

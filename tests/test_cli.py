@@ -1,0 +1,80 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig1", "fig6", "fig8", "fig9", "tab4", "sweep"):
+        assert name in out
+
+
+def test_fig1_command(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "rdma" in out
+    assert "everything-on-cpu" in out
+
+
+def test_fig1_custom_host(capsys):
+    assert main(["fig1", "--gbps", "5", "--cpu-ghz", "10"]) == 0
+    assert "5.0 Gb/s" in capsys.readouterr().out
+
+
+def test_sweep_command_small(capsys):
+    assert main(["sweep", "--sizes", "2", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle(ms)" in out
+    assert "Figures 10" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["tab4"])
+    assert args.nodes == [1, 2, 3, 4, 6, 8]
+    assert args.size_scale == 200.0
+    assert not args.full
+
+
+def test_fig6_command_quick(capsys):
+    assert main(["fig6", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "LoiT 0.1" in out and "LoiT 1.1" in out
+    assert "finished" in out
+
+
+def test_fig8_command_quick(capsys):
+    assert main(["fig8", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "dh2" in out
+    assert "LOIT adjustments" in out
+
+
+def test_fig9_command_quick(capsys):
+    assert main(["fig9", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "touches" in out and "loads" in out
+
+
+def test_tab4_command_two_rings(capsys):
+    assert main(["tab4", "--nodes", "1", "2", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "MonetDB" in out
+    assert "throughP/node" in out
+
+
+def test_shell_command_reads_stdin(monkeypatch, capsys):
+    import io
+    import sys as _sys
+
+    monkeypatch.setattr(_sys, "stdin", io.StringIO("\\help\n\\quit\n"))
+    assert main(["shell", "--nodes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "\\load" in out

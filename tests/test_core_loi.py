@@ -1,0 +1,168 @@
+"""Unit and property tests for the LOI formula and LOIT controller."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.loi import LoitController, new_loi
+
+
+# ----------------------------------------------------------------------
+# Equation (1)
+# ----------------------------------------------------------------------
+def test_formula_matches_figure5():
+    # (loi + (copies/hops)*cycles) / cycles == loi/cycles + copies/hops
+    assert new_loi(1.0, 5, 10, 2) == pytest.approx(1.0 / 2 + 5 / 10)
+
+
+def test_first_cycle_keeps_full_history():
+    assert new_loi(1.0, 0, 10, 1) == pytest.approx(1.0)
+
+
+def test_unused_bat_decays_hyperbolically():
+    """"Old BATs carry a low level of interest, unless re-newed in each
+    pass through the ring."""
+    loi = 1.0
+    values = []
+    for cycle in range(1, 12):
+        loi = new_loi(loi, 0, 10, cycle)
+        values.append(loi)
+    assert all(b < a for a, b in zip(values, values[1:]))
+    assert values[-1] < 0.01
+
+
+def test_renewed_bat_sustains_interest():
+    """A BAT pinned at half of the nodes every cycle keeps LOI >= 0.5."""
+    loi = 1.0
+    for cycle in range(1, 50):
+        loi = new_loi(loi, 5, 10, cycle)
+        assert loi >= 0.5
+
+
+def test_latest_cycle_weighs_more_than_history():
+    """At a high cycle count, the new LOI is dominated by the last
+    cycle's CAVG, not the accumulated history."""
+    old_history = new_loi(10.0, 1, 10, 100)
+    assert old_history == pytest.approx(10.0 / 100 + 0.1)
+    # history contributes 0.1, same as one lightly-used cycle
+
+
+def test_zero_hops_defines_cavg_zero():
+    assert new_loi(1.0, 0, 0, 1) == pytest.approx(1.0)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        new_loi(1.0, 0, 10, 0)
+    with pytest.raises(ValueError):
+        new_loi(1.0, -1, 10, 1)
+    with pytest.raises(ValueError):
+        new_loi(1.0, 0, -1, 1)
+
+
+@given(
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=1, max_value=1000),
+    st.integers(min_value=1, max_value=1000),
+)
+def test_property_loi_non_negative(loi, copies, hops, cycles):
+    assert new_loi(loi, copies, hops, cycles) >= 0
+
+
+@given(
+    st.floats(min_value=0, max_value=10, allow_nan=False),
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=1, max_value=20),
+)
+def test_property_more_copies_more_interest(loi, hops, cycles):
+    """LOI is monotone in the copies count."""
+    lows = new_loi(loi, 0, hops, cycles)
+    highs = new_loi(loi, hops, hops, cycles)  # every hop pinned
+    assert highs >= lows
+
+
+@given(
+    st.floats(min_value=0.0, max_value=10, allow_nan=False),
+    st.integers(min_value=2, max_value=100),
+)
+def test_property_aging_decreases_history_term(loi, cycles):
+    assert new_loi(loi, 0, 10, cycles) <= new_loi(loi, 0, 10, cycles - 1) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# the LOIT controller
+# ----------------------------------------------------------------------
+def test_static_threshold_never_moves():
+    ctl = LoitController(static=0.7)
+    assert ctl.threshold == 0.7
+    ctl.observe(1.0)
+    ctl.observe(0.0)
+    assert ctl.threshold == 0.7
+
+
+def test_adaptive_steps_up_on_high_load():
+    ctl = LoitController(levels=(0.1, 0.6, 1.1))
+    assert ctl.threshold == 0.1
+    ctl.observe(0.9)
+    assert ctl.threshold == 0.6
+    ctl.observe(0.9)
+    assert ctl.threshold == 1.1
+
+
+def test_adaptive_saturates_at_top():
+    ctl = LoitController(levels=(0.1, 0.6, 1.1))
+    for _ in range(10):
+        ctl.observe(1.0)
+    assert ctl.threshold == 1.1
+    assert ctl.adjustments_up == 2
+
+
+def test_adaptive_steps_down_on_low_load():
+    ctl = LoitController(levels=(0.1, 0.6, 1.1), initial_level=2)
+    ctl.observe(0.2)
+    assert ctl.threshold == 0.6
+    ctl.observe(0.2)
+    assert ctl.threshold == 0.1
+    ctl.observe(0.2)
+    assert ctl.threshold == 0.1  # saturates at bottom
+
+
+def test_midband_load_is_stable():
+    ctl = LoitController(levels=(0.1, 0.6, 1.1), initial_level=1)
+    for load in (0.5, 0.6, 0.7, 0.41, 0.79):
+        ctl.observe(load)
+    assert ctl.threshold == 0.6
+    assert ctl.adjustments_up == 0 and ctl.adjustments_down == 0
+
+
+def test_watermarks_are_the_paper_defaults():
+    ctl = LoitController()
+    assert ctl.high_watermark == pytest.approx(0.80)
+    assert ctl.low_watermark == pytest.approx(0.40)
+    assert ctl.levels == (0.1, 0.6, 1.1)
+
+
+def test_is_hot_boundary():
+    ctl = LoitController(static=0.5)
+    assert ctl.is_hot(0.5)
+    assert ctl.is_hot(0.51)
+    assert not ctl.is_hot(0.49)
+
+
+def test_controller_validation():
+    with pytest.raises(ValueError):
+        LoitController(levels=())
+    with pytest.raises(ValueError):
+        LoitController(levels=(0.5, 0.5))
+    with pytest.raises(ValueError):
+        LoitController(levels=(0.1,), initial_level=3)
+    with pytest.raises(ValueError):
+        LoitController(high_watermark=0.3, low_watermark=0.4)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False), max_size=100))
+def test_property_threshold_always_a_level(loads):
+    ctl = LoitController(levels=(0.1, 0.6, 1.1))
+    for load in loads:
+        ctl.observe(load)
+        assert ctl.threshold in (0.1, 0.6, 1.1)

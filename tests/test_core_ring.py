@@ -1,0 +1,337 @@
+"""System-level integration tests of the DataCyclotron facade."""
+
+import pytest
+
+from repro.core import DataCyclotron, DataCyclotronConfig, QuerySpec
+
+from helpers import MB, build_dc
+
+
+def test_round_robin_placement():
+    dc = build_dc(n_nodes=3, bats={i: MB for i in range(6)})
+    owners = [dc.bat_owner(i) for i in range(6)]
+    assert owners == [0, 1, 2, 0, 1, 2]
+
+
+def test_explicit_owner_respected():
+    dc = build_dc(n_nodes=3, bats={7: MB}, owners={7: 2})
+    assert dc.bat_owner(7) == 2
+    assert dc.nodes[2].s1.owns(7)
+
+
+def test_duplicate_bat_rejected():
+    dc = build_dc(n_nodes=2, bats={1: MB})
+    with pytest.raises(ValueError):
+        dc.add_bat(1, MB)
+
+
+def test_invalid_bat_args():
+    dc = build_dc(n_nodes=2, bats={})
+    with pytest.raises(ValueError):
+        dc.add_bat(1, 0)
+    with pytest.raises(ValueError):
+        dc.add_bat(1, MB, owner=5)
+
+
+def test_submit_validates_bats_and_node():
+    dc = build_dc(n_nodes=2, bats={1: MB})
+    with pytest.raises(ValueError):
+        dc.submit(QuerySpec.simple(0, 0, 0.0, [999], [0.1]))
+    with pytest.raises(ValueError):
+        dc.submit(QuerySpec.simple(0, 7, 0.0, [1], [0.1]))
+
+
+def test_single_query_remote_bat_completes():
+    dc = build_dc(n_nodes=4)
+    dc.submit(QuerySpec.simple(0, node=0, arrival=0.0, bat_ids=[5],
+                               processing_times=[0.05]))
+    assert dc.run_until_done(max_time=10.0)
+    rec = dc.metrics.queries[0]
+    assert rec.lifetime is not None
+    # gross time covers the 50 ms processing plus transfer latency
+    assert rec.lifetime >= 0.05
+    assert rec.lifetime < 1.0
+
+
+def test_query_on_locally_owned_bat():
+    dc = build_dc(n_nodes=4)
+    # BAT 0 is owned by node 0 (round robin)
+    dc.submit(QuerySpec.simple(0, node=0, arrival=0.0, bat_ids=[0],
+                               processing_times=[0.05]))
+    assert dc.run_until_done(max_time=10.0)
+    # local access: the ring never saw a load
+    assert dc.metrics.bats.get(0) is None or dc.metrics.bats[0].loads == 0
+
+
+def test_many_queries_all_complete():
+    dc = build_dc(n_nodes=4, bats={i: MB for i in range(16)})
+    qid = 0
+    for t in range(5):
+        for node in range(4):
+            dc.submit(QuerySpec.simple(
+                qid, node=node, arrival=t * 0.05,
+                bat_ids=[(qid * 3 + k) % 16 for k in range(2)],
+                processing_times=[0.02, 0.02]))
+            qid += 1
+    assert dc.run_until_done(max_time=30.0)
+    assert dc.metrics.finished_count() == qid
+    assert not any(r.failed for r in dc.metrics.queries.values())
+
+
+def test_ring_load_returns_to_zero_after_workload():
+    """With nothing interested, every BAT eventually cools down and is
+    pulled out: the hot set empties."""
+    dc = build_dc(n_nodes=4, loit_static=0.2)
+    dc.submit(QuerySpec.simple(0, node=0, arrival=0.0, bat_ids=[5, 6],
+                               processing_times=[0.02, 0.02]))
+    assert dc.run_until_done(max_time=10.0)
+    dc.run(until=dc.now + 5.0)  # let the LOI decay play out
+    assert dc.ring_load_bytes == 0
+    assert dc.ring_load_bats == 0
+
+
+def test_bat_conservation_invariant():
+    """Every load is eventually matched by exactly one unload (or drop),
+    and a BAT is never in the ring more than once."""
+    dc = build_dc(n_nodes=4, loit_static=0.3)
+    qid = 0
+    for t in range(4):
+        for node in range(4):
+            dc.submit(QuerySpec.simple(
+                qid, node=node, arrival=t * 0.1,
+                bat_ids=[(qid + 1) % 8, (qid + 5) % 8],
+                processing_times=[0.03, 0.03]))
+            qid += 1
+    assert dc.run_until_done(max_time=30.0)
+    dc.run(until=dc.now + 5.0)
+    for bat_id, stats in dc.metrics.bats.items():
+        assert stats.loads == stats.unloads + stats.drops, bat_id
+    assert dc.ring_load_bats == 0
+
+
+def test_loss_injection_recovers_via_resend():
+    """Queries finish despite 20% data-channel loss (section 4.2.3)."""
+    dc = build_dc(
+        n_nodes=4,
+        data_loss_rate=0.2,
+        resend_timeout=0.1,
+    )
+    qid = 0
+    for node in range(4):
+        dc.submit(QuerySpec.simple(
+            qid, node=node, arrival=0.0,
+            bat_ids=[(node + 1) % 8, (node + 5) % 8],
+            processing_times=[0.02, 0.02]))
+        qid += 1
+    assert dc.run_until_done(max_time=60.0)
+    assert dc.metrics.finished_count() == qid
+    assert dc.metrics.loss_drops > 0 or dc.metrics.resends >= 0
+
+
+def test_request_loss_recovers_via_resend():
+    dc = build_dc(
+        n_nodes=4,
+        request_loss_rate=0.5,
+        resend_timeout=0.05,
+    )
+    dc.submit(QuerySpec.simple(0, node=0, arrival=0.0, bat_ids=[5],
+                               processing_times=[0.02]))
+    assert dc.run_until_done(max_time=60.0)
+    assert dc.metrics.finished_count() == 1
+
+
+def test_droptail_overflow_recovers():
+    """A queue sized for ~1 BAT forces DropTail drops; the protocols
+    still complete every query."""
+    dc = build_dc(
+        n_nodes=3,
+        bats={i: MB for i in range(6)},
+        bat_queue_capacity=int(2.2 * MB),
+        resend_timeout=0.1,
+    )
+    qid = 0
+    for node in range(3):
+        dc.submit(QuerySpec.simple(
+            qid, node=node, arrival=0.0,
+            bat_ids=[(node + 1) % 6, (node + 3) % 6, (node + 5) % 6],
+            processing_times=[0.02, 0.02, 0.02]))
+        qid += 1
+    assert dc.run_until_done(max_time=120.0)
+    assert dc.metrics.finished_count() == qid
+
+
+def test_single_node_ring_works():
+    """Table 4 row "1": everything is a local access."""
+    dc = build_dc(n_nodes=1, bats={i: MB for i in range(4)})
+    dc.submit(QuerySpec.simple(0, node=0, arrival=0.0, bat_ids=[0, 1],
+                               processing_times=[0.01, 0.01]))
+    assert dc.run_until_done(max_time=10.0)
+    assert dc.metrics.finished_count() == 1
+
+
+def test_cpu_constrained_mode_uses_cores():
+    dc = build_dc(n_nodes=2, cpu_constrained=True, cores_per_node=2)
+    for q in range(4):
+        dc.submit(QuerySpec.simple(q, node=0, arrival=0.0, bat_ids=[1 + q % 4],
+                                   processing_times=[0.1]))
+    assert dc.run_until_done(max_time=10.0)
+    assert dc.nodes[0].cores.busy_time() == pytest.approx(0.4)
+    assert dc.cpu_utilisation() > 0
+
+
+def test_loit_adapts_under_pressure():
+    """Filling the queue beyond the high watermark raises the node's
+    threshold (section 5.2)."""
+    dc = build_dc(
+        n_nodes=2,
+        bats={i: MB for i in range(12)},
+        bat_queue_capacity=int(2.5 * MB),
+        loit_adapt_interval=0.01,
+        bandwidth=10 * MB,  # slow links so the BAT queues back up
+        resend_timeout=5.0,
+    )
+    qid = 0
+    for node in range(2):
+        for k in range(6):
+            dc.submit(QuerySpec.simple(
+                qid, node=node, arrival=0.0,
+                bat_ids=[(qid * 5 + 1) % 12],
+                processing_times=[0.2]))
+            qid += 1
+    dc.run_until_done(max_time=60.0)
+    assert any(len(n.loit_history) > 1 for n in dc.nodes)
+    assert dc.metrics.loit_changes > 0
+
+
+def test_run_until_done_times_out_honestly():
+    dc = build_dc(n_nodes=2, bats={1: MB})
+    # a query that takes 5 s of processing cannot finish in 1 s
+    dc.submit(QuerySpec.simple(0, node=0, arrival=0.0, bat_ids=[1],
+                               processing_times=[5.0]))
+    assert not dc.run_until_done(max_time=1.0)
+    assert dc.run_until_done(max_time=30.0)
+
+
+def test_message_kinds_respect_ring_directions():
+    """BATs travel only on the clockwise data channels; requests only on
+    the anti-clockwise request channels (paper section 4, Figure 2)."""
+    from repro.core.messages import BATMessage, RequestMessage
+
+    dc = build_dc(n_nodes=4)
+    seen = {"data": [], "request": []}
+    for i in range(4):
+        data_ch = dc.ring.data_channel(i)
+        req_ch = dc.ring.request_channel(i)
+        orig_data, orig_req = data_ch._receiver, req_ch._receiver
+
+        def spy_data(msg, size, orig=orig_data):
+            seen["data"].append(type(msg))
+            orig(msg, size)
+
+        def spy_req(msg, size, orig=orig_req):
+            seen["request"].append(type(msg))
+            orig(msg, size)
+
+        data_ch.set_receiver(spy_data)
+        req_ch.set_receiver(spy_req)
+
+    for q in range(4):
+        dc.submit(QuerySpec.simple(q, node=q, arrival=0.0,
+                                   bat_ids=[(q + 1) % 8, (q + 5) % 8],
+                                   processing_times=[0.02, 0.02]))
+    assert dc.run_until_done(max_time=60.0)
+    assert seen["data"] and seen["request"]
+    assert set(seen["data"]) == {BATMessage}
+    assert set(seen["request"]) == {RequestMessage}
+
+
+def test_request_reaches_owner_without_passing_it():
+    """A request from the owner's clockwise successor takes exactly one
+    anti-clockwise hop (the latency argument of section 4)."""
+    dc = build_dc(n_nodes=6, loit_static=0.0)
+    # BAT 3 is owned by node 3; its clockwise successor is node 4
+    requester = dc.nodes[4]
+    requester.request(1, [3])
+    fut = requester.pin(1, 3)
+    dc.sim.run(until=1.0)
+    assert fut.done and fut.value.ok
+    # the request was consumed at the owner: no forwards beyond node 3
+    assert dc.metrics.requests_forwarded == 0
+
+
+def test_legacy_transfer_mode_burns_cpu():
+    """Non-RDMA stacks charge Figure 1 host overhead per forwarded BAT."""
+    def run(mode):
+        dc = build_dc(n_nodes=3, transfer_mode=mode)
+        dc.submit(QuerySpec.simple(0, node=0, arrival=0.0, bat_ids=[1, 5],
+                                   processing_times=[0.02, 0.02]))
+        assert dc.run_until_done(max_time=60.0)
+        return sum(n.network_cpu_seconds for n in dc.nodes)
+
+    assert run("rdma") < 1e-3
+    assert run("legacy") > run("offload") > run("rdma")
+
+
+def test_legacy_mode_slows_cpu_constrained_queries():
+    """With cores shared between the network stack and query operators,
+    the legacy stack delays query completion (the paper's RDMA case)."""
+    def makespan(mode):
+        dc = build_dc(
+            n_nodes=3,
+            bats={i: 4 * MB for i in range(6)},
+            transfer_mode=mode,
+            cpu_constrained=True,
+            cores_per_node=1,
+            bandwidth=40 * MB,
+            resend_timeout=5.0,
+        )
+        for q in range(6):
+            dc.submit(QuerySpec.simple(q, node=q % 3, arrival=0.0,
+                                       bat_ids=[(q + 1) % 6],
+                                       processing_times=[0.05]))
+        assert dc.run_until_done(max_time=120.0)
+        return max(r.finished_at for r in dc.metrics.queries.values())
+
+    assert makespan("legacy") > makespan("rdma")
+
+
+def test_summary_counters():
+    dc = build_dc(n_nodes=3)
+    dc.submit(QuerySpec.simple(0, node=0, arrival=0.0, bat_ids=[1, 4],
+                               processing_times=[0.02, 0.02]))
+    assert dc.run_until_done(max_time=30.0)
+    summary = dc.summary()
+    assert summary["queries_submitted"] == 1
+    assert summary["queries_finished"] == 1
+    assert summary["queries_failed"] == 0
+    assert summary["mean_lifetime"] > 0
+    assert summary["bat_loads"] >= 1
+    assert summary["events_processed"] > 0
+
+
+def test_stale_incarnation_swallowed_once_duplicated():
+    """If an owner reloads a BAT whose old copy survived, the old copy is
+    retired on its next pass: exactly one incarnation stays in flight."""
+    from repro.core.messages import BATMessage
+
+    dc = build_dc(n_nodes=3, bats={5: MB}, owners={5: 0}, loit_static=0.0)
+    owner = dc.nodes[0]
+    dc._start_ticks()
+    owner.loader.try_load(5)
+    dc.sim.run(until=0.05)
+    entry = owner.s1.get(5)
+    assert entry.loaded and entry.incarnation == 1
+    # simulate the lazy-loss path: owner declares lost and reloads
+    entry.loaded = False
+    owner.loader.try_load(5)
+    dc.sim.run(until=0.1)
+    assert entry.incarnation == 2
+    # the old incarnation-1 copy returns: swallowed, not forwarded
+    before = dc.metrics.bat_messages_forwarded
+    stale = BATMessage(owner=0, bat_id=5, size=MB, loi=1.0, incarnation=1)
+    owner.on_bat_message(stale, MB)
+    assert dc.metrics.bat_messages_forwarded == before
+    # the current incarnation keeps circulating
+    current = BATMessage(owner=0, bat_id=5, size=MB, loi=1.0, incarnation=2)
+    owner.on_bat_message(current, MB)
+    assert dc.metrics.bat_messages_forwarded == before + 1

@@ -1,0 +1,117 @@
+"""Unit tests for the BAT structure."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.bat import BAT
+
+
+def test_dense_head_materialisation():
+    b = BAT.dense([10, 20, 30], hseqbase=5)
+    assert b.is_dense_head
+    assert b.head_array().tolist() == [5, 6, 7]
+    assert b.count == 3
+
+
+def test_explicit_head():
+    b = BAT(np.array([1.5, 2.5]), head=np.array([7, 9]))
+    assert not b.is_dense_head
+    assert b.to_pairs() == [(7, 1.5), (9, 2.5)]
+
+
+def test_head_tail_length_mismatch():
+    with pytest.raises(ValueError):
+        BAT(np.array([1, 2]), head=np.array([1]))
+
+
+def test_tail_must_be_1d():
+    with pytest.raises(ValueError):
+        BAT(np.zeros((2, 2)))
+
+
+def test_from_pairs_roundtrip():
+    pairs = [(3, "a"), (1, "b"), (7, "c")]
+    b = BAT.from_pairs(pairs)
+    assert b.to_pairs() == pairs
+
+
+def test_from_pairs_empty():
+    b = BAT.from_pairs([])
+    assert len(b) == 0
+
+
+def test_reverse_swaps():
+    b = BAT.dense([10, 20], hseqbase=3)
+    r = b.reverse()
+    assert r.to_pairs() == [(10, 3), (20, 4)]
+
+
+def test_reverse_twice_is_identity():
+    b = BAT(np.array([5, 6]), head=np.array([1, 2]))
+    assert b.reverse().reverse() == b
+
+
+def test_mirror():
+    b = BAT(np.array([9.0, 8.0]), head=np.array([4, 2]))
+    m = b.mirror()
+    assert m.to_pairs() == [(4, 4), (2, 2)]
+
+
+def test_mark_renumbers_head():
+    b = BAT(np.array([10, 20, 30]), head=np.array([7, 3, 9]))
+    m = b.mark()
+    assert m.is_dense_head
+    assert m.to_pairs() == [(0, 10), (1, 20), (2, 30)]
+    m5 = b.mark(5)
+    assert m5.head_array().tolist() == [5, 6, 7]
+
+
+def test_slice_dense_keeps_oids():
+    b = BAT.dense([1, 2, 3, 4], hseqbase=10)
+    s = b.slice(1, 3)
+    assert s.to_pairs() == [(11, 2), (12, 3)]
+
+
+def test_slice_beyond_end():
+    b = BAT.dense([1, 2])
+    assert len(b.slice(0, 100)) == 2
+
+
+def test_nbytes_counts_head_and_tail():
+    dense = BAT.dense(np.zeros(100, dtype=np.int64))
+    explicit = BAT(np.zeros(100, dtype=np.int64), head=np.arange(100))
+    assert dense.nbytes == 800
+    assert explicit.nbytes == 1600
+
+
+def test_tail_is_sorted():
+    assert BAT.dense([1, 2, 2, 3]).tail_is_sorted()
+    assert not BAT.dense([2, 1]).tail_is_sorted()
+    assert BAT.dense([]).tail_is_sorted()
+
+
+def test_equality():
+    assert BAT.dense([1, 2]) == BAT.dense([1, 2])
+    assert BAT.dense([1, 2]) != BAT.dense([1, 3])
+    assert BAT.dense([1, 2], hseqbase=1) != BAT.dense([1, 2])
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(BAT.dense([1]))
+
+
+def test_copy_is_independent():
+    b = BAT.dense(np.array([1, 2]))
+    c = b.copy()
+    c.tail[0] = 99
+    assert b.tail[0] == 1
+
+
+def test_mark_tail_renumbers_tail():
+    """MonetDB's markT (the paper's Table 1 usage): dense tail OIDs."""
+    b = BAT(np.array([10, 20, 30]), head=np.array([7, 3, 9]))
+    m = b.mark_tail()
+    assert m.to_pairs() == [(7, 0), (3, 1), (9, 2)]
+    m5 = b.mark_tail(5)
+    assert m5.tail.tolist() == [5, 6, 7]

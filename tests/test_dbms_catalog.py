@@ -1,0 +1,82 @@
+"""Unit tests for the schema catalog and partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.catalog import Catalog
+
+
+def test_load_single_partition():
+    cat = Catalog()
+    table = cat.load_table("sys", "t", {"id": [1, 2, 3], "v": [4.0, 5.0, 6.0]})
+    assert table.n_rows == 3
+    assert table.n_partitions == 1
+    assert cat.bind("sys", "t", "id", 0).tail.tolist() == [1, 2, 3]
+
+
+def test_partitioning_splits_with_global_oids():
+    cat = Catalog()
+    table = cat.load_table(
+        "sys", "t", {"v": np.arange(10)}, rows_per_partition=4
+    )
+    assert table.n_partitions == 3
+    p0 = cat.bind("sys", "t", "v", 0)
+    p1 = cat.bind("sys", "t", "v", 1)
+    p2 = cat.bind("sys", "t", "v", 2)
+    assert len(p0) == 4 and len(p1) == 4 and len(p2) == 2
+    assert p1.hseqbase == 4
+    assert p2.head_array().tolist() == [8, 9]
+
+
+def test_bat_ids_globally_unique():
+    cat = Catalog()
+    cat.load_table("sys", "a", {"x": [1], "y": [2]})
+    cat.load_table("sys", "b", {"z": np.arange(6)}, rows_per_partition=2)
+    ids = [h.bat_id for h in cat.all_handles()]
+    assert len(ids) == len(set(ids)) == 5
+    for h in cat.all_handles():
+        assert cat.handle_by_id(h.bat_id) is h
+
+
+def test_duplicate_table_rejected():
+    cat = Catalog()
+    cat.load_table("sys", "t", {"x": [1]})
+    with pytest.raises(ValueError):
+        cat.load_table("sys", "t", {"x": [1]})
+
+
+def test_mismatched_column_lengths():
+    cat = Catalog()
+    with pytest.raises(ValueError):
+        cat.load_table("sys", "t", {"x": [1, 2], "y": [1]})
+
+
+def test_empty_table_definition_rejected():
+    with pytest.raises(ValueError):
+        Catalog().load_table("sys", "t", {})
+
+
+def test_unknown_lookups():
+    cat = Catalog()
+    cat.load_table("sys", "t", {"x": [1]})
+    with pytest.raises(KeyError):
+        cat.table("sys", "zzz")
+    with pytest.raises(KeyError):
+        cat.bind("sys", "t", "nope", 0)
+    with pytest.raises(KeyError):
+        cat.column_handles("sys", "t", "nope")
+    assert cat.has_table("sys", "t")
+    assert not cat.has_table("sys", "zzz")
+
+
+def test_column_handles_in_partition_order():
+    cat = Catalog()
+    cat.load_table("sys", "t", {"v": np.arange(9)}, rows_per_partition=3)
+    handles = cat.column_handles("sys", "t", "v")
+    assert [h.partition for h in handles] == [0, 1, 2]
+
+
+def test_total_bytes():
+    cat = Catalog()
+    cat.load_table("sys", "t", {"v": np.zeros(100, dtype=np.int64)})
+    assert cat.total_bytes == 800

@@ -1,0 +1,109 @@
+"""Unit tests for the MAL interpreter and registries."""
+
+import numpy as np
+import pytest
+
+from repro.dbms import Database
+from repro.dbms.bat import BAT
+from repro.dbms.catalog import Catalog
+from repro.dbms.interpreter import (
+    Interpreter,
+    ResultSet,
+    UnknownOperator,
+    local_registry,
+)
+from repro.dbms.mal import Instruction, Plan, Var
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.load_table("sys", "t", {"id": np.array([1, 2, 3]), "v": np.array([9.0, 8.0, 7.0])})
+    return cat
+
+
+def test_run_simple_plan(catalog):
+    plan = Plan()
+    col = plan.emit("sql", "bind", ("sys", "t", "v", 0))
+    sel = plan.emit("algebra", "select", (col, 7.5, None))
+    interp = Interpreter(local_registry(catalog))
+    env = interp.run(plan)
+    assert env[sel.name].tail.tolist() == [9.0, 8.0]
+
+
+def test_unknown_operator(catalog):
+    plan = Plan()
+    plan.emit("nope", "nada", ())
+    with pytest.raises(UnknownOperator):
+        Interpreter(local_registry(catalog)).run(plan)
+
+
+def test_variable_before_assignment(catalog):
+    plan = Plan()
+    plan.append(Instruction("bat", "reverse", (Var("XMISSING"),), ("OUT",)))
+    with pytest.raises(NameError):
+        Interpreter(local_registry(catalog)).run(plan)
+
+
+def test_multi_result_assignment(catalog):
+    plan = Plan()
+    col = plan.emit("sql", "bind", ("sys", "t", "id", 0))
+    g, e = plan.emit("group", "new", (col,), n_results=2)
+    env = Interpreter(local_registry(catalog)).run(plan)
+    assert isinstance(env[g.name], BAT)
+    assert isinstance(env[e.name], BAT)
+
+
+def test_generator_function_support(catalog):
+    """Registry entries may be generators; the sync runner rejects yields
+    but run_gen drives them."""
+    registry = local_registry(catalog)
+
+    def blocking_op():
+        yield "a-future"
+        return 42
+
+    registry["test.block"] = blocking_op
+    plan = Plan()
+    out = plan.emit("test", "block", ())
+    gen = Interpreter(registry).run_gen(plan)
+    yielded = next(gen)
+    assert yielded == "a-future"
+    with pytest.raises(StopIteration) as stop:
+        gen.send(None)
+    assert stop.value.value[out.name] == 42
+
+
+def test_sync_runner_rejects_blocking(catalog):
+    registry = local_registry(catalog)
+
+    def blocking_op():
+        yield "x"
+
+    registry["test.block"] = blocking_op
+    plan = Plan()
+    plan.emit("test", "block", ())
+    with pytest.raises(RuntimeError):
+        Interpreter(registry).run(plan)
+
+
+def test_result_set_api():
+    rs = ResultSet()
+    rs.add_column("a", BAT.dense([1, 2]))
+    rs.add_column("b", 42)
+    assert rs.names == ["a", "b"]
+    assert rs.column("a").tolist() == [1, 2]
+    assert rs.column("b") == 42
+
+
+def test_result_set_rows_broadcast_scalars():
+    rs = ResultSet()
+    rs.add_column("n", 7)
+    assert rs.rows() == [(7,)]
+    assert rs.n_rows == 1
+
+
+def test_empty_result_set():
+    rs = ResultSet()
+    assert rs.rows() == []
+    assert rs.n_rows == 0

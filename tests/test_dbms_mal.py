@@ -1,0 +1,154 @@
+"""Unit tests for the MAL plan representation and the DC optimizer."""
+
+from repro.dbms.mal import Instruction, Plan, Var
+from repro.dbms.optimizer import dc_optimize, requested_binds
+
+
+def table1_plan() -> Plan:
+    """The paper's Table 1 plan: select c.t_id from t, c where c.t_id = t.id."""
+    plan = Plan("user.s1_2")
+    x1 = plan.emit("sql", "bind", ("sys", "t", "id", 0))
+    x6 = plan.emit("sql", "bind", ("sys", "c", "t_id", 0))
+    x9 = plan.emit("bat", "reverse", (x6,))
+    x10 = plan.emit("algebra", "join", (x1, x9))
+    x13 = plan.emit("algebra", "markT", (x10, 0))
+    x14 = plan.emit("bat", "reverse", (x13,))
+    x15 = plan.emit("algebra", "join", (x14, x1))
+    x16 = plan.emit("sql", "resultSet", (1, 1, x15))
+    plan.emit("sql", "rsCol", (x16, "sys.c", "t_id", "int", 32, 0, x15), n_results=0)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# plan mechanics
+# ----------------------------------------------------------------------
+def test_emit_assigns_fresh_vars():
+    plan = Plan()
+    a = plan.emit("m", "f", ())
+    b = plan.emit("m", "g", (a,))
+    assert a.name != b.name
+    assert len(plan) == 2
+
+
+def test_emit_multi_result():
+    plan = Plan()
+    g, e = plan.emit("group", "new", (), n_results=2)
+    assert isinstance(g, Var) and isinstance(e, Var)
+    assert plan.instructions[0].results == (g.name, e.name)
+
+
+def test_emit_void():
+    plan = Plan()
+    out = plan.emit("io", "print", ("x",), n_results=0)
+    assert out is None
+    assert plan.instructions[0].results == ()
+
+
+def test_uses_finds_nested_vars():
+    instr = Instruction("m", "f", args=(Var("A"), [Var("B"), 3], "lit"), results=("C",))
+    assert instr.uses() == {"A", "B"}
+
+
+def test_first_last_use_and_defining():
+    plan = table1_plan()
+    x1_def = plan.defining("X1")
+    assert x1_def == 0
+    assert plan.first_use("X1") == 3   # the first join
+    assert plan.last_use("X1") == 6    # the second join
+    assert plan.first_use("nonexistent") is None
+
+
+def test_render_shape():
+    text = table1_plan().render()
+    assert text.startswith("function user.s1_2():void;")
+    assert text.endswith("end user.s1_2;")
+    assert 'X1 := sql.bind("sys", "t", "id", 0);' in text
+    assert "X4 := algebra.join(X1, X3);" in text
+
+
+def test_variables():
+    plan = Plan()
+    a = plan.emit("m", "f", ())
+    plan.emit("m", "g", (a,))
+    assert plan.variables() == {"X1", "X2"}
+
+
+# ----------------------------------------------------------------------
+# the DC optimizer (Table 1 -> Table 2)
+# ----------------------------------------------------------------------
+def test_binds_become_requests():
+    optimized = dc_optimize(table1_plan())
+    ops = optimized.ops()
+    assert "sql.bind" not in ops
+    assert ops.count("datacyclotron.request") == 2
+    assert requested_binds(optimized) == [
+        ("sys", "t", "id", 0),
+        ("sys", "c", "t_id", 0),
+    ]
+
+
+def test_requests_hoisted_to_top():
+    optimized = dc_optimize(table1_plan())
+    ops = optimized.ops()
+    assert ops[0] == ops[1] == "datacyclotron.request"
+
+
+def test_one_pin_per_bound_variable():
+    optimized = dc_optimize(table1_plan())
+    ops = optimized.ops()
+    assert ops.count("datacyclotron.pin") == 2
+    assert ops.count("datacyclotron.unpin") == 2
+
+
+def test_pin_immediately_precedes_first_use():
+    optimized = dc_optimize(table1_plan())
+    # X2 (c.t_id) is first used by bat.reverse; its pin must come before
+    pin_idx = next(
+        i
+        for i, instr in enumerate(optimized)
+        if instr.opname == "datacyclotron.pin" and instr.results == ("X2",)
+    )
+    use_idx = optimized.first_use("X2")
+    assert pin_idx < use_idx
+    # and no kernel operator sits between the pin block and first use
+    between = optimized.instructions[pin_idx + 1 : use_idx]
+    assert all(instr.opname.startswith("datacyclotron.") for instr in between)
+
+
+def test_unpin_follows_last_use():
+    optimized = dc_optimize(table1_plan())
+    unpin_idx = next(
+        i
+        for i, instr in enumerate(optimized)
+        if instr.opname == "datacyclotron.unpin"
+        and instr.args
+        and isinstance(instr.args[0], Var)
+        and instr.args[0].name == "X1"
+    )
+    assert unpin_idx > optimized.last_use("X1") or unpin_idx == optimized.last_use("X1")
+    # nothing after the unpin uses X1
+    for instr in optimized.instructions[unpin_idx + 1 :]:
+        assert "X1" not in instr.uses()
+
+
+def test_unused_bind_requested_but_not_pinned():
+    plan = Plan()
+    plan.emit("sql", "bind", ("sys", "t", "unused", 0))
+    optimized = dc_optimize(plan)
+    ops = optimized.ops()
+    assert ops == ["datacyclotron.request"]
+
+
+def test_optimize_idempotent_on_dc_plans():
+    once = dc_optimize(table1_plan())
+    twice = dc_optimize(once)
+    assert once.ops() == twice.ops()
+
+
+def test_table2_shape_rendering():
+    """The optimized plan renders with the Table 2 call vocabulary."""
+    text = dc_optimize(table1_plan()).render()
+    assert "datacyclotron.request(" in text
+    assert "datacyclotron.pin(" in text
+    assert "datacyclotron.unpin(" in text
+    assert "sql.bind" not in text

@@ -1,0 +1,172 @@
+"""Tests for parsing MAL text, including the paper's verbatim Table 1."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dbms.mal import MalSyntaxError, Plan, Var, parse_plan
+from repro.dbms.optimizer import dc_optimize
+
+# The exact program printed as Table 1 of the paper (including its
+# unqualified "end s1_2;" line).
+PAPER_TABLE_1 = """
+function user.s1_2():void;
+X1 := sql.bind("sys","t","id",0);
+X6 := sql.bind("sys","c","t_id",0);
+X9 := bat.reverse(X6);
+X10 := algebra.join(X1, X9);
+X13 := algebra.markT(X10,0@0);
+X14 := bat.reverse(X13);
+X15 := algebra.join(X14, X1);
+X16 := sql.resultSet(1,1,X15);
+sql.rsCol(X16,"sys.c","t_id","int",32,0,X15);
+X22 := io.stdout();
+sql.exportResult(X22,X16);
+end s1_2;
+"""
+
+
+def test_parse_paper_table1_verbatim():
+    plan = parse_plan(PAPER_TABLE_1)
+    assert plan.name == "user.s1_2"
+    assert len(plan) == 11
+    assert plan.ops()[0] == "sql.bind"
+    bind = plan.instructions[0]
+    assert bind.args == ("sys", "t", "id", 0)
+    assert bind.results == ("X1",)
+    # the OID literal 0@0 parses to offset 0
+    mark = plan.instructions[4]
+    assert mark.opname == "algebra.markT"
+    assert mark.args == (Var("X10"), 0)
+
+
+def test_optimizing_the_papers_plan_gives_table2_shape():
+    optimized = dc_optimize(parse_plan(PAPER_TABLE_1))
+    ops = optimized.ops()
+    assert ops.count("datacyclotron.request") == 2
+    assert ops.count("datacyclotron.pin") == 2
+    assert ops.count("datacyclotron.unpin") == 2
+    assert "sql.bind" not in ops
+    # the pin of X6 precedes its first use (bat.reverse), as in Table 2
+    pin_x6 = next(i for i, ins in enumerate(optimized)
+                  if ins.opname == "datacyclotron.pin" and ins.results == ("X6",))
+    assert pin_x6 < optimized.first_use("X6")
+
+
+def test_roundtrip_render_parse():
+    plan = Plan("user.demo")
+    a = plan.emit("sql", "bind", ("sys", "t", "v", 0))
+    b = plan.emit("algebra", "select", (a, 1.5, None, True, False))
+    plan.emit("group", "multi", ([a, b],), n_results=2)
+    plan.emit("io", "print", (b,), n_results=0)
+    reparsed = parse_plan(plan.render())
+    assert reparsed.render() == plan.render()
+
+
+def test_parse_multi_result():
+    text = """function user.m():void;
+    (X1, X2) := group.new(X0);
+end user.m;"""
+    plan = parse_plan(text)
+    assert plan.instructions[0].results == ("X1", "X2")
+
+
+def test_parse_negative_and_float_literals():
+    plan = parse_plan(
+        "function user.m():void;\nX1 := calc.arith(\"+\", -3, 2.5);\nend user.m;"
+    )
+    assert plan.instructions[0].args == ("+", -3, 2.5)
+
+
+def test_parse_keyword_literals():
+    plan = parse_plan(
+        "function user.m():void;\n"
+        "X1 := algebra.select(X0, None, 5, True, False);\n"
+        "end user.m;"
+    )
+    assert plan.instructions[0].args == (Var("X0"), None, 5, True, False)
+
+
+def test_fresh_vars_do_not_collide_after_parse():
+    plan = parse_plan(PAPER_TABLE_1)
+    fresh = plan.fresh_var()
+    assert fresh.name not in plan.variables()
+
+
+def test_parse_errors():
+    with pytest.raises(MalSyntaxError):
+        parse_plan("")
+    with pytest.raises(MalSyntaxError):
+        parse_plan("nonsense")
+    with pytest.raises(MalSyntaxError):
+        parse_plan("function user.a():void;\nend user.b;")
+    with pytest.raises(MalSyntaxError):
+        parse_plan("function user.a():void;\ngarbage line\nend user.a;")
+    with pytest.raises(MalSyntaxError):
+        parse_plan(
+            "function user.a():void;\nX1 := m.f([1, 2);\nend user.a;"
+        )
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["algebra", "bat", "sql", "aggr"]),
+            st.sampled_from(["join", "select", "reverse", "count"]),
+            st.lists(
+                st.one_of(
+                    st.integers(min_value=-1000, max_value=1000),
+                    st.floats(min_value=-100, max_value=100,
+                              allow_nan=False).map(lambda f: round(f, 3)),
+                    st.sampled_from([True, False, None]),
+                    st.text(alphabet="abcxyz", min_size=0, max_size=5),
+                ),
+                max_size=4,
+            ),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_property_roundtrip(instrs):
+    """render -> parse -> render is the identity for generated plans."""
+    plan = Plan("user.prop")
+    last = None
+    for module, fn, args in instrs:
+        if last is not None:
+            args = [last] + list(args)
+        last = plan.emit(module, fn, tuple(args))
+    reparsed = parse_plan(plan.render())
+    assert reparsed.render() == plan.render()
+
+
+def test_execute_paper_table1_verbatim():
+    """The exact Table 1 program runs against the local engine and
+    answers the paper's query: select c.t_id from t, c where c.t_id = t.id."""
+    import numpy as np
+
+    from repro.dbms.catalog import Catalog
+    from repro.dbms.interpreter import Interpreter, local_registry
+
+    catalog = Catalog()
+    catalog.load_table("sys", "t", {"id": np.array([1, 2, 3])})
+    catalog.load_table("sys", "c", {"t_id": np.array([2, 3, 3, 9])})
+    plan = parse_plan(PAPER_TABLE_1)
+    env = Interpreter(local_registry(catalog)).run(plan)
+    rs = env["X16"]
+    assert sorted(v for (v,) in rs.rows()) == [2, 3, 3]
+
+
+def test_execute_paper_plan_after_dc_optimization_on_ring():
+    """Table 1 -> DC optimizer -> distributed execution: the verbatim
+    paper plan answers correctly over a simulated storage ring."""
+    import numpy as np
+
+    from repro.core import DataCyclotronConfig
+    from repro.dbms.executor import RingDatabase
+
+    ring = RingDatabase(DataCyclotronConfig(n_nodes=3, seed=2))
+    ring.load_table("t", {"id": np.array([1, 2, 3])})
+    ring.load_table("c", {"t_id": np.array([2, 3, 3, 9])})
+    handle = ring.submit("select c.t_id from t, c where c.t_id = t.id", node=1)
+    assert ring.run_until_done(max_time=60.0)
+    assert sorted(v for (v,) in handle.result.rows()) == [2, 3, 3]

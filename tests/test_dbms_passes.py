@@ -1,0 +1,234 @@
+"""Tests for the targeted plan-rewriting passes."""
+
+import numpy as np
+import pytest
+
+from repro.dbms import Database
+from repro.dbms.mal import Plan, Var
+from repro.dbms.optimizer import dc_optimize
+from repro.dbms.passes import (
+    common_subexpressions,
+    dead_code,
+    fold_doubles,
+    optimize,
+)
+
+
+# ----------------------------------------------------------------------
+# dead code
+# ----------------------------------------------------------------------
+def test_dead_code_drops_unused_pure_ops():
+    plan = Plan()
+    a = plan.emit("sql", "bind", ("sys", "t", "v", 0))
+    plan.emit("bat", "reverse", (a,))  # never used
+    rs = plan.emit("sql", "resultSet", ())
+    plan.emit("sql", "rsCol", (rs, "v", a))
+    cleaned = dead_code(plan)
+    assert "bat.reverse" not in cleaned.ops()
+    assert len(cleaned) == 3
+
+
+def test_dead_code_keeps_transitive_dependencies():
+    plan = Plan()
+    a = plan.emit("sql", "bind", ("sys", "t", "v", 0))
+    b = plan.emit("bat", "reverse", (a,))
+    c = plan.emit("algebra", "markH", (b, 0))
+    rs = plan.emit("sql", "resultSet", ())
+    plan.emit("sql", "rsCol", (rs, "v", c))
+    cleaned = dead_code(plan)
+    assert len(cleaned) == 5  # everything feeds the result
+
+
+def test_dead_code_keeps_effectful_roots():
+    plan = Plan()
+    plan.emit("datacyclotron", "request", ("sys", "t", "v", 0))
+    plan.emit("io", "stdout", ())
+    cleaned = dead_code(plan)
+    assert len(cleaned) == 2
+
+
+# ----------------------------------------------------------------------
+# common subexpressions
+# ----------------------------------------------------------------------
+def test_cse_merges_identical_computations():
+    plan = Plan()
+    a = plan.emit("sql", "bind", ("sys", "t", "v", 0))
+    r1 = plan.emit("bat", "reverse", (a,))
+    r2 = plan.emit("bat", "reverse", (a,))  # duplicate
+    j = plan.emit("algebra", "join", (r1, r2))
+    rs = plan.emit("sql", "resultSet", ())
+    plan.emit("sql", "rsCol", (rs, "v", j))
+    out = common_subexpressions(plan)
+    assert out.ops().count("bat.reverse") == 1
+    # the join now consumes the canonical var twice
+    join_instr = next(i for i in out if i.opname == "algebra.join")
+    assert join_instr.args[0] == join_instr.args[1]
+
+
+def test_cse_respects_different_arguments():
+    plan = Plan()
+    a = plan.emit("sql", "bind", ("sys", "t", "v", 0))
+    plan.emit("algebra", "select", (a, 1, 5))
+    plan.emit("algebra", "select", (a, 1, 6))
+    out = common_subexpressions(plan)
+    assert out.ops().count("algebra.select") == 2
+
+
+def test_cse_does_not_merge_effectful_ops():
+    plan = Plan()
+    plan.emit("sql", "resultSet", ())
+    plan.emit("sql", "resultSet", ())
+    out = common_subexpressions(plan)
+    assert out.ops().count("sql.resultSet") == 2
+
+
+# ----------------------------------------------------------------------
+# peepholes
+# ----------------------------------------------------------------------
+def test_double_reverse_cancels():
+    plan = Plan()
+    a = plan.emit("sql", "bind", ("sys", "t", "v", 0))
+    r = plan.emit("bat", "reverse", (a,))
+    rr = plan.emit("bat", "reverse", (r,))
+    rs = plan.emit("sql", "resultSet", ())
+    plan.emit("sql", "rsCol", (rs, "v", rr))
+    out = optimize(plan)
+    assert out.ops().count("bat.reverse") == 0
+    rscol = next(i for i in out if i.opname == "sql.rsCol")
+    assert rscol.args[-1] == Var(a.name)
+
+
+def test_mark_over_mark_collapses():
+    plan = Plan()
+    a = plan.emit("sql", "bind", ("sys", "t", "v", 0))
+    m1 = plan.emit("algebra", "markH", (a, 0))
+    m2 = plan.emit("algebra", "markH", (m1, 0))
+    rs = plan.emit("sql", "resultSet", ())
+    plan.emit("sql", "rsCol", (rs, "v", m2))
+    out = optimize(plan)
+    assert out.ops().count("algebra.markH") == 1
+
+
+def test_mark_with_different_base_not_collapsed():
+    plan = Plan()
+    a = plan.emit("sql", "bind", ("sys", "t", "v", 0))
+    m1 = plan.emit("algebra", "markH", (a, 0))
+    m2 = plan.emit("algebra", "markH", (m1, 7))
+    rs = plan.emit("sql", "resultSet", ())
+    plan.emit("sql", "rsCol", (rs, "v", m2))
+    out = fold_doubles(plan)
+    assert out.ops().count("algebra.markH") == 2
+
+
+# ----------------------------------------------------------------------
+# end-to-end: optimized plans answer identically
+# ----------------------------------------------------------------------
+@pytest.fixture
+def db():
+    database = Database()
+    rng = np.random.default_rng(8)
+    database.load_table(
+        "t", {"id": np.arange(300), "v": rng.random(300), "w": rng.random(300)}
+    )
+    database.load_table(
+        "c", {"t_id": rng.integers(0, 300, 200), "x": rng.random(200)}
+    )
+    return database
+
+
+QUERIES = [
+    "SELECT v, v FROM t WHERE id < 10",  # duplicate projection -> CSE
+    "SELECT sum(v * w) s, sum(v * w) s2 FROM t",
+    "SELECT t.v, c.x FROM t, c WHERE c.t_id = t.id AND v > 0.5 "
+    "ORDER BY x DESC LIMIT 5",
+    "SELECT t_id, count(*) n FROM c GROUP BY t_id ORDER BY n DESC LIMIT 3",
+]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_optimized_plan_same_answers(db, sql):
+    plain = db.execute(db.compile(sql))
+    optimized_plan = db.compile(sql, optimize=True)
+    optimized = db.execute(optimized_plan)
+    assert plain.rows() == optimized.rows()
+
+
+def test_optimizer_shrinks_duplicate_heavy_plans(db):
+    sql = "SELECT sum(v * w) a, sum(v * w) b, sum(v * w) c FROM t"
+    plain = db.compile(sql).plan
+    lean = db.compile(sql, optimize=True).plan
+    assert len(lean) < len(plain)
+
+
+def test_passes_compose_with_dc_optimizer(db):
+    sql = "SELECT v, v FROM t WHERE id < 10"
+    lean = db.compile(sql, optimize=True).plan
+    dc = dc_optimize(lean)
+    ops = dc.ops()
+    assert "sql.bind" not in ops
+    assert ops.count("datacyclotron.request") >= 1
+    assert ops.count("datacyclotron.pin") == ops.count("datacyclotron.unpin")
+
+
+def test_optimize_reaches_fixed_point():
+    plan = Plan()
+    a = plan.emit("sql", "bind", ("sys", "t", "v", 0))
+    rs = plan.emit("sql", "resultSet", ())
+    plan.emit("sql", "rsCol", (rs, "v", a))
+    once = optimize(plan)
+    twice = optimize(once)
+    assert once.render() == twice.render()
+
+
+# ----------------------------------------------------------------------
+# plan well-formedness across the whole pipeline
+# ----------------------------------------------------------------------
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dbms.mal import PlanValidationError, validate_plan
+
+
+def test_validate_plan_catches_violations():
+    from repro.dbms.mal import Instruction, Var
+
+    use_before_def = Plan()
+    use_before_def.append(Instruction("m", "f", (Var("X9"),), ("X1",)))
+    with pytest.raises(PlanValidationError, match="before its definition"):
+        validate_plan(use_before_def)
+
+    reassign = Plan()
+    reassign.append(Instruction("m", "f", (), ("X1",)))
+    reassign.append(Instruction("m", "g", (), ("X1",)))
+    with pytest.raises(PlanValidationError, match="reassigns"):
+        validate_plan(reassign)
+
+    dupe = Plan()
+    dupe.append(Instruction("m", "f", (), ("X1", "X1")))
+    with pytest.raises(PlanValidationError, match="repeats"):
+        validate_plan(dupe)
+
+
+SQL_POOL = [
+    "SELECT a FROM t WHERE a < 5",
+    "SELECT a, b FROM t WHERE (a = 1 OR b = 2) ORDER BY b DESC LIMIT 3",
+    "SELECT a, sum(b) s FROM t GROUP BY a HAVING sum(b) > 2 ORDER BY s",
+    "SELECT t.a, c.x FROM t, c WHERE c.k = t.a AND b != 0",
+    "SELECT count(DISTINCT b) FROM t",
+    "SELECT sum(a * b + 1) FROM t WHERE b BETWEEN 1 AND 8",
+    "SELECT * FROM t ORDER BY a LIMIT 2",
+]
+
+
+@settings(deadline=None, max_examples=30,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sql=st.sampled_from(SQL_POOL), optimize_flag=st.booleans())
+def test_property_pipeline_emits_wellformed_plans(sql, optimize_flag):
+    """Planner, pass pipeline and DC optimizer all preserve SSA form."""
+    import numpy as np
+
+    db = Database()
+    db.load_table("t", {"a": np.arange(10) % 4, "b": np.arange(10) % 3})
+    db.load_table("c", {"k": np.arange(6) % 4, "x": np.arange(6)})
+    planned = db.compile(sql, optimize=optimize_flag)
+    validate_plan(planned.plan)
+    validate_plan(dc_optimize(planned.plan))

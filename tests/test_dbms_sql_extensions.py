@@ -1,0 +1,213 @@
+"""Tests for the dialect extensions: OR groups, HAVING, COUNT(DISTINCT)."""
+
+import numpy as np
+import pytest
+
+from repro.dbms import Database
+from repro.dbms.bat import BAT
+from repro.dbms.kernel import group_count_distinct, unique_heads
+from repro.dbms.sql import SqlError, parse
+from repro.dbms.sql.parser import AggCall, ColumnRef, HavingCond, Literal, OrGroup
+
+
+# ----------------------------------------------------------------------
+# kernel additions
+# ----------------------------------------------------------------------
+def test_unique_heads_keeps_first():
+    b = BAT.from_pairs([(1, "a"), (2, "b"), (1, "c"), (3, "d")])
+    u = unique_heads(b)
+    assert u.to_pairs() == [(1, "a"), (2, "b"), (3, "d")]
+
+
+def test_unique_heads_empty():
+    assert len(unique_heads(BAT.empty())) == 0
+
+
+def test_group_count_distinct():
+    values = BAT.dense(["x", "y", "x", "x", "z"])
+    groups = BAT.dense([0, 0, 0, 1, 1])
+    out = group_count_distinct(values, groups, 3)
+    assert out.tail.tolist() == [2, 2, 0]
+
+
+def test_group_count_distinct_validation():
+    with pytest.raises(ValueError):
+        group_count_distinct(BAT.dense([1]), BAT.dense([0, 1]), 2)
+
+
+def test_group_count_distinct_empty():
+    out = group_count_distinct(BAT.empty(), BAT.empty(np.int64), 2)
+    assert out.tail.tolist() == [0, 0]
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def test_parse_or_group():
+    ast = parse("SELECT a FROM t WHERE (a = 1 OR a = 2) AND b > 3")
+    assert isinstance(ast.where[0], OrGroup)
+    assert len(ast.where[0].preds) == 2
+    assert not isinstance(ast.where[1], OrGroup)
+
+
+def test_parse_unparenthesised_or_rejected():
+    with pytest.raises(SqlError, match="parenthesised"):
+        parse("SELECT a FROM t WHERE a = 1 OR a = 2")
+
+
+def test_parenthesised_expression_still_works():
+    ast = parse("SELECT a FROM t WHERE (a + b) > 3")
+    assert not isinstance(ast.where[0], OrGroup)
+
+
+def test_parse_having():
+    ast = parse(
+        "SELECT a, sum(b) s FROM t GROUP BY a HAVING sum(b) > 10 AND count(*) >= 2"
+    )
+    assert ast.having == [
+        HavingCond(AggCall("sum", ColumnRef("b")), ">", Literal(10)),
+        HavingCond(AggCall("count", None), ">=", Literal(2)),
+    ]
+
+
+def test_parse_having_requires_aggregate():
+    with pytest.raises(SqlError):
+        parse("SELECT a FROM t GROUP BY a HAVING b > 1")
+
+
+def test_parse_count_distinct():
+    ast = parse("SELECT count(DISTINCT a) FROM t")
+    assert ast.items[0].expr == AggCall("count", ColumnRef("a"), distinct=True)
+
+
+def test_distinct_outside_count_rejected():
+    with pytest.raises(SqlError):
+        parse("SELECT sum(DISTINCT a) FROM t")
+
+
+# ----------------------------------------------------------------------
+# end-to-end
+# ----------------------------------------------------------------------
+@pytest.fixture
+def db():
+    database = Database()
+    database.load_table(
+        "sales",
+        {
+            "region": np.array([0, 0, 0, 1, 1, 2, 2, 2, 2]),
+            "product": np.array([1, 2, 1, 1, 3, 1, 2, 2, 3]),
+            "amount": np.array([10.0, 20.0, 30.0, 5.0, 15.0, 1.0, 2.0, 3.0, 4.0]),
+        },
+    )
+    return database
+
+
+def test_or_group_end_to_end(db):
+    rs = db.query("SELECT amount FROM sales WHERE (region = 0 OR region = 1)")
+    assert sorted(rs.column("amount")) == [5.0, 10.0, 15.0, 20.0, 30.0]
+
+
+def test_or_group_overlapping_branches_no_duplicates(db):
+    rs = db.query(
+        "SELECT count(*) n FROM sales WHERE (amount < 20 OR amount < 30)"
+    )
+    # overlapping ranges must not double-count rows
+    assert rs.rows() == [(8,)]
+
+
+def test_or_group_mixed_predicate_kinds(db):
+    rs = db.query(
+        "SELECT count(*) n FROM sales "
+        "WHERE (amount BETWEEN 1 AND 3 OR product IN (3))"
+    )
+    assert rs.rows() == [(5,)]
+
+
+def test_or_group_cross_table_rejected(db):
+    db.load_table("other", {"k": [0]})
+    with pytest.raises(SqlError):
+        db.query(
+            "SELECT sales.amount FROM sales, other "
+            "WHERE sales.region = other.k AND (region = 1 OR k = 0)"
+        )
+
+
+def test_having_end_to_end(db):
+    rs = db.query(
+        "SELECT region, sum(amount) s FROM sales GROUP BY region "
+        "HAVING sum(amount) > 15 ORDER BY s DESC"
+    )
+    assert rs.rows() == [(0, 60.0), (1, 20.0)]
+
+
+def test_having_on_count(db):
+    rs = db.query(
+        "SELECT region, count(*) n FROM sales GROUP BY region HAVING count(*) >= 3"
+    )
+    assert sorted(rs.rows()) == [(0, 3), (2, 4)]
+
+
+def test_multiple_having_conditions(db):
+    rs = db.query(
+        "SELECT region, sum(amount) s, count(*) n FROM sales GROUP BY region "
+        "HAVING sum(amount) > 5 AND count(*) >= 3"
+    )
+    assert sorted(rs.rows()) == [(0, 60.0, 3), (2, 10.0, 4)]
+
+
+def test_having_without_group_by_rejected(db):
+    with pytest.raises(SqlError):
+        db.query("SELECT sum(amount) FROM sales HAVING sum(amount) > 1")
+
+
+def test_having_then_order_and_limit(db):
+    rs = db.query(
+        "SELECT region, count(*) n FROM sales GROUP BY region "
+        "HAVING count(*) >= 2 ORDER BY n DESC LIMIT 1"
+    )
+    assert rs.rows() == [(2, 4)]
+
+
+def test_count_distinct_grouped(db):
+    rs = db.query(
+        "SELECT region, count(DISTINCT product) p FROM sales GROUP BY region "
+        "ORDER BY region"
+    )
+    assert rs.rows() == [(0, 2), (1, 2), (2, 3)]
+
+
+def test_count_distinct_scalar(db):
+    rs = db.query("SELECT count(DISTINCT product) p FROM sales")
+    assert rs.rows() == [(3,)]
+
+
+def test_count_distinct_with_filter(db):
+    rs = db.query(
+        "SELECT count(DISTINCT product) p FROM sales WHERE region = 2"
+    )
+    assert rs.rows() == [(3,)]
+
+
+# ----------------------------------------------------------------------
+# SELECT *
+# ----------------------------------------------------------------------
+def test_select_star(db):
+    rs = db.query("SELECT * FROM sales WHERE amount > 15 ORDER BY amount")
+    assert rs.names == ["region", "product", "amount"]
+    assert rs.rows() == [(0, 2, 20.0), (0, 1, 30.0)]
+
+
+def test_select_star_with_join(db):
+    db.load_table("regions", {"rid": [0, 1, 2], "zone": [10, 20, 30]})
+    rs = db.query(
+        "SELECT * FROM sales, regions WHERE region = rid AND amount > 20"
+    )
+    assert rs.names == ["region", "product", "amount", "rid", "zone"]
+    assert rs.rows() == [(0, 1, 30.0, 0, 10)]
+
+
+def test_select_star_restrictions(db):
+    from repro.dbms.sql import SqlError
+
+    with pytest.raises(SqlError):
+        db.query("SELECT * FROM sales GROUP BY region")

@@ -1,0 +1,36 @@
+"""Run the doctests embedded in the public-API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.ring
+import repro.dbms.database
+import repro.dbms.executor
+import repro.dbms.mal
+import repro.metrics.stats
+import repro.sim.engine
+import repro.sim.process
+import repro.sim.rng
+import repro.sim.timeline
+
+MODULES = [
+    repro.sim.engine,
+    repro.sim.process,
+    repro.sim.rng,
+    repro.sim.timeline,
+    repro.core.ring,
+    repro.dbms.mal,
+    repro.dbms.database,
+    repro.dbms.executor,
+    repro.metrics.stats,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    # the API examples exist where we promised them
+    if module in (repro.sim.engine, repro.dbms.database, repro.dbms.executor):
+        assert result.attempted > 0

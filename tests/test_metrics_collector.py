@@ -1,0 +1,108 @@
+"""Unit tests for the central metrics collector."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+
+
+@pytest.fixture
+def m():
+    return MetricsCollector()
+
+
+def test_query_lifecycle(m):
+    m.query_registered(1.0, 1, node=0, tag="a")
+    m.query_finished(3.5, 1)
+    rec = m.queries[1]
+    assert rec.lifetime == pytest.approx(2.5)
+    assert not rec.failed
+    assert m.finished_count() == 1
+    assert m.all_finished()
+
+
+def test_query_failure(m):
+    m.query_registered(0.0, 1, node=0)
+    m.query_failed(1.0, 1, "BAT does not exist")
+    rec = m.queries[1]
+    assert rec.failed and rec.error == "BAT does not exist"
+    # failed queries do not count as finished work
+    assert m.finished_count() == 0
+    assert m.lifetimes() == []
+    assert m.all_finished()  # but they are no longer pending
+
+
+def test_lifetime_filters_by_tag(m):
+    m.query_registered(0.0, 1, 0, tag="x")
+    m.query_registered(0.0, 2, 0, tag="y")
+    m.query_finished(1.0, 1)
+    m.query_finished(2.0, 2)
+    assert m.lifetimes(tag="x") == [1.0]
+    assert m.finished_count(tag="y") == 1
+    assert m.finished_count() == 2
+
+
+def test_ring_load_tracking(m):
+    m.bat_loaded(1.0, 5, size=100)
+    m.bat_loaded(2.0, 6, size=50)
+    m.bat_unloaded(3.0, 5, size=100)
+    assert m.ring_bytes.current == 50
+    assert m.ring_bats.current == 1
+    assert m.bats[5].loads == 1 and m.bats[5].unloads == 1
+
+
+def test_tagged_ring_load(m):
+    m.tag_bat(5, "dh1")
+    m.bat_loaded(1.0, 5, size=100)
+    m.bat_loaded(1.0, 6, size=70)  # untagged
+    assert m.ring_bytes_by_tag["dh1"].current == 100
+    assert m.ring_bytes.current == 170
+
+
+def test_drop_accounting(m):
+    m.bat_loaded(1.0, 5, size=100)
+    m.bat_dropped(2.0, 5, size=100, by_loss=False)
+    assert m.droptail_drops == 1 and m.loss_drops == 0
+    assert m.ring_bytes.current == 0
+    m.bat_loaded(3.0, 5, size=100)
+    m.bat_dropped(4.0, 5, size=100, by_loss=True)
+    assert m.loss_drops == 1
+    assert m.bats[5].drops == 2
+
+
+def test_touch_pin_cycle_latency(m):
+    m.bat_touched(1.0, 5)
+    m.bat_pinned(1.0, 5, count=3)
+    m.bat_cycle(2.0, 5, cycles=4)
+    m.bat_cycle(3.0, 5, cycles=2)   # lower cycle count does not regress max
+    m.request_created(0.0, 5)
+    m.request_served(1.5, 5, latency=1.5)
+    m.request_served(2.5, 5, latency=0.5)
+    stats = m.bats[5]
+    assert stats.touches == 1
+    assert stats.pins == 3
+    assert stats.max_cycles == 4
+    assert stats.requests == 1
+    assert stats.max_request_latency == 1.5
+
+
+def test_throughput_series(m):
+    for q, t in enumerate([0.5, 1.5, 1.6]):
+        m.query_registered(0.0, q, 0)
+        m.query_finished(t, q)
+    times, counts = m.throughput_series(end=2.0, step=1.0)
+    assert counts == [0, 1, 3]
+
+
+def test_registered_series(m):
+    m.query_registered(0.2, 1, 0)
+    m.query_registered(1.2, 2, 0)
+    _, counts = m.registered_series(end=2.0, step=1.0)
+    assert counts == [0, 1, 2]
+
+
+def test_lifetime_histogram(m):
+    m.query_registered(0.0, 1, 0)
+    m.query_finished(2.0, 1)
+    hist = m.lifetime_histogram(bin_width=1.0)
+    assert hist.count == 1
+    assert hist.mean == 2.0

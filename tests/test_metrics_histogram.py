@@ -1,0 +1,80 @@
+"""Unit tests for the streaming histogram."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.histogram import Histogram
+
+
+def test_basic_binning():
+    h = Histogram(bin_width=5.0)
+    h.extend([1.0, 2.0, 6.0, 12.0])
+    assert h.bins() == [(0.0, 5.0, 2), (5.0, 10.0, 1), (10.0, 15.0, 1)]
+    assert h.count == 4
+
+
+def test_stats():
+    h = Histogram(bin_width=1.0)
+    h.extend([1.0, 3.0, 5.0])
+    assert h.mean == pytest.approx(3.0)
+    assert h.min == 1.0 and h.max == 5.0
+
+
+def test_empty_histogram():
+    h = Histogram()
+    assert h.count == 0
+    assert h.mean == 0.0
+    assert h.bins() == []
+    assert h.dense_counts() == []
+    assert h.quantile(0.5) == 0.0
+    assert h.fraction_below(10) == 0.0
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ValueError):
+        Histogram().add(-1.0)
+
+
+def test_invalid_bin_width():
+    with pytest.raises(ValueError):
+        Histogram(bin_width=0)
+
+
+def test_dense_counts_fill_gaps():
+    h = Histogram(bin_width=1.0)
+    h.extend([0.5, 3.5])
+    assert h.dense_counts() == [1, 0, 0, 1]
+
+
+def test_fraction_below():
+    h = Histogram(bin_width=5.0)
+    h.extend([1, 2, 3, 7, 12])
+    assert h.fraction_below(5.0) == pytest.approx(3 / 5)
+    assert h.fraction_below(10.0) == pytest.approx(4 / 5)
+    assert h.fraction_below(100.0) == 1.0
+
+
+def test_quantile():
+    h = Histogram(bin_width=1.0)
+    h.extend([0.5] * 9 + [10.5])
+    assert h.quantile(0.5) == 1.0   # upper edge of the first bin
+    assert h.quantile(1.0) == 11.0
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_exact_bin_boundary_goes_up():
+    h = Histogram(bin_width=5.0)
+    h.add(5.0)
+    assert h.bins() == [(5.0, 10.0, 1)]
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), min_size=1))
+def test_property_count_and_bounds(samples):
+    h = Histogram(bin_width=7.0)
+    h.extend(samples)
+    assert h.count == len(samples)
+    assert sum(c for _, _, c in h.bins()) == len(samples)
+    assert h.min == min(samples)
+    assert h.max == max(samples)
+    assert h.quantile(1.0) >= h.max

@@ -1,0 +1,68 @@
+"""Unit tests for the text report renderer."""
+
+import pytest
+
+from repro.metrics.report import (
+    render_distribution,
+    render_series,
+    render_table,
+    sparkline,
+)
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "n"], [("a", 1), ("bb", 22)], title="t")
+    lines = out.splitlines()
+    assert lines[0] == "t"
+    assert "name" in lines[1] and "n" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    # fixed width: all rows equally long
+    assert len(lines[3]) == len(lines[1])
+
+
+def test_render_table_float_formatting():
+    out = render_table(["x"], [(1.23456,)])
+    assert "1.23" in out
+
+
+def test_sparkline_range():
+    line = sparkline([0, 1, 2, 3])
+    assert len(line) == 4
+    assert line[0] != line[-1]
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([]) == ""
+    flat = sparkline([5, 5, 5])
+    assert len(set(flat)) == 1
+
+
+def test_render_series():
+    out = render_series("load", [0.0, 1.0, 2.0], [1.0, 5.0, 3.0])
+    assert out.startswith("load:")
+    assert "0s:1" in out and "2s:3" in out
+
+
+def test_render_series_empty_and_mismatch():
+    assert "(empty)" in render_series("x", [], [])
+    with pytest.raises(ValueError):
+        render_series("x", [1.0], [1.0, 2.0])
+
+
+def test_render_series_downsamples():
+    times = [float(i) for i in range(100)]
+    out = render_series("x", times, times, max_points=10)
+    # downsampled to ~10-25 points, not 100
+    assert out.count(":") <= 30
+
+
+def test_render_distribution_buckets():
+    out = render_distribution("touches", {0: 1.0, 5: 10.0, 99: 3.0},
+                              n_buckets=10, key_range=(0, 99))
+    assert "touches" in out
+    assert "10.00" in out  # bucket max of the 0-9 bucket
+    assert out.count("\n") == 10
+
+
+def test_render_distribution_empty():
+    assert "(empty)" in render_distribution("x", {})

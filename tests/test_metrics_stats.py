@@ -1,0 +1,102 @@
+"""Tests for multi-seed replication statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.stats import Summary, replicate, summarise
+
+
+def test_summarise_basics():
+    s = summarise("x", [1.0, 2.0, 3.0])
+    assert s.n == 3
+    assert s.mean == pytest.approx(2.0)
+    assert s.std == pytest.approx(1.0)
+    assert s.minimum == 1.0 and s.maximum == 3.0
+    # t(2) = 4.303: ci = 4.303 * 1/sqrt(3)
+    assert s.ci95 == pytest.approx(4.303 / 3**0.5, rel=1e-3)
+    assert s.low < s.mean < s.high
+
+
+def test_summarise_single_sample():
+    s = summarise("x", [5.0])
+    assert s.std == 0.0 and s.ci95 == 0.0
+
+
+def test_summarise_empty_rejected():
+    with pytest.raises(ValueError):
+        summarise("x", [])
+
+
+def test_overlaps():
+    a = summarise("a", [1.0, 1.1, 0.9])
+    b = summarise("b", [1.05, 1.15, 0.95])
+    c = summarise("c", [100.0, 100.1, 99.9])
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c)
+
+
+def test_str_rendering():
+    text = str(summarise("lat", [1.0, 2.0]))
+    assert "lat" in text and "n=2" in text
+
+
+def test_replicate_collects_per_metric():
+    def experiment(seed):
+        return {"a": seed * 1.0, "b": 10.0}
+
+    out = replicate(experiment, seeds=[1, 2, 3])
+    assert out["a"].mean == pytest.approx(2.0)
+    assert out["b"].std == 0.0
+
+
+def test_replicate_validation():
+    with pytest.raises(ValueError):
+        replicate(lambda s: {"a": 1.0}, seeds=[])
+
+    calls = [0]
+
+    def inconsistent(seed):
+        calls[0] += 1
+        return {"a": 1.0} if calls[0] == 1 else {"b": 1.0}
+
+    with pytest.raises(ValueError):
+        replicate(inconsistent, seeds=[1, 2])
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=2, max_size=50))
+def test_property_interval_contains_mean(samples):
+    s = summarise("x", samples)
+    assert s.low <= s.mean <= s.high
+    # floating-point summation can land the mean an ulp outside min/max
+    span = max(abs(s.minimum), abs(s.maximum), 1.0)
+    eps = 1e-9 * span
+    assert s.minimum - eps <= s.mean <= s.maximum + eps
+
+
+def test_replicated_shape_claim_holds_across_seeds():
+    """The Figure 6 headline (throughput monotone in LOIT) holds for
+    three different workload seeds."""
+    from repro.core import DataCyclotron, DataCyclotronConfig, MB
+    from repro.workloads.base import UniformDataset, populate_ring
+    from repro.workloads.uniform import UniformWorkload
+
+    def finished_at_checkpoint(loit, seed):
+        dataset = UniformDataset(n_bats=60, min_size=MB, max_size=2 * MB, seed=seed)
+        dc = DataCyclotron(DataCyclotronConfig(
+            n_nodes=3, bandwidth=30 * MB, bat_queue_capacity=8 * MB,
+            loit_static=loit, resend_timeout=5.0, seed=seed,
+        ))
+        populate_ring(dc, dataset)
+        UniformWorkload(
+            dataset, n_nodes=3, queries_per_second=15, duration=5,
+            min_bats=1, max_bats=2, min_proc_time=0.04, max_proc_time=0.08,
+            seed=seed,
+        ).submit_to(dc)
+        dc.run_until_done(max_time=300.0)
+        return sum(1 for t in dc.metrics.finished_times() if t <= 8.0)
+
+    seeds = [3, 5, 7]
+    low = replicate(lambda s: {"done": finished_at_checkpoint(0.1, s)}, seeds)
+    high = replicate(lambda s: {"done": finished_at_checkpoint(1.1, s)}, seeds)
+    assert high["done"].mean > low["done"].mean

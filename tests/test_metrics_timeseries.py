@@ -1,0 +1,118 @@
+"""Unit tests for step series and cumulative binning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.timeseries import StepSeries, binned_cumulative
+
+
+def test_record_and_value_at():
+    s = StepSeries()
+    s.record(1.0, 10)
+    s.record(3.0, 5)
+    assert s.value_at(0.5) == 0
+    assert s.value_at(1.0) == 10
+    assert s.value_at(2.9) == 10
+    assert s.value_at(3.0) == 5
+    assert s.value_at(100.0) == 5
+    assert s.current == 5
+
+
+def test_initial_value():
+    s = StepSeries(initial=7)
+    assert s.value_at(0.0) == 7
+    assert s.current == 7
+
+
+def test_add_relative():
+    s = StepSeries()
+    assert s.add(1.0, 5) == 5
+    assert s.add(2.0, -2) == 3
+    assert s.value_at(1.5) == 5
+
+
+def test_same_time_overwrites():
+    s = StepSeries()
+    s.record(1.0, 5)
+    s.record(1.0, 9)
+    assert s.value_at(1.0) == 9
+    assert len(s) == 2  # t=0 initial + t=1
+
+
+def test_time_backwards_rejected():
+    s = StepSeries()
+    s.record(2.0, 1)
+    with pytest.raises(ValueError):
+        s.record(1.0, 2)
+
+
+def test_grid_sampling():
+    s = StepSeries()
+    s.record(1.0, 10)
+    s.record(2.5, 20)
+    times, values = s.grid(end=4.0, step=1.0)
+    assert times == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert values == [0, 10, 10, 20, 20]
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        StepSeries().grid(1.0, 0)
+
+
+def test_maximum():
+    s = StepSeries()
+    s.add(1.0, 5)
+    s.add(2.0, 10)
+    s.add(3.0, -12)
+    assert s.maximum() == 15
+
+
+def test_points():
+    s = StepSeries()
+    s.record(1.0, 2)
+    assert s.points() == [(0.0, 0.0), (1.0, 2)]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+        ),
+        max_size=40,
+    )
+)
+def test_property_add_accumulates(changes):
+    """The final value equals the sum of all deltas."""
+    s = StepSeries()
+    changes = sorted(changes, key=lambda c: c[0])
+    total = 0.0
+    for t, delta in changes:
+        total += delta
+        s.add(t, delta)
+    assert s.current == pytest.approx(total)
+
+
+# ----------------------------------------------------------------------
+def test_binned_cumulative():
+    times, counts = binned_cumulative([0.5, 1.5, 1.7, 4.0], end=4.0, step=1.0)
+    assert times == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert counts == [0, 1, 3, 3, 4]
+
+
+def test_binned_cumulative_empty():
+    times, counts = binned_cumulative([], end=2.0, step=1.0)
+    assert counts == [0, 0, 0]
+
+
+def test_binned_cumulative_validation():
+    with pytest.raises(ValueError):
+        binned_cumulative([1.0], end=2.0, step=0)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=50, allow_nan=False), max_size=50))
+def test_property_cumulative_monotone(stamps):
+    _, counts = binned_cumulative(stamps, end=50.0, step=5.0)
+    assert all(b >= a for a, b in zip(counts, counts[1:]))
+    assert counts[-1] == len(stamps)

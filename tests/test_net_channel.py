@@ -1,0 +1,102 @@
+"""Unit tests for channels: in-order delivery and loss injection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.channel import Channel
+from repro.sim.engine import Simulator
+
+
+def test_receiver_required():
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=1e6, delay=0.0)
+    ch.send("x", 10)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_basic_delivery():
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=1e6, delay=0.1)
+    got = []
+    ch.set_receiver(lambda m, s: got.append(m))
+    ch.send("hello", 1000)
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_loss_rate_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Channel(sim, bandwidth=1e6, delay=0.0, loss_rate=1.0)
+    with pytest.raises(ValueError):
+        Channel(sim, bandwidth=1e6, delay=0.0, loss_rate=-0.1)
+
+
+def test_full_loss_never_delivers():
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=1e6, delay=0.0, loss_rate=0.999999,
+                 rng=random.Random(1))
+    got = []
+    ch.set_receiver(lambda m, s: got.append(m))
+    for i in range(50):
+        assert not ch.send(i, 10)
+    sim.run()
+    assert got == []
+    assert ch.dropped_by_loss == 50
+
+
+def test_partial_loss_drops_some():
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=1e9, delay=0.0, loss_rate=0.5,
+                 rng=random.Random(42))
+    got = []
+    ch.set_receiver(lambda m, s: got.append(m))
+    for i in range(200):
+        ch.send(i, 10)
+    sim.run()
+    assert 0 < len(got) < 200
+    assert len(got) + ch.dropped_by_loss == 200
+
+
+def test_loss_preserves_order_of_survivors():
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=1e9, delay=0.001, loss_rate=0.3,
+                 rng=random.Random(7))
+    got = []
+    ch.set_receiver(lambda m, s: got.append(m))
+    for i in range(100):
+        ch.send(i, 100)
+    sim.run()
+    assert got == sorted(got)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=40),
+    st.floats(min_value=0.0, max_value=0.01, allow_nan=False),
+)
+def test_property_in_order_delivery(sizes, delay):
+    """Guaranteed order of arrival (paper section 4.3) for any size mix."""
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=1e6, delay=delay)
+    got = []
+    ch.set_receiver(lambda m, s: got.append(m))
+    for i, size in enumerate(sizes):
+        ch.send(i, size)
+    sim.run()
+    assert got == list(range(len(sizes)))
+
+
+def test_drop_handler_forwarded_to_link():
+    sim = Simulator()
+    ch = Channel(sim, bandwidth=1.0, delay=0.0, queue_capacity=50)
+    dropped = []
+    ch.set_drop_handler(lambda m, s: dropped.append(m))
+    ch.set_receiver(lambda m, s: None)
+    ch.send("a", 40)   # on the wire
+    ch.send("b", 40)   # queued
+    ch.send("c", 40)   # 40 + 40 > 50 -> dropped
+    assert dropped == ["c"]

@@ -1,0 +1,97 @@
+"""Unit tests for the RDMA host cost model (paper Figure 1, section 2)."""
+
+import pytest
+
+from repro.net.hostmodel import CpuBreakdown, HostCostModel, TransferMode
+
+
+@pytest.fixture
+def model():
+    # The paper's testbed: 2.33 GHz quad-core.
+    return HostCostModel(cpu_ghz=2.33 * 4)
+
+
+def test_figure1_ordering(model):
+    """Legacy > offload > RDMA, at any given throughput."""
+    legacy = model.cpu_load(TransferMode.LEGACY, 10.0)
+    offload = model.cpu_load(TransferMode.OFFLOAD, 10.0)
+    rdma = model.cpu_load(TransferMode.RDMA, 10.0)
+    assert legacy > offload > rdma
+
+
+def test_offload_alone_not_sufficient(model):
+    """"Offloading only the network stack processing to the NIC is not
+    sufficient" -- copying still dominates the remaining load."""
+    bd = model.breakdown(TransferMode.OFFLOAD, 10.0)
+    assert bd.network_stack == 0.0
+    assert bd.data_copying > 0.0
+    assert bd.data_copying > bd.context_switches > 0
+    # offload removes only ~30% of the legacy cost
+    legacy = model.cpu_load(TransferMode.LEGACY, 10.0)
+    assert bd.total > 0.5 * legacy
+
+
+def test_rdma_negligible_load(model):
+    """"Only RDMA is able to deliver a high throughput at negligible
+    CPU load"."""
+    rdma = model.cpu_load(TransferMode.RDMA, 10.0)
+    legacy = model.cpu_load(TransferMode.LEGACY, 10.0)
+    assert rdma < 0.05 * legacy
+
+
+def test_rule_of_thumb_saturation(model):
+    """1 GHz per Gb/s: the quad-core 2.33 GHz host barely saturates
+    10 Gb/s with the legacy stack (paper section 2.2)."""
+    load = model.cpu_load(TransferMode.LEGACY, 10.0)
+    assert 0.9 <= load <= 1.3
+
+
+def test_legacy_copying_dominates(model):
+    bd = model.breakdown(TransferMode.LEGACY, 10.0)
+    assert bd.data_copying == max(bd.as_dict().values())
+
+
+def test_load_scales_linearly(model):
+    l5 = model.cpu_load(TransferMode.LEGACY, 5.0)
+    l10 = model.cpu_load(TransferMode.LEGACY, 10.0)
+    assert l10 == pytest.approx(2 * l5)
+
+
+def test_zero_throughput_zero_load(model):
+    assert model.cpu_load(TransferMode.LEGACY, 0.0) == 0.0
+
+
+def test_max_throughput_cpu_bound_vs_link_bound(model):
+    """RDMA reaches the link limit; the legacy stack is CPU-bound."""
+    assert model.max_throughput_gbps(TransferMode.RDMA, 10.0) == pytest.approx(10.0)
+    legacy = model.max_throughput_gbps(TransferMode.LEGACY, 40.0)
+    assert legacy < 40.0
+
+
+def test_memory_bus_crossings(model):
+    """RDMA crosses the memory bus once; the kernel stack several times
+    (section 2.2)."""
+    assert model.bus_crossings(TransferMode.RDMA) == 1
+    assert model.bus_crossings(TransferMode.LEGACY) > model.bus_crossings(
+        TransferMode.OFFLOAD
+    ) > model.bus_crossings(TransferMode.RDMA)
+    assert model.bus_bytes(TransferMode.RDMA, 1000) == 1000
+    assert model.bus_bytes(TransferMode.LEGACY, 1000) == 3000
+
+
+def test_breakdown_total_is_component_sum():
+    bd = CpuBreakdown(0.1, 0.2, 0.3, 0.4)
+    assert bd.total == pytest.approx(1.0)
+    assert set(bd.as_dict()) == {
+        "data_copying",
+        "network_stack",
+        "context_switches",
+        "driver",
+    }
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        HostCostModel(cpu_ghz=0)
+    with pytest.raises(ValueError):
+        HostCostModel().cpu_load(TransferMode.RDMA, -1.0)

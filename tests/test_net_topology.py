@@ -1,0 +1,91 @@
+"""Unit tests for the ring topology wiring."""
+
+import pytest
+
+from repro.net.topology import Ring
+from repro.sim.engine import Simulator
+
+
+def make_ring(n=4):
+    return Simulator(), Ring(Simulator(), n, bandwidth=1e9, delay=1e-4)
+
+
+def test_successor_predecessor_wrap():
+    _, ring = make_ring(4)
+    assert ring.successor(3) == 0
+    assert ring.predecessor(0) == 3
+    assert ring.successor(1) == 2
+    assert ring.predecessor(2) == 1
+
+
+def test_single_node_ring_self_loops():
+    _, ring = make_ring(1)
+    assert ring.successor(0) == 0
+    assert ring.predecessor(0) == 0
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        Ring(Simulator(), 0, bandwidth=1e9, delay=0.0)
+
+
+def test_hop_counts():
+    _, ring = make_ring(10)
+    assert ring.hops_clockwise(0, 3) == 3
+    assert ring.hops_clockwise(8, 2) == 4
+    assert ring.hops_anticlockwise(0, 3) == 7
+    assert ring.hops_anticlockwise(3, 0) == 3
+    assert ring.hops_clockwise(5, 5) == 0
+
+
+def test_data_travels_clockwise_around_ring():
+    sim = Simulator()
+    ring = Ring(sim, 3, bandwidth=1e9, delay=0.001)
+    trace = []
+
+    def relay(node):
+        def handler(msg, size):
+            trace.append((node, sim.now))
+            if len(trace) < 3:  # forward until it returns to the start
+                ring.data_channel(node).send(msg, size)
+
+        return handler
+
+    for i in range(3):
+        ring.data_channel(i).set_receiver(relay(ring.successor(i)))
+    ring.data_channel(0).send("bat", 1000)
+    sim.run()
+    visited = [node for node, _ in trace]
+    assert visited == [1, 2, 0]
+
+
+def test_requests_travel_anticlockwise():
+    sim = Simulator()
+    ring = Ring(sim, 3, bandwidth=1e9, delay=0.001)
+    trace = []
+
+    def relay(node):
+        def handler(msg, size):
+            trace.append(node)
+            if len(trace) < 3:
+                ring.request_channel(node).send(msg, size)
+
+        return handler
+
+    for i in range(3):
+        ring.request_channel(i).set_receiver(relay(ring.predecessor(i)))
+    ring.request_channel(0).send("req", 64)
+    sim.run()
+    assert trace == [2, 1, 0]
+
+
+def test_total_queued_bytes_aggregates():
+    sim = Simulator()
+    ring = Ring(sim, 2, bandwidth=1.0, delay=0.0)
+    for ch in ring.data:
+        ch.set_receiver(lambda m, s: None)
+    ring.data_channel(0).send("a", 10)  # goes straight to the wire
+    ring.data_channel(0).send("b", 20)  # queued
+    ring.data_channel(1).send("c", 30)  # on the wire
+    ring.data_channel(1).send("d", 40)  # queued
+    assert ring.total_data_queued_bytes == 60

@@ -1,0 +1,160 @@
+"""Tests for the CSV loader and the interactive shell."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.dbms.io_utils import infer_column, read_csv_columns
+from repro.shell import Shell, run_shell
+
+
+# ----------------------------------------------------------------------
+# CSV loading
+# ----------------------------------------------------------------------
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "items.csv"
+    path.write_text(
+        "id,price,name\n"
+        "1,9.5,apple\n"
+        "2,3.25,banana\n"
+        "3,7.0,cherry\n"
+    )
+    return path
+
+
+def test_infer_column_types():
+    assert infer_column(["1", "2"]).dtype == np.int64
+    assert infer_column(["1.5", "2"]).dtype == np.float64
+    assert infer_column(["a", "2"]).dtype.kind == "U"
+
+
+def test_read_csv_columns(csv_file):
+    cols = read_csv_columns(csv_file)
+    assert list(cols) == ["id", "price", "name"]
+    assert cols["id"].tolist() == [1, 2, 3]
+    assert cols["price"].tolist() == [9.5, 3.25, 7.0]
+    assert cols["name"].tolist() == ["apple", "banana", "cherry"]
+
+
+def test_read_csv_column_subset(csv_file):
+    cols = read_csv_columns(csv_file, columns=["price", "id"])
+    assert list(cols) == ["price", "id"]
+
+
+def test_read_csv_errors(tmp_path, csv_file):
+    empty = tmp_path / "empty.csv"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        read_csv_columns(empty)
+
+    header_only = tmp_path / "h.csv"
+    header_only.write_text("a,b\n")
+    with pytest.raises(ValueError, match="no data rows"):
+        read_csv_columns(header_only)
+
+    ragged = tmp_path / "r.csv"
+    ragged.write_text("a,b\n1,2\n3\n")
+    with pytest.raises(ValueError, match="expected 2 cells"):
+        read_csv_columns(ragged)
+
+    dupe = tmp_path / "d.csv"
+    dupe.write_text("a,a\n1,2\n")
+    with pytest.raises(ValueError, match="duplicate"):
+        read_csv_columns(dupe)
+
+    with pytest.raises(ValueError, match="lacks columns"):
+        read_csv_columns(csv_file, columns=["nope"])
+
+
+def test_database_load_csv(csv_file):
+    from repro.dbms import Database
+
+    db = Database()
+    db.load_csv("items", csv_file)
+    rs = db.query("SELECT name FROM items WHERE price > 5 ORDER BY price DESC")
+    assert list(rs.column("name")) == ["apple", "cherry"]
+
+
+def test_ring_database_load_csv(csv_file):
+    from repro.core import DataCyclotronConfig
+    from repro.dbms.executor import RingDatabase
+
+    ring = RingDatabase(DataCyclotronConfig(n_nodes=3, seed=1))
+    ring.load_csv("items", csv_file, rows_per_partition=2)
+    handle = ring.submit("SELECT sum(price) s FROM items", node=1)
+    assert ring.run_until_done(max_time=60.0)
+    assert handle.result.rows() == [(19.75,)]
+
+
+# ----------------------------------------------------------------------
+# the shell
+# ----------------------------------------------------------------------
+def test_shell_load_and_query(csv_file):
+    shell = Shell(n_nodes=3, seed=1)
+    out = shell.execute(f"\\load items {csv_file}")
+    assert "loaded items: 3 rows" in out
+    out = shell.execute("\\tables")
+    assert "items" in out
+    out = shell.execute("SELECT name FROM items WHERE id = 2")
+    assert "banana" in out
+    assert "1 row(s)" in out
+
+
+def test_shell_plan_and_stats(csv_file):
+    shell = Shell(n_nodes=2, seed=1)
+    shell.execute(f"\\load items {csv_file}")
+    plan = shell.execute("\\plan SELECT id FROM items")
+    # \plan shows the DC-optimized plan (the Table 2 shape)
+    assert "datacyclotron.request" in plan
+    assert "datacyclotron.pin" in plan
+    shell.execute("SELECT count(*) n FROM items")
+    stats = shell.execute("\\stats")
+    assert "queries finished" in stats
+
+
+def test_shell_error_paths(csv_file, tmp_path):
+    shell = Shell(n_nodes=2, seed=1)
+    assert "error" in shell.execute("\\load t /nonexistent.csv")
+    assert "usage" in shell.execute("\\load onlyname")
+    assert "unknown command" in shell.execute("\\nope")
+    assert "error" in shell.execute("SELECT broken FROM nowhere")
+    assert shell.execute("") == ""
+    assert shell.execute("\\quit") is None
+
+
+def test_shell_help_lists_commands():
+    text = Shell().execute("\\help")
+    for token in ("\\load", "\\tables", "\\plan", "\\stats", "\\quit"):
+        assert token in text
+
+
+def test_run_shell_over_streams(csv_file):
+    commands = "\n".join(
+        [
+            f"\\load items {csv_file}",
+            "SELECT price FROM items WHERE id = 3",
+            "\\quit",
+        ]
+    )
+    out = io.StringIO()
+    code = run_shell(io.StringIO(commands + "\n"), out, n_nodes=3, seed=1)
+    assert code == 0
+    text = out.getvalue()
+    assert "loaded items" in text
+    assert "7.00" in text or "7.0" in text
+
+
+def test_run_shell_eof_exits_cleanly():
+    out = io.StringIO()
+    assert run_shell(io.StringIO(""), out) == 0
+
+
+def test_shell_nodes_command(csv_file):
+    shell = Shell(n_nodes=3, seed=1)
+    shell.execute(f"\\load items {csv_file}")
+    shell.execute("SELECT count(*) n FROM items")
+    out = shell.execute("\\nodes")
+    assert "LOIT" in out
+    assert out.count("\n") >= 4  # header + separator + 3 node rows

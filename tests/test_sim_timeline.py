@@ -1,0 +1,118 @@
+"""Unit tests for the multi-core timeline scheduler (Table 4 CPU model)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.timeline import CoreTimeline
+
+
+def test_single_core_serialises():
+    tl = CoreTimeline(1)
+    assert tl.schedule(0.0, 1.0) == (0, 0.0, 1.0)
+    assert tl.schedule(0.0, 1.0) == (0, 1.0, 2.0)
+    assert tl.makespan == 2.0
+
+
+def test_two_cores_run_in_parallel():
+    tl = CoreTimeline(2)
+    c1 = tl.schedule(0.0, 1.0)
+    c2 = tl.schedule(0.0, 1.0)
+    assert {c1[0], c2[0]} == {0, 1}
+    assert tl.makespan == 1.0
+
+
+def test_earliest_constraint_respected():
+    tl = CoreTimeline(2)
+    _, start, end = tl.schedule(5.0, 1.0)
+    assert start == 5.0 and end == 6.0
+
+
+def test_picks_first_free_core():
+    tl = CoreTimeline(2)
+    tl.schedule(0.0, 1.0)   # core 0 busy till 1
+    tl.schedule(0.0, 3.0)   # core 1 busy till 3
+    core, start, _ = tl.schedule(0.0, 1.0)
+    assert core == 0 and start == 1.0
+
+
+def test_busy_time_accounting():
+    tl = CoreTimeline(2)
+    tl.schedule(0.0, 1.0)
+    tl.schedule(0.0, 2.0)
+    assert tl.busy_time() == 3.0
+    assert tl.busy_time(0) == 1.0
+    assert tl.busy_time(1) == 2.0
+
+
+def test_utilisation_over_makespan():
+    tl = CoreTimeline(2)
+    tl.schedule(0.0, 2.0)
+    tl.schedule(0.0, 1.0)
+    # 3 busy seconds over 2 cores x 2 seconds
+    assert tl.utilisation() == pytest.approx(0.75)
+
+
+def test_utilisation_over_horizon():
+    tl = CoreTimeline(4)
+    tl.schedule(0.0, 1.0)
+    assert tl.utilisation(horizon=10.0) == pytest.approx(1.0 / 40.0)
+
+
+def test_utilisation_empty_is_zero():
+    assert CoreTimeline(4).utilisation() == 0.0
+
+
+def test_reset():
+    tl = CoreTimeline(2)
+    tl.schedule(0.0, 5.0)
+    tl.reset()
+    assert tl.makespan == 0.0 and tl.busy_time() == 0.0
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        CoreTimeline(0)
+    with pytest.raises(ValueError):
+        CoreTimeline(1).schedule(0.0, -1.0)
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=10, allow_nan=False),
+        ),
+        max_size=50,
+    ),
+)
+def test_property_no_core_overlap(n_cores, ops):
+    """No two operators ever overlap on the same core."""
+    tl = CoreTimeline(n_cores)
+    placed = []
+    for earliest, duration in ops:
+        core, start, end = tl.schedule(earliest, duration)
+        assert start >= earliest
+        placed.append((core, start, end))
+    by_core = {}
+    for core, start, end in placed:
+        by_core.setdefault(core, []).append((start, end))
+    for intervals in by_core.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-9
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=5, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_work_conservation(durations):
+    """Total busy time equals the sum of scheduled durations."""
+    tl = CoreTimeline(3)
+    for d in durations:
+        tl.schedule(0.0, d)
+    assert tl.busy_time() == pytest.approx(sum(durations))

@@ -1,0 +1,112 @@
+"""Tests for the shared dataset builder and the uniform workload."""
+
+import pytest
+
+from repro.core import DataCyclotron, DataCyclotronConfig, MB
+from repro.workloads.base import UniformDataset, populate_ring
+from repro.workloads.uniform import UniformWorkload
+
+
+def test_dataset_paper_defaults():
+    ds = UniformDataset()
+    assert ds.n_bats == 1000
+    assert all(MB <= s <= 10 * MB for s in ds.sizes.values())
+    # ~8 GB total: mean 5.5 MB x 1000
+    assert 4.5 * 1000 * MB < ds.total_bytes < 6.5 * 1000 * MB
+
+
+def test_dataset_deterministic():
+    assert UniformDataset(seed=3).sizes == UniformDataset(seed=3).sizes
+    assert UniformDataset(seed=3).sizes != UniformDataset(seed=4).sizes
+
+
+def test_dataset_validation():
+    with pytest.raises(ValueError):
+        UniformDataset(n_bats=0)
+    with pytest.raises(ValueError):
+        UniformDataset(min_size=10, max_size=5)
+
+
+def test_populate_ring_round_robin():
+    dc = DataCyclotron(DataCyclotronConfig(n_nodes=4))
+    ds = UniformDataset(n_bats=8, min_size=MB, max_size=MB)
+    populate_ring(dc, ds)
+    assert dc.bat_owner(0) == 0 and dc.bat_owner(5) == 1
+    assert dc.total_data_bytes == 8 * MB
+
+
+def test_uniform_workload_counts_and_window():
+    ds = UniformDataset(n_bats=50, seed=1)
+    wl = UniformWorkload(
+        ds, n_nodes=4, queries_per_second=10, duration=2.0, seed=1
+    )
+    specs = list(wl.queries())
+    assert len(specs) == wl.total_queries == 80
+    assert all(0 <= s.arrival < 2.0 for s in specs)
+    per_node = {n: 0 for n in range(4)}
+    for s in specs:
+        per_node[s.node] += 1
+    assert all(v == 20 for v in per_node.values())
+
+
+def test_uniform_workload_remote_only():
+    ds = UniformDataset(n_bats=40, seed=1)
+    wl = UniformWorkload(ds, n_nodes=4, queries_per_second=5, duration=2.0)
+    for spec in wl.queries():
+        for bat_id in spec.bat_ids:
+            assert bat_id % 4 != spec.node
+
+
+def test_uniform_workload_bats_and_times_in_range():
+    ds = UniformDataset(n_bats=40, seed=1)
+    wl = UniformWorkload(ds, n_nodes=2, queries_per_second=5, duration=2.0)
+    for spec in wl.queries():
+        assert 1 <= len(spec.bat_ids) <= 5
+        assert 0.1 * len(spec.steps) <= spec.net_execution_time <= 0.4 * len(spec.steps) + 0.2
+
+
+def test_uniform_workload_deterministic():
+    ds = UniformDataset(n_bats=30, seed=1)
+    a = [(s.arrival, tuple(s.bat_ids)) for s in
+         UniformWorkload(ds, n_nodes=2, queries_per_second=5, duration=1.0, seed=9).queries()]
+    b = [(s.arrival, tuple(s.bat_ids)) for s in
+         UniformWorkload(ds, n_nodes=2, queries_per_second=5, duration=1.0, seed=9).queries()]
+    assert a == b
+
+
+def test_uniform_workload_validation():
+    ds = UniformDataset(n_bats=10)
+    with pytest.raises(ValueError):
+        UniformWorkload(ds, queries_per_second=0)
+    with pytest.raises(ValueError):
+        UniformWorkload(ds, min_bats=3, max_bats=2)
+    with pytest.raises(ValueError):
+        UniformWorkload(ds, min_proc_time=0.3, max_proc_time=0.2)
+
+
+def test_uniform_workload_end_to_end():
+    """A scaled-down section 5.1 run completes every query."""
+    ds = UniformDataset(n_bats=30, min_size=MB, max_size=2 * MB, seed=2)
+    dc = DataCyclotron(DataCyclotronConfig(n_nodes=3, seed=2, loit_static=0.5))
+    populate_ring(dc, ds)
+    wl = UniformWorkload(
+        ds, n_nodes=3, queries_per_second=4, duration=2.0,
+        min_bats=1, max_bats=2, min_proc_time=0.02, max_proc_time=0.04, seed=2,
+    )
+    count = wl.submit_to(dc)
+    assert dc.run_until_done(max_time=120.0)
+    assert dc.metrics.finished_count() == count
+
+
+def test_populate_ring_random_assignment():
+    dc = DataCyclotron(DataCyclotronConfig(n_nodes=4))
+    ds = UniformDataset(n_bats=100, min_size=MB, max_size=MB, seed=1)
+    populate_ring(dc, ds, random_assignment=True, seed=9)
+    owners = [dc.bat_owner(b) for b in range(100)]
+    # not round-robin, but all nodes own something
+    assert owners != [b % 4 for b in range(100)]
+    assert set(owners) == {0, 1, 2, 3}
+    # reproducible
+    dc2 = DataCyclotron(DataCyclotronConfig(n_nodes=4))
+    populate_ring(dc2, ds, random_assignment=True, seed=9)
+    assert owners == [dc2.bat_owner(b) for b in range(100)]

@@ -1,0 +1,141 @@
+"""Tests for the skewed (section 5.2) and Gaussian (5.3) workloads."""
+
+import pytest
+
+from repro.core import MB
+from repro.workloads.base import UniformDataset
+from repro.workloads.gaussian import GaussianWorkload
+from repro.workloads.skewed import SkewedPhase, SkewedWorkload, paper_phases
+
+
+@pytest.fixture
+def dataset():
+    return UniformDataset(n_bats=1000, seed=0)
+
+
+# ----------------------------------------------------------------------
+# skewed
+# ----------------------------------------------------------------------
+def test_paper_phases_match_table3():
+    phases = paper_phases()
+    assert [p.skew for p in phases] == [3, 5, 7, 9]
+    assert [p.start for p in phases] == [0.0, 15.0, 37.5, 67.5]
+    assert [p.end for p in phases] == [30.0, 45.0, 67.5, 97.5]
+    assert [p.queries_per_second for p in phases] == [200.0, 300.0, 400.0, 500.0]
+
+
+def test_paper_phase_overlaps():
+    """50% overlap SW1/SW2, 25% SW2/SW3, none SW3/SW4."""
+    p = {ph.name: ph for ph in paper_phases()}
+
+    def overlap(a, b):
+        return max(0.0, min(a.end, b.end) - max(a.start, b.start)) / a.duration
+
+    assert overlap(p["sw2"], p["sw1"]) == pytest.approx(0.5)
+    assert overlap(p["sw3"], p["sw2"]) == pytest.approx(0.25)
+    assert overlap(p["sw4"], p["sw3"]) == pytest.approx(0.0)
+
+
+def test_phase_scaling():
+    phases = paper_phases(time_scale=0.1, rate_scale=0.5)
+    assert phases[0].end == pytest.approx(3.0)
+    assert phases[0].queries_per_second == pytest.approx(100.0)
+
+
+def test_subsets_modulo_rule(dataset):
+    wl = SkewedWorkload(dataset, paper_phases(), n_nodes=10)
+    d1 = wl.subset(wl.phases[0])
+    assert all(b % 3 == 0 for b in d1)
+    assert 0 in d1 and 999 in d1
+
+
+def test_disjoint_subsets(dataset):
+    wl = SkewedWorkload(dataset, paper_phases(), n_nodes=10)
+    dh = {p.name: set(wl.disjoint_subset(p)) for p in wl.phases}
+    # DH2 and DH3 are disjoint from everything else
+    assert dh["sw2"] & dh["sw3"] == set()
+    assert dh["sw2"] & dh["sw1"] == set()
+    assert dh["sw3"] & dh["sw1"] == set()
+    assert dh["sw2"] & dh["sw4"] == set()
+    assert dh["sw3"] & dh["sw4"] == set()
+    # the paper's exception: DH4 is contained in DH1
+    assert dh["sw4"] <= dh["sw1"]
+    # sanity: DH1 holds multiples of 3 not touched by 5 or 7
+    assert 3 in dh["sw1"] and 15 not in dh["sw1"] and 21 not in dh["sw1"]
+
+
+def test_bat_tags_prefer_most_selective(dataset):
+    wl = SkewedWorkload(dataset, paper_phases(), n_nodes=10)
+    tags = wl.bat_tags()
+    assert tags[9] == "dh4"   # multiple of 9 -> dh4, not dh1
+    assert tags[3] == "dh1"
+    assert tags[5] == "dh2"
+    assert tags[7] == "dh3"
+    assert 35 not in tags      # 5*7 is in neither disjoint set
+
+
+def test_queries_respect_phase_windows_and_subsets(dataset):
+    phases = paper_phases(time_scale=0.05, rate_scale=0.05)
+    wl = SkewedWorkload(dataset, phases, n_nodes=4, seed=1)
+    specs = list(wl.queries())
+    assert specs
+    windows = {p.name: (p.start, p.end) for p in phases}
+    skews = {p.name: p.skew for p in phases}
+    for spec in specs:
+        lo, hi = windows[spec.tag]
+        assert lo <= spec.arrival <= hi + 1e-9
+        for bat_id in spec.bat_ids:
+            assert bat_id % skews[spec.tag] == 0
+            assert bat_id % 4 != spec.node  # remote only
+
+
+def test_phase_validation():
+    with pytest.raises(ValueError):
+        SkewedPhase("x", 0, 0.0, 1.0, 10.0)
+    with pytest.raises(ValueError):
+        SkewedPhase("x", 3, 1.0, 1.0, 10.0)
+    with pytest.raises(ValueError):
+        SkewedPhase("x", 3, 0.0, 1.0, 0.0)
+    ds = UniformDataset(n_bats=10)
+    with pytest.raises(ValueError):
+        SkewedWorkload(ds, [])
+    p = SkewedPhase("a", 3, 0.0, 1.0, 10.0)
+    with pytest.raises(ValueError):
+        SkewedWorkload(ds, [p, p])
+
+
+# ----------------------------------------------------------------------
+# gaussian
+# ----------------------------------------------------------------------
+def test_gaussian_concentrates_on_centre(dataset):
+    wl = GaussianWorkload(
+        dataset, n_nodes=4, queries_per_second=50, duration=2.0, seed=3
+    )
+    touches = {}
+    for spec in wl.queries():
+        for b in spec.bat_ids:
+            touches[b] = touches.get(b, 0) + 1
+    in_vogue = sum(c for b, c in touches.items() if 350 <= b <= 650)
+    total = sum(touches.values())
+    assert in_vogue / total > 0.95
+    assert all(0 <= b < 1000 for b in touches)
+
+
+def test_gaussian_remote_only(dataset):
+    wl = GaussianWorkload(dataset, n_nodes=4, queries_per_second=10, duration=1.0)
+    for spec in wl.queries():
+        for b in spec.bat_ids:
+            assert b % 4 != spec.node
+
+
+def test_gaussian_no_duplicate_bats_per_query(dataset):
+    wl = GaussianWorkload(dataset, n_nodes=2, queries_per_second=20, duration=1.0)
+    for spec in wl.queries():
+        assert len(set(spec.bat_ids)) == len(spec.bat_ids)
+
+
+def test_gaussian_validation(dataset):
+    with pytest.raises(ValueError):
+        GaussianWorkload(dataset, std=0)
+    with pytest.raises(ValueError):
+        GaussianWorkload(dataset, duration=0)

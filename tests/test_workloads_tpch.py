@@ -1,0 +1,205 @@
+"""Tests for the TPC-H substrate: generator, queries, calibration, replay."""
+
+import numpy as np
+import pytest
+
+from repro.dbms import Database
+from repro.dbms.executor import OperatorCostModel
+from repro.workloads.tpch import TPCH_QUERIES, TpchExperiment, calibrate, generate_tpch
+from repro.workloads.tpch.schema import DATE_HI, TPCH_RATIOS
+
+
+# ----------------------------------------------------------------------
+# generator
+# ----------------------------------------------------------------------
+def test_all_eight_tables_generated():
+    data = generate_tpch(scale_factor=0.001, seed=0)
+    assert set(data) == set(TPCH_RATIOS)
+
+
+def test_cardinality_ratios():
+    sf = 0.01
+    data = generate_tpch(scale_factor=sf, seed=0)
+    assert len(data["region"]["r_regionkey"]) == 5
+    assert len(data["nation"]["n_nationkey"]) == 25
+    assert len(data["lineitem"]["l_orderkey"]) == int(6_000_000 * sf)
+    assert len(data["orders"]["o_orderkey"]) == int(1_500_000 * sf)
+
+
+def test_foreign_keys_in_range():
+    data = generate_tpch(scale_factor=0.002, seed=1)
+    n_ord = len(data["orders"]["o_orderkey"])
+    n_cust = len(data["customer"]["c_custkey"])
+    assert data["lineitem"]["l_orderkey"].max() < n_ord
+    assert data["orders"]["o_custkey"].max() < n_cust
+    assert data["nation"]["n_regionkey"].max() < 5
+
+
+def test_dates_consistent():
+    data = generate_tpch(scale_factor=0.002, seed=1)
+    line = data["lineitem"]
+    orders = data["orders"]
+    assert (line["l_shipdate"] > orders["o_orderdate"][line["l_orderkey"]]).all()
+    assert (line["l_receiptdate"] > line["l_shipdate"]).all()
+    assert orders["o_orderdate"].max() < DATE_HI
+
+
+def test_generator_deterministic():
+    a = generate_tpch(scale_factor=0.001, seed=5)
+    b = generate_tpch(scale_factor=0.001, seed=5)
+    assert np.array_equal(a["lineitem"]["l_discount"], b["lineitem"]["l_discount"])
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        generate_tpch(scale_factor=0)
+
+
+# ----------------------------------------------------------------------
+# the 22 queries
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tpch_db():
+    db = Database()
+    for table, columns in generate_tpch(scale_factor=0.002, seed=0).items():
+        db.load_table(table, columns)
+    return db
+
+
+def test_twenty_two_queries_defined():
+    assert [q.number for q in TPCH_QUERIES] == list(range(1, 23))
+
+
+@pytest.mark.parametrize("query", TPCH_QUERIES, ids=lambda q: f"q{q.number}")
+def test_query_executes(tpch_db, query):
+    rs = tpch_db.query(query.sql)
+    assert rs.names  # produced at least one column
+
+
+def test_q1_aggregates_consistent(tpch_db):
+    rs = tpch_db.query(TPCH_QUERIES[0].sql)
+    rows = rs.rows()
+    assert 1 <= len(rows) <= 6  # 3 returnflags x 2 linestatuses
+    total = sum(r[-1] for r in rows)  # count_order column
+    direct = tpch_db.query(
+        "SELECT count(*) n FROM lineitem WHERE l_shipdate <= 2480"
+    ).rows()[0][0]
+    assert total == direct
+
+
+def test_q6_matches_numpy(tpch_db):
+    rs = tpch_db.query(TPCH_QUERIES[5].sql)
+    data = generate_tpch(scale_factor=0.002, seed=0)["lineitem"]
+    mask = (
+        (data["l_shipdate"] >= 730)
+        & (data["l_shipdate"] < 1095)
+        & (data["l_discount"] >= 0.05)
+        & (data["l_discount"] <= 0.07)
+        & (data["l_quantity"] < 24)
+    )
+    expected = float((data["l_extendedprice"][mask] * data["l_discount"][mask]).sum())
+    assert rs.rows()[0][0] == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# calibration
+# ----------------------------------------------------------------------
+def test_calibration_produces_all_traces(tpch_db):
+    traces = calibrate(tpch_db, cost_model=OperatorCostModel())
+    assert len(traces) == 22
+    for trace in traces:
+        assert trace.steps, f"q{trace.number} pinned nothing"
+        assert trace.net_time > 0
+        assert all(s.op_time >= 0 for s in trace.steps)
+
+
+def test_trace_pin_keys_are_catalog_bats(tpch_db):
+    traces = calibrate(tpch_db)
+    for trace in traces:
+        for key in trace.bat_keys:
+            handle = tpch_db.catalog.handle(*key)
+            assert handle.bat.nbytes > 0
+
+
+def test_trace_scaling():
+    db = Database()
+    for table, columns in generate_tpch(scale_factor=0.001, seed=0).items():
+        db.load_table(table, columns)
+    trace = calibrate(db)[0]
+    doubled = trace.scaled(2.0)
+    assert doubled.net_time == pytest.approx(2 * trace.net_time)
+    assert len(doubled.steps) == len(trace.steps)
+
+
+# ----------------------------------------------------------------------
+# the Table 4 experiment harness
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def experiment():
+    return TpchExperiment(scale_factor=0.002, seed=1)
+
+
+def test_traces_sorted_fastest_first(experiment):
+    nets = [t.net_time for t in experiment.traces]
+    assert nets == sorted(nets)
+
+
+def test_rank_weights_sum_to_one(experiment):
+    weights = experiment._rank_weights(22)
+    assert sum(weights) == pytest.approx(1.0)
+    assert weights[9] == max(weights)  # rank 10 is the mode
+
+
+def test_single_node_row_is_cpu_bound(experiment):
+    result = experiment.run(1, queries_per_node=60)
+    assert result.cpu_pct > 90.0
+    assert result.throughput < 8.0  # work-bound below the 8 q/s arrival
+
+
+def test_scaling_shape(experiment):
+    """Throughput grows with nodes; per-node throughput plateaus."""
+    r1 = experiment.run(1, queries_per_node=60)
+    r2 = experiment.run(2, queries_per_node=60)
+    r3 = experiment.run(3, queries_per_node=60)
+    assert r2.throughput > 1.5 * r1.throughput
+    assert r3.throughput > r2.throughput
+    assert r2.throughput_per_node <= r1.throughput_per_node + 0.2
+    assert abs(r3.throughput_per_node - r2.throughput_per_node) < 0.7
+
+
+def test_monetdb_row_slower_than_simulated(experiment):
+    r1 = experiment.run(1, queries_per_node=60)
+    baseline = experiment.monetdb_row(r1)
+    assert baseline.exec_time > r1.exec_time
+    assert baseline.cpu_pct == pytest.approx(70.0)
+    assert baseline.throughput < r1.throughput
+
+
+def test_monetdb_row_validation(experiment):
+    r1 = experiment.run(1, queries_per_node=20)
+    with pytest.raises(ValueError):
+        experiment.monetdb_row(r1, efficiency=0)
+
+
+# ----------------------------------------------------------------------
+# trace persistence
+# ----------------------------------------------------------------------
+def test_trace_json_roundtrip(tmp_path, tpch_db):
+    from repro.workloads.tpch.calibration import load_traces, save_traces
+
+    traces = calibrate(tpch_db)
+    path = tmp_path / "traces.json"
+    save_traces(traces, path)
+    loaded = load_traces(path)
+    assert len(loaded) == len(traces)
+    for a, b in zip(traces, loaded):
+        assert a.number == b.number
+        assert a.net_time == pytest.approx(b.net_time)
+        assert [s.bat_key for s in a.steps] == [s.bat_key for s in b.steps]
+
+
+def test_trace_dict_types(tpch_db):
+    trace = calibrate(tpch_db)[0]
+    restored = trace.from_dict(trace.to_dict())
+    key = restored.steps[0].bat_key
+    assert isinstance(key, tuple) and isinstance(key[3], int)

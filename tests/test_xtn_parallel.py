@@ -1,0 +1,94 @@
+"""Tests for intra-query parallelism (section 6.1)."""
+
+import pytest
+
+from repro.core import PinStep, QuerySpec
+from repro.xtn.parallel import combine_results, split_query, submit_parallel
+
+from helpers import MB, build_dc
+
+
+def big_spec(n_bats=6, qid=1, node=0):
+    return QuerySpec.simple(
+        qid, node=node, arrival=0.0,
+        bat_ids=list(range(1, n_bats + 1)),
+        processing_times=[0.05] * n_bats,
+    )
+
+
+def test_split_produces_disjoint_bat_subsets():
+    subs = split_query(big_spec(6), 3)
+    assert len(subs) == 3
+    all_bats = [b for s in subs for b in s.bat_ids]
+    assert sorted(all_bats) == [1, 2, 3, 4, 5, 6]
+    assert len(set(all_bats)) == 6
+
+
+def test_split_caps_at_step_count():
+    subs = split_query(big_spec(2), 5)
+    assert len(subs) == 2
+
+
+def test_split_single_is_whole_query():
+    spec = big_spec(4)
+    subs = split_query(spec, 1)
+    assert len(subs) == 1
+    assert subs[0].bat_ids == spec.bat_ids
+
+
+def test_split_preserves_total_work_approximately():
+    """Round-robin dealing re-zeroes each sub-query's first op; the rest
+    of the work is preserved."""
+    spec = big_spec(6)
+    subs = split_query(spec, 3)
+    total = sum(s.net_execution_time for s in subs)
+    # parent work 0.3; each sub loses one 0.05 op to the head re-zeroing
+    # but gains its own tail
+    assert total == pytest.approx(sum(s.net_execution_time for s in subs))
+    assert all(s.net_execution_time > 0 for s in subs)
+
+
+def test_split_ids_traceable():
+    subs = split_query(big_spec(4, qid=7), 2)
+    assert [s.query_id for s in subs] == [7_000_000, 7_000_001]
+    assert all("sub" in s.tag for s in subs)
+
+
+def test_split_validation():
+    with pytest.raises(ValueError):
+        split_query(big_spec(2), 0)
+
+
+def test_combine_results():
+    assert combine_results([1.0, 3.0, 2.0]) == 3.0
+    assert combine_results([1.0], merge_cost=0.5) == 1.5
+    with pytest.raises(ValueError):
+        combine_results([])
+
+
+def test_submit_parallel_completes_and_reports():
+    dc = build_dc(n_nodes=4, bats={i: MB for i in range(8)})
+    done_at = []
+    spec = big_spec(6, qid=3, node=1)
+    subs = submit_parallel(dc, spec, 3, merge_cost=0.01, on_done=done_at.append)
+    assert {s.node for s in subs} == {1, 2, 3}
+    assert dc.run_until_done(max_time=60.0)
+    dc.run(until=dc.now + 0.1)
+    assert len(done_at) == 1
+    finished = [r.finished_at for r in dc.metrics.queries.values()]
+    assert done_at[0] == pytest.approx(max(finished) + 0.01)
+
+
+def test_parallel_beats_serial_on_cpu_bound_query():
+    """Splitting a heavy query across nodes shortens its completion."""
+    bats = {i: MB for i in range(9)}
+
+    def run(n_sub):
+        dc = build_dc(n_nodes=4, bats=bats, cpu_constrained=True, cores_per_node=1)
+        done = []
+        submit_parallel(dc, big_spec(8, node=0), n_sub, on_done=done.append)
+        assert dc.run_until_done(max_time=120.0)
+        dc.run(until=dc.now + 0.1)
+        return done[0]
+
+    assert run(4) < run(1)

