@@ -9,6 +9,7 @@ Usage::
     python -m repro tab4 [--nodes 1 2 4] # TPC-H scaling (Table 4)
     python -m repro sweep [--sizes 5 10] # ring-size sweep (Figures 10-11)
     python -m repro fig1                 # the RDMA host cost model
+    python -m repro chaos [--seeds 0 1]  # fault injection (docs/faults.md)
 
 Each command prints the same rows/series the paper reports.  ``--full``
 switches to the paper's exact parameters (slow; see EXPERIMENTS.md).
@@ -218,6 +219,43 @@ def cmd_fig1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults import ChaosHarness, ChaosScenario
+
+    scenario = None
+    if args.scenario:
+        try:
+            with open(args.scenario) as fh:
+                scenario = ChaosScenario.from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"repro chaos: bad scenario file: {exc}", file=sys.stderr)
+            return 2
+    failures = 0
+    for seed in args.seeds:
+        try:
+            harness = ChaosHarness(
+                n_nodes=args.nodes,
+                seed=seed,
+                scenario=scenario,
+                duration=args.duration,
+                crashes=args.crashes,
+                rejoin_fraction=args.rejoin_fraction,
+                degradations=args.degradations,
+                rehome_policy=args.rehome,
+            )
+        except ValueError as exc:
+            print(f"repro chaos: invalid parameters: {exc}", file=sys.stderr)
+            return 2
+        harness.injector.arm()
+        result = harness.run()
+        print(result.report())
+        if not result.ok:
+            failures += 1
+    return 1 if failures else 0
+
+
 def cmd_shell(args: argparse.Namespace) -> int:
     from repro.shell import run_shell
 
@@ -237,6 +275,7 @@ _COMMANDS = {
     "fig9": (cmd_fig9, "Gaussian access pattern (Figure 9)"),
     "tab4": (cmd_tab4, "TPC-H trace replay scaling (Table 4)"),
     "sweep": (cmd_sweep, "ring-size sweep (Figures 10-11)"),
+    "chaos": (cmd_chaos, "fault injection: crashes, rejoins, link faults"),
     "shell": (cmd_shell, "interactive SQL over a simulated ring"),
     "list": (cmd_list, "list available experiments"),
 }
@@ -266,6 +305,18 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--sizes", type=int, nargs="+", default=[3, 6, 9])
         if name == "shell":
             p.add_argument("--nodes", type=int, default=4)
+        if name == "chaos":
+            p.add_argument("--nodes", type=int, default=6)
+            p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+            p.add_argument("--duration", type=float, default=6.0)
+            p.add_argument("--crashes", type=int, default=1)
+            p.add_argument("--rejoin-fraction", type=float, default=1.0,
+                           dest="rejoin_fraction")
+            p.add_argument("--degradations", type=int, default=0)
+            p.add_argument("--rehome", default="fail_fast",
+                           choices=("fail_fast", "successor"))
+            p.add_argument("--scenario", default=None,
+                           help="JSON scenario file (overrides --crashes etc.)")
         if name == "fig1":
             p.add_argument("--gbps", type=float, default=10.0)
             p.add_argument("--cpu-ghz", type=float, default=2.33 * 4,

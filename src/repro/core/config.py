@@ -55,6 +55,21 @@ class DataCyclotronConfig:
     # --- loss recovery (section 4.2.3) --------------------------------
     resend_timeout: Optional[float] = None  # None -> derived from ring size
     resend_timeout_factor: float = 4.0      # x estimated rotational delay
+    # Escalation beyond the paper (docs/faults.md): each resend multiplies
+    # the timeout by ``resend_backoff_base`` (capped at ``_cap`` times the
+    # base timeout); 1.0 keeps the paper's fixed-interval behaviour.
+    # After ``max_resends`` unanswered resends the request gives up and
+    # the blocked queries fail with DATA_UNAVAILABLE; None retries forever.
+    resend_backoff_base: float = 1.0
+    resend_backoff_cap: float = 8.0
+    max_resends: Optional[int] = None
+
+    # --- fault tolerance (fault-injection subsystem, docs/faults.md) ---
+    # What happens to BATs owned by a crashed node: "fail_fast" fails
+    # pending and future requests with DATA_UNAVAILABLE until the owner
+    # rejoins; "successor" re-homes ownership to the live successor,
+    # which reloads them from shared storage on demand.
+    rehome_policy: str = "fail_fast"
 
     # --- node resources ----------------------------------------------
     local_memory_bytes: Optional[int] = None  # pinned-BAT budget; None = ample
@@ -97,6 +112,14 @@ class DataCyclotronConfig:
             raise ValueError("cores_per_node must be >= 1")
         if self.load_priority not in ("age_size", "fifo"):
             raise ValueError("load_priority must be 'age_size' or 'fifo'")
+        if self.rehome_policy not in ("fail_fast", "successor"):
+            raise ValueError("rehome_policy must be 'fail_fast' or 'successor'")
+        if self.resend_backoff_base < 1.0:
+            raise ValueError("resend_backoff_base must be >= 1.0")
+        if self.resend_backoff_cap < 1.0:
+            raise ValueError("resend_backoff_cap must be >= 1.0")
+        if self.max_resends is not None and self.max_resends < 1:
+            raise ValueError("max_resends must be >= 1 (or None)")
         if self.transfer_mode not in ("rdma", "offload", "legacy"):
             raise ValueError("transfer_mode must be 'rdma', 'offload' or 'legacy'")
         if self.host_cpu_ghz <= 0:

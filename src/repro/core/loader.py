@@ -86,10 +86,17 @@ class DataLoader:
         size = self.wire_size(entry)
         self.reserved_bytes += size
         self.sim.schedule(
-            self.disk_fetch_time(entry.size), self._fetch_done, entry
+            self.disk_fetch_time(entry.size),
+            self._fetch_done,
+            entry,
+            self.runtime.epoch,
         )
 
-    def _fetch_done(self, entry: OwnedBat) -> None:
+    def _fetch_done(self, entry: OwnedBat, epoch: int) -> None:
+        if epoch != self.runtime.epoch:
+            # the node crashed mid-fetch; crash() zeroed the reservation
+            # and restart() cleared the loading flag
+            return
         size = self.wire_size(entry)
         self.reserved_bytes -= size
         entry.loading = False

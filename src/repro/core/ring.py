@@ -71,18 +71,14 @@ class DataCyclotron:
         ]
         # Wire message delivery: node i receives BATs from its
         # predecessor's data channel and requests from its successor's
-        # request channel.
+        # request channel.  The ring owns the wiring so it can repair the
+        # topology when fault injection changes the live set.
         for i, node in enumerate(self.nodes):
-            pred = self.ring.predecessor(i)
-            succ = self.ring.successor(i)
-            self.ring.data_channel(pred).set_receiver(node.on_bat_message)
-            if self.config.requests_clockwise:
-                # ablation: requests chase the data instead of meeting it
-                self.ring.request_channel(pred).set_receiver(node.on_request_message)
-            else:
-                self.ring.request_channel(succ).set_receiver(node.on_request_message)
-            # DropTail drops happen at the *sending* node's queue.
+            self.ring.install_node(i, node.on_bat_message, node.on_request_message)
+            # Drops happen at the *sending* node's queue / channel.
             self.ring.data_channel(i).set_drop_handler(node.on_data_drop)
+            self.ring.data_channel(i).set_loss_handler(node.on_data_loss)
+        self.ring.rewire(self.config.requests_clockwise)
 
         self._bat_sizes: Dict[int, int] = {}
         self._bat_owner: Dict[int, int] = {}
@@ -182,12 +178,14 @@ class DataCyclotron:
 
     def _tick_load_all(self) -> None:
         for node in self.nodes:
-            node.tick_load_all()
+            if not node.crashed:
+                node.tick_load_all()
         self.sim.schedule(self.config.load_all_interval, self._tick_load_all)
 
     def _tick_loit(self) -> None:
         for node in self.nodes:
-            node.tick_loit()
+            if not node.crashed:
+                node.tick_loit()
         self.sim.schedule(self.config.loit_adapt_interval, self._tick_loit)
 
     def run(self, until: float) -> None:
@@ -208,6 +206,127 @@ class DataCyclotron:
                 return True
             self.sim.run(until=min(self.sim.now + check_interval, max_time))
         return self.completed_queries >= self._submitted
+
+    # ------------------------------------------------------------------
+    # fault injection (docs/faults.md)
+    # ------------------------------------------------------------------
+    def crash_node(self, node_id: int) -> None:
+        """Kill ``node_id``: purge its queues, repair the ring around it,
+        and apply the configured re-homing policy to the BATs it owned.
+
+        With ``rehome_policy="successor"`` ownership moves to the live
+        successor (shared-storage assumption); with ``"fail_fast"``
+        requests for those BATs fail with DATA_UNAVAILABLE until rejoin.
+        """
+        if not 0 <= node_id < self.config.n_nodes:
+            raise ValueError(f"node {node_id} out of range")
+        if not self.ring.is_alive(node_id):
+            raise ValueError(f"node {node_id} is already down")
+        if len(self.ring.live_nodes) <= 1:
+            raise ValueError("cannot crash the last live node")
+        now = self.sim.now
+        runtime = self.nodes[node_id]
+
+        # repair the topology first: traffic in flight bypasses the corpse
+        self.ring.set_alive(node_id, False)
+        self.ring.rewire(self.config.requests_clockwise)
+
+        # the dead node's transmit queues are volatile memory
+        for msg, _size in self.ring.data_channel(node_id).purge_queue():
+            self.metrics.bat_purged(now, msg.bat_id, msg.size)
+        self.ring.request_channel(node_id).purge_queue()
+
+        runtime.crash()
+
+        owned = sorted(
+            bat_id for bat_id, owner in self._bat_owner.items() if owner == node_id
+        )
+        rehomed = self.config.rehome_policy == "successor" and bool(owned)
+        if rehomed:
+            adopter_id = self.ring.live_successor(node_id)
+            adopter = self.nodes[adopter_id]
+            for bat_id in owned:
+                entry = runtime.s1.maybe(bat_id)
+                if entry is None or entry.deleted:
+                    continue
+                payload = runtime.loader.payloads.pop(bat_id, None)
+                runtime.s1.remove(bat_id)
+                self._bat_owner[bat_id] = adopter_id
+                self.metrics.bat_rehomed(now, bat_id)
+                adopter.adopt_ownership(
+                    bat_id,
+                    size=entry.size,
+                    payload=payload,
+                    incarnation=entry.incarnation,
+                    version=entry.version,
+                )
+        for i, other in enumerate(self.nodes):
+            if i != node_id and self.ring.is_alive(i):
+                other.on_peer_down(node_id, owned, rehomed=rehomed)
+        self.metrics.node_down(now, node_id)
+
+    def rejoin_node(self, node_id: int) -> None:
+        """Restart a crashed node and splice it back into the ring."""
+        if not 0 <= node_id < self.config.n_nodes:
+            raise ValueError(f"node {node_id} out of range")
+        if self.ring.is_alive(node_id):
+            raise ValueError(f"node {node_id} is already up")
+        now = self.sim.now
+        runtime = self.nodes[node_id]
+        runtime.restart()
+        self.ring.set_alive(node_id, True)
+        self.ring.rewire(self.config.requests_clockwise)
+
+        owned = sorted(
+            bat_id for bat_id, owner in self._bat_owner.items() if owner == node_id
+        )
+        # the rejoiner learns the current failure state of the ring
+        runtime.dead_peers = {
+            i for i in range(self.config.n_nodes) if not self.ring.is_alive(i)
+        }
+        runtime.unavailable_bats = {
+            bat_id
+            for bat_id, owner in self._bat_owner.items()
+            if not self.ring.is_alive(owner)
+        }
+        for i, other in enumerate(self.nodes):
+            if i != node_id and self.ring.is_alive(i):
+                other.on_peer_up(node_id, owned)
+        self.metrics.node_up(now, node_id, owned)
+
+    def degrade_link(
+        self,
+        node_id: int,
+        direction: str = "data",
+        bandwidth_factor: float = 1.0,
+        extra_delay: float = 0.0,
+        loss_rate: Optional[float] = None,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Degrade ``node_id``'s outgoing channel(s); auto-heal after
+        ``duration`` seconds (None = permanent)."""
+        if direction not in ("data", "request", "both"):
+            raise ValueError("direction must be 'data', 'request' or 'both'")
+        channels = []
+        if direction in ("data", "both"):
+            channels.append(self.ring.data_channel(node_id))
+        if direction in ("request", "both"):
+            channels.append(self.ring.request_channel(node_id))
+        saved = [
+            (ch, ch.degrade(bandwidth_factor, extra_delay, loss_rate))
+            for ch in channels
+        ]
+        if duration is not None:
+            self.sim.schedule(duration, self._restore_links, saved)
+
+    @staticmethod
+    def _restore_links(saved) -> None:
+        for ch, settings in saved:
+            ch.restore(settings)
+
+    @property
+    def live_node_ids(self) -> List[int]:
+        return self.ring.live_nodes
 
     # ------------------------------------------------------------------
     # introspection
@@ -256,6 +375,22 @@ class DataCyclotron:
             "loit_changes": metrics.loit_changes,
             "ring_load_bytes": self.ring_load_bytes,
             "events_processed": self.sim.processed,
+            # fault-injection outcomes (docs/faults.md)
+            "queries_degraded": metrics.degraded_count(),
+            "queries_unavailable": metrics.unavailable_count(),
+            "crash_drops": metrics.crash_drops,
+            "bats_rehomed": metrics.bats_rehomed,
+            "bats_adopted": metrics.bats_adopted,
+            "orphans_retired": metrics.orphans_retired,
+            "total_downtime": round(metrics.total_downtime(self.sim.now), 6),
+            "mean_recovery_latency": (
+                round(
+                    sum(metrics.recovery_latencies) / len(metrics.recovery_latencies),
+                    6,
+                )
+                if metrics.recovery_latencies
+                else 0.0
+            ),
         }
 
     def cpu_utilisation(self, horizon: Optional[float] = None) -> float:

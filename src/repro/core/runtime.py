@@ -11,13 +11,17 @@ the predecessor's BATs, and (c) the successor's requests.  It implements
   plans by the DC optimizer (section 4.1, Table 2),
 * the robustness machinery of section 4.2.3: ``resend()`` timeouts for
   lost requests, lazy detection of BATs lost to DropTail, and the
-  periodic ``loadAll`` / LOIT-adaptation ticks.
+  periodic ``loadAll`` / LOIT-adaptation ticks,
+* the fault-tolerance extension beyond the paper (docs/faults.md):
+  crash/restart lifecycle, dead-peer tracking with the
+  ``DATA_UNAVAILABLE`` query outcome, adoption of circulating copies
+  whose owner died, and exponential resend backoff with escalation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import DataCyclotronConfig
 from repro.core.loader import DataLoader
@@ -36,7 +40,13 @@ from repro.sim.engine import Event, Simulator
 from repro.sim.process import Future
 from repro.sim.timeline import CoreTimeline
 
-__all__ = ["NodeRuntime", "PinResult", "CachedBat"]
+__all__ = ["NodeRuntime", "PinResult", "CachedBat", "DATA_UNAVAILABLE", "NODE_CRASHED"]
+
+# Query-failure outcomes introduced by the fault-injection subsystem.
+# DATA_UNAVAILABLE: the BAT's owner is dead and the BAT was not re-homed.
+# NODE_CRASHED: the query was running on a node that crashed.
+DATA_UNAVAILABLE = "DATA_UNAVAILABLE"
+NODE_CRASHED = "NODE_CRASHED"
 
 
 @dataclass
@@ -117,6 +127,15 @@ class NodeRuntime:
         self.loss_timeout = 1.0  # overwritten by the ring facade
         self._resend_timers: Dict[int, Event] = {}
 
+        # fault tolerance (docs/faults.md)
+        self.crashed = False
+        # bumped on every crash and restart; in-flight disk fetches from
+        # an earlier epoch are discarded when they complete
+        self.epoch = 0
+        self.dead_peers: Set[int] = set()
+        # BATs owned by a dead node and not re-homed: requests fail fast
+        self.unavailable_bats: Set[int] = set()
+
         self.queries_finished = 0
         self.queries_failed = 0
 
@@ -132,10 +151,14 @@ class NodeRuntime:
         call updates S2 and sends one request message anti-clockwise per
         BAT not already in flight (section 4.2.1).
         """
+        if self.crashed:
+            return  # the DBMS instance is gone; pin() reports the failure
         now = self.sim.now
         for bat_id in bat_ids:
             if self.s1.owns(bat_id):
                 continue
+            if bat_id in self.unavailable_bats:
+                continue  # fail fast at pin time, no ring traffic
             entry = self.s2.register(bat_id, query_id, now)
             if not entry.sent:
                 self._send_request(entry)
@@ -150,6 +173,10 @@ class NodeRuntime:
         fut = Future(self.sim)
         now = self.sim.now
 
+        if self.crashed:
+            fut.resolve(PinResult(False, bat_id, error=NODE_CRASHED))
+            return fut
+
         cached = self.cache.get(bat_id)
         if cached is not None:
             cached.refcount += 1
@@ -162,6 +189,12 @@ class NodeRuntime:
 
         if self.s1.owns(bat_id):
             self._local_fetch(bat_id, fut)
+            return fut
+
+        if bat_id in self.unavailable_bats:
+            # the owner is dead and the BAT was not re-homed: fail fast
+            self.metrics.request_unavailable(now, bat_id)
+            fut.resolve(PinResult(False, bat_id, error=DATA_UNAVAILABLE))
             return fut
 
         # Remote BAT: make sure a request is outstanding (a pin without a
@@ -218,14 +251,21 @@ class NodeRuntime:
     # ==================================================================
     def on_request_message(self, msg: RequestMessage, _size: int) -> None:
         """Request Propagation (Figure 3)."""
+        if self.crashed:
+            return  # delivered into a dead node: the request is lost
         msg.hops += 1
         now = self.sim.now
 
         # Outcome 1: the request circled back to its origin -- the BAT
-        # does not exist (anymore); associated queries raise an exception.
+        # does not exist (anymore), or its owner is dead and nobody
+        # re-homed it; associated queries raise an exception.
         if msg.origin == self.node_id:
             self.metrics.requests_returned_to_origin += 1
-            self._fail_request(msg.bat_id, "BAT does not exist")
+            if msg.bat_id in self.unavailable_bats:
+                self.metrics.request_unavailable(now, msg.bat_id)
+                self._fail_request(msg.bat_id, DATA_UNAVAILABLE)
+            else:
+                self._fail_request(msg.bat_id, "BAT does not exist")
             return
 
         # Outcomes 2-4: this node owns the BAT.
@@ -260,15 +300,27 @@ class NodeRuntime:
 
     def on_bat_message(self, msg: BATMessage, _size: int) -> None:
         """Dispatch of section 4.3: owner -> Hot Set Management, else
-        BAT Propagation."""
+        BAT Propagation.  Copies whose owner died take the orphan path
+        (adoption by the re-homed owner, or retirement)."""
+        if self.crashed:
+            # delivered into a dead node's memory: the copy is lost; the
+            # owner's lazy loss detection will reload it
+            self.metrics.bat_purged(self.sim.now, msg.bat_id, msg.size)
+            return
         if msg.owner == self.node_id:
             self._hot_set_management(msg)
+        elif msg.owner in self.dead_peers:
+            self._handle_orphan(msg)
         else:
             self._bat_propagation(msg)
 
     def on_data_drop(self, msg: BATMessage, _size: int) -> None:
         """DropTail discarded a BAT from the full transmit queue."""
         self.metrics.bat_dropped(self.sim.now, msg.bat_id, msg.size, by_loss=False)
+
+    def on_data_loss(self, msg: BATMessage, _size: int) -> None:
+        """Loss injection ate a BAT this node tried to forward."""
+        self.metrics.bat_dropped(self.sim.now, msg.bat_id, msg.size, by_loss=True)
 
     # ==================================================================
     # the core algorithms
@@ -322,6 +374,49 @@ class NodeRuntime:
         self.note_bat_forwarded(entry)
         self.forward_bat(msg)
 
+    def _handle_orphan(self, msg: BATMessage) -> None:
+        """A circulating copy whose owner died (docs/faults.md).
+
+        The re-homed owner adopts the copy as a fresh incarnation and
+        keeps it in the ring; every other node serves its blocked pins
+        one last time and pulls the copy out of circulation so orphans
+        cannot cycle forever.
+        """
+        msg.hops += 1
+        now = self.sim.now
+        entry = self.s1.maybe(msg.bat_id)
+        if entry is not None and not entry.deleted:
+            # this node adopted ownership of the BAT
+            if entry.loaded or entry.loading:
+                # a fresh incarnation already circulates: retire the stale copy
+                self.metrics.orphan_retired(now, msg.bat_id, msg.size)
+                return
+            entry.incarnation += 1
+            entry.loaded = True
+            msg.owner = self.node_id
+            msg.incarnation = entry.incarnation
+            msg.version = entry.version
+            msg.copies = 0
+            msg.hops = 0
+            self.metrics.bat_adopted(now, msg.bat_id)
+            self.note_bat_forwarded(entry)
+            self.forward_bat(msg)
+            return
+        # not the adopter: degraded last-chance service, then retirement
+        req = self.s2.get(msg.bat_id)
+        if (
+            req is not None
+            and self.s3.has_pins(msg.bat_id)
+            and self._memory_admits(msg.size)
+        ):
+            msg.copies += 1
+            self.metrics.bat_touched(now, msg.bat_id)
+            self._serve_pins(msg, req, degraded=True)
+            if req.all_pinned():
+                self.s2.unregister(msg.bat_id)
+                self._cancel_resend(msg.bat_id)
+        self.metrics.orphan_retired(now, msg.bat_id, msg.size)
+
     def forward_bat(self, msg: BATMessage) -> None:
         """Enqueue a BAT for the successor; accounts loss-injected drops.
 
@@ -336,16 +431,12 @@ class NodeRuntime:
             self.network_cpu_seconds += overhead
             if self.config.cpu_constrained:
                 self.cores.schedule(self.sim.now, overhead)
-        sent = self.out_data.send(msg, wire)
-        if sent:
+        # Drops are accounted by the channel callbacks: loss injection
+        # via on_data_loss, DropTail via on_data_drop.  Inferring the
+        # drop kind from the boolean here double-counted DropTail drops
+        # as loss drops whenever both mechanisms were active.
+        if self.out_data.send(msg, wire):
             self.metrics.bat_messages_forwarded += 1
-        else:
-            # Channel-level loss injection drops silently (DropTail drops
-            # arrive via on_data_drop instead).
-            if self.out_data.loss_rate > 0:
-                self.metrics.bat_dropped(
-                    self.sim.now, msg.bat_id, msg.size, by_loss=True
-                )
 
     def note_bat_forwarded(self, entry) -> None:
         entry.last_seen = self.sim.now
@@ -362,11 +453,14 @@ class NodeRuntime:
             return True
         return self.pinned_bytes + size <= budget
 
-    def _serve_pins(self, msg: BATMessage, req: OutstandingRequest) -> None:
+    def _serve_pins(
+        self, msg: BATMessage, req: OutstandingRequest, degraded: bool = False
+    ) -> None:
         now = self.sim.now
         waits = self.s3.pop_all(msg.bat_id)
         if not waits:
             return
+        degraded = degraded or req.resends > 0
         cached = CachedBat(
             bat_id=msg.bat_id,
             size=msg.size,
@@ -383,6 +477,8 @@ class NodeRuntime:
         result = PinResult(True, msg.bat_id, msg.payload, msg.version)
         for wait in waits:
             req.queries[wait.query_id] = True
+            if degraded:
+                self.metrics.query_degraded(wait.query_id)
             wait.future.resolve(result)
 
     def _note_query_pinned(self, bat_id: int, query_id: int) -> None:
@@ -405,10 +501,15 @@ class NodeRuntime:
         self._local_fetches[bat_id] = [fut]
         entry = self.s1.get(bat_id)
         self.sim.schedule(
-            self.loader.disk_fetch_time(entry.size), self._local_fetch_done, bat_id
+            self.loader.disk_fetch_time(entry.size),
+            self._local_fetch_done,
+            bat_id,
+            self.epoch,
         )
 
-    def _local_fetch_done(self, bat_id: int) -> None:
+    def _local_fetch_done(self, bat_id: int, epoch: int) -> None:
+        if epoch != self.epoch:
+            return  # the node crashed (and possibly restarted) meanwhile
         waiters = self._local_fetches.pop(bat_id, [])
         entry = self.s1.maybe(bat_id)
         if entry is None or entry.deleted:
@@ -442,10 +543,21 @@ class NodeRuntime:
         self.out_request.send(msg, self.config.request_message_size)
         self._arm_resend(entry)
 
+    def _resend_interval(self, resends: int) -> float:
+        """Exponential backoff: each unanswered resend stretches the next
+        timeout by ``resend_backoff_base``, capped at ``resend_backoff_cap``
+        times the base timeout.  The default base of 1.0 reproduces the
+        paper's fixed rotational-delay timeout."""
+        factor = min(
+            self.config.resend_backoff_base ** resends,
+            self.config.resend_backoff_cap,
+        )
+        return self.loss_timeout * factor
+
     def _arm_resend(self, entry: OutstandingRequest) -> None:
         self._cancel_resend(entry.bat_id)
         self._resend_timers[entry.bat_id] = self.sim.schedule(
-            self.loss_timeout, self._resend_fired, entry.bat_id
+            self._resend_interval(entry.resends), self._resend_fired, entry.bat_id
         )
 
     def _cancel_resend(self, bat_id: int) -> None:
@@ -479,6 +591,15 @@ class NodeRuntime:
                 stale_in, self._resend_fired, bat_id
             )
             return
+        if (
+            self.config.max_resends is not None
+            and entry.resends >= self.config.max_resends
+        ):
+            # escalation: the BAT is gone for good as far as this node can
+            # tell -- stop retrying and fail the blocked queries
+            self.metrics.request_unavailable(now, bat_id)
+            self._fail_request(bat_id, DATA_UNAVAILABLE)
+            return
         entry.resends += 1
         self.metrics.resends += 1
         entry.sent_at = now
@@ -498,6 +619,112 @@ class NodeRuntime:
         result = PinResult(False, bat_id, error=reason)
         for wait in self.s3.pop_all(bat_id):
             wait.future.resolve(result)
+
+    # ==================================================================
+    # fault tolerance: crash / restart lifecycle (docs/faults.md)
+    # ==================================================================
+    def crash(self) -> None:
+        """Kill the node: volatile state is lost, blocked queries fail.
+
+        The owned-BAT catalog (S1) survives -- it models the local disk --
+        but its in-memory flags are stale until :meth:`restart` resets
+        them.  Channel purging and peer notification are the ring
+        facade's job (:meth:`~repro.core.ring.DataCyclotron.crash_node`).
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.epoch += 1
+        result_cache: Dict[int, PinResult] = {}
+        for bat_id in self.s3.bat_ids():
+            result = result_cache.setdefault(
+                bat_id, PinResult(False, bat_id, error=NODE_CRASHED)
+            )
+            for wait in self.s3.pop_all(bat_id):
+                wait.future.resolve(result)
+        for bat_id, waiters in list(self._local_fetches.items()):
+            result = PinResult(False, bat_id, error=NODE_CRASHED)
+            for fut in waiters:
+                fut.resolve(result)
+        self._local_fetches.clear()
+        for bat_id in self.s2.bat_ids():
+            self.s2.unregister(bat_id)
+        for bat_id in list(self._resend_timers):
+            self._cancel_resend(bat_id)
+        self.cache.clear()
+        self.pinned_bytes = 0
+        self.loader.reserved_bytes = 0
+
+    def restart(self) -> None:
+        """Bring a crashed node back with an empty hot set.
+
+        Owned BATs are still on the local disk, but none of them are in
+        the ring: they reload on demand (request propagation outcome 4)
+        or via the periodic ``loadAll`` tick.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.epoch += 1
+        for entry in self.s1:
+            entry.loaded = False
+            entry.loading = False
+            entry.pending = False
+
+    def on_peer_down(self, peer: int, owned_bats: List[int], rehomed: bool) -> None:
+        """Failure notification: ``peer`` crashed owning ``owned_bats``.
+
+        Without re-homing, requests for those BATs fail fast with
+        DATA_UNAVAILABLE -- pending ones immediately, future ones at
+        pin() time -- until the owner rejoins.
+        """
+        self.dead_peers.add(peer)
+        if rehomed:
+            return
+        now = self.sim.now
+        for bat_id in owned_bats:
+            if self.s1.owns(bat_id):
+                continue
+            self.unavailable_bats.add(bat_id)
+            if self.s2.has(bat_id):
+                self.metrics.request_unavailable(now, bat_id)
+                self._fail_request(bat_id, DATA_UNAVAILABLE)
+
+    def on_peer_up(self, peer: int, owned_bats: List[int]) -> None:
+        """Recovery notification: ``peer`` rejoined with ``owned_bats``."""
+        self.dead_peers.discard(peer)
+        for bat_id in owned_bats:
+            self.unavailable_bats.discard(bat_id)
+
+    def adopt_ownership(
+        self,
+        bat_id: int,
+        size: int,
+        payload: Any = None,
+        incarnation: int = 0,
+        version: int = 0,
+    ) -> None:
+        """Re-home a dead peer's BAT to this node (shared-storage model).
+
+        Continues the dead owner's incarnation/version counters so stale
+        circulating copies are still recognised.  A pending local request
+        for the BAT fails over to a local disk fetch.
+        """
+        if self.s1.owns(bat_id):
+            return
+        self.s1.remove(bat_id)  # clear a deleted stub, if any
+        entry = self.s1.add(bat_id, size)
+        entry.incarnation = incarnation
+        entry.version = version
+        if payload is not None:
+            self.loader.payloads[bat_id] = payload
+        self.unavailable_bats.discard(bat_id)
+        if self.s2.has(bat_id):
+            self.s2.unregister(bat_id)
+            self._cancel_resend(bat_id)
+            for wait in self.s3.pop_all(bat_id):
+                self.metrics.query_degraded(wait.query_id)
+                self._local_fetch(bat_id, wait.future)
 
     # ==================================================================
     # periodic ticks (scheduled by the ring facade)

@@ -156,6 +156,9 @@ class RequestTable:
         if entry is not None and query_id in entry.queries:
             entry.queries[query_id] = True
 
+    def bat_ids(self) -> List[int]:
+        return list(self._requests)
+
     def drop_query(self, query_id: int) -> None:
         """Remove a finished/aborted query from every request it joined."""
         empty = []
@@ -213,6 +216,9 @@ class PinTable:
 
     def waiting_queries(self, bat_id: int) -> List[int]:
         return [w.query_id for w in self._waits.get(bat_id, [])]
+
+    def bat_ids(self) -> List[int]:
+        return list(self._waits)
 
     def __len__(self) -> int:
         return sum(len(w) for w in self._waits.values())

@@ -1,0 +1,31 @@
+"""Fault injection for the Data Cyclotron (docs/faults.md).
+
+The paper's robustness story (section 4.2.3) covers message loss only;
+this subsystem extends it with whole-node crashes, restarts, and link
+degradation, scheduled as ordinary simulation events from a declarative
+:class:`ChaosScenario`.  The :class:`ChaosHarness` replays fixed-seed
+scenarios against a workload and checks ring-level invariants after
+every injected fault.
+"""
+
+from repro.faults.harness import ChaosHarness, ChaosResult
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import check_invariants, check_terminal
+from repro.faults.scenario import (
+    ChaosScenario,
+    LinkDegrade,
+    NodeCrash,
+    NodeRejoin,
+)
+
+__all__ = [
+    "ChaosHarness",
+    "ChaosResult",
+    "ChaosScenario",
+    "FaultInjector",
+    "LinkDegrade",
+    "NodeCrash",
+    "NodeRejoin",
+    "check_invariants",
+    "check_terminal",
+]

@@ -1,0 +1,180 @@
+"""The deterministic chaos harness.
+
+Builds a ring + uniform workload + fault scenario from a single seed,
+runs it to completion, checks the ring invariants immediately after
+every injected fault, and renders a canonical text report.  Two
+harness runs with identical parameters produce byte-identical reports
+-- the determinism regression test relies on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import MB, DataCyclotronConfig
+from repro.core.ring import DataCyclotron
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import check_invariants, check_terminal
+from repro.faults.scenario import ChaosScenario
+from repro.workloads.base import UniformDataset, populate_ring
+from repro.workloads.uniform import UniformWorkload
+
+__all__ = ["ChaosHarness", "ChaosResult"]
+
+
+@dataclass
+class ChaosResult:
+    """Everything one chaos run produced."""
+
+    seed: int
+    scenario_name: str
+    completed: bool
+    summary: Dict
+    fault_log: List[str] = field(default_factory=list)
+    skipped_faults: List[str] = field(default_factory=list)
+    invariant_checks: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.completed and not self.violations
+
+    def report(self) -> str:
+        """Canonical, deterministic text rendering of the run."""
+        lines = [
+            f"chaos scenario {self.scenario_name} (seed {self.seed})",
+            f"completed: {self.completed}",
+            f"invariant checks: {self.invariant_checks}, "
+            f"violations: {len(self.violations)}",
+        ]
+        for key in sorted(self.summary):
+            lines.append(f"  {key}: {self.summary[key]!r}")
+        lines.extend(f"fault: {entry}" for entry in self.fault_log)
+        lines.extend(f"skipped: {entry}" for entry in self.skipped_faults)
+        lines.extend(f"VIOLATION: {entry}" for entry in self.violations)
+        return "\n".join(lines) + "\n"
+
+
+class ChaosHarness:
+    """Replay a seeded workload under a seeded fault schedule."""
+
+    def __init__(
+        self,
+        n_nodes: int = 6,
+        seed: int = 0,
+        scenario: Optional[ChaosScenario] = None,
+        n_bats: int = 60,
+        queries_per_second: float = 10.0,
+        duration: float = 6.0,
+        crashes: int = 1,
+        rejoin_fraction: float = 1.0,
+        degradations: int = 0,
+        rehome_policy: str = "fail_fast",
+        **config_overrides,
+    ):
+        self.seed = seed
+        self.duration = duration
+        config = dict(
+            n_nodes=n_nodes,
+            seed=seed,
+            bandwidth=40 * MB,
+            bat_queue_capacity=15 * MB,
+            resend_timeout=0.5,
+            # escalation keeps chaos runs terminating: backed-off resends,
+            # then DATA_UNAVAILABLE
+            resend_backoff_base=2.0,
+            max_resends=6,
+            rehome_policy=rehome_policy,
+            disk_latency=1e-4,
+            load_all_interval=0.02,
+        )
+        config.update(config_overrides)
+        self.dc = DataCyclotron(DataCyclotronConfig(**config))
+        self.dataset = UniformDataset(
+            n_bats=n_bats, min_size=MB, max_size=2 * MB, seed=seed
+        )
+        populate_ring(self.dc, self.dataset)
+        self.workload = UniformWorkload(
+            self.dataset,
+            n_nodes=n_nodes,
+            queries_per_second=queries_per_second,
+            duration=duration,
+            min_bats=1,
+            max_bats=3,
+            min_proc_time=0.02,
+            max_proc_time=0.05,
+            seed=seed,
+        )
+        self.scenario = (
+            scenario
+            if scenario is not None
+            else ChaosScenario.random(
+                seed=seed,
+                n_nodes=n_nodes,
+                duration=duration,
+                crashes=crashes,
+                rejoin_fraction=rejoin_fraction,
+                degradations=degradations,
+            )
+        )
+        # materialised up front so tests can ask which BATs a query needs
+        self.specs = {spec.query_id: spec for spec in self.workload.queries()}
+        self._fault_log: List[str] = []
+        self._violations: List[str] = []
+        self._checks = 0
+        self.injector = FaultInjector(self.dc, self.scenario, on_fault=self._on_fault)
+
+    # ------------------------------------------------------------------
+    def _on_fault(self, event) -> None:
+        """Invariant checkpoint, run synchronously after each fault."""
+        self._checks += 1
+        found = check_invariants(self.dc)
+        live = len(self.dc.live_node_ids)
+        self._fault_log.append(
+            f"t={self.dc.now:.3f} {event.kind} node={event.node} live={live} "
+            f"violations={len(found)}"
+        )
+        self._violations.extend(
+            f"after {event.kind}@{event.at:.3f}: {v}" for v in found
+        )
+
+    def workload_bats(self, query_id: int) -> List[int]:
+        """The distinct BATs ``query_id`` pins (empty if unknown)."""
+        spec = self.specs.get(query_id)
+        return spec.bat_ids if spec is not None else []
+
+    def run(self, max_time: float = 300.0) -> ChaosResult:
+        total = self.dc.submit_all(self.specs.values())
+        completed = self.dc.run_until_done(max_time=max_time)
+        # grace period: let in-flight orphans reach their next hop and be
+        # retired before the terminal audit
+        grace = 4.0 * self.dc.config.derived_resend_timeout(self.dataset.mean_size)
+        self.dc.run(until=self.dc.now + grace)
+        self._checks += 1
+        terminal = check_terminal(self.dc)
+        self._violations.extend(f"terminal: {v}" for v in terminal)
+        summary = self.dc.summary()
+        summary["queries_submitted"] = total
+        return ChaosResult(
+            seed=self.seed,
+            scenario_name=self.scenario.name,
+            completed=completed,
+            summary=summary,
+            fault_log=self._fault_log,
+            skipped_faults=list(self.injector.skipped),
+            invariant_checks=self._checks,
+            violations=self._violations,
+        )
+
+def run_chaos(
+    seeds=(0,),
+    **harness_kwargs,
+) -> List[ChaosResult]:
+    """Convenience: one harness run per seed (used by CLI and tests)."""
+    results = []
+    for seed in seeds:
+        harness = ChaosHarness(seed=seed, **harness_kwargs)
+        harness.injector.arm()
+        results.append(harness.run())
+    return results

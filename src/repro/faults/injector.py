@@ -1,0 +1,75 @@
+"""Schedules a :class:`ChaosScenario` onto a live ring.
+
+The injector turns declarative fault events into calls on the
+:class:`~repro.core.ring.DataCyclotron` facade (``crash_node``,
+``rejoin_node``, ``degrade_link``) at their scheduled simulation times.
+Events that are impossible when they fire -- crashing a node that is
+already down, or the last live node -- are skipped and recorded rather
+than raised, so randomly generated schedules cannot wedge a run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.ring import DataCyclotron
+from repro.faults.scenario import (
+    ChaosScenario,
+    FaultEvent,
+    LinkDegrade,
+    NodeCrash,
+    NodeRejoin,
+)
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Binds one scenario to one deployment and injects its events."""
+
+    def __init__(
+        self,
+        dc: DataCyclotron,
+        scenario: ChaosScenario,
+        on_fault: Optional[Callable[[FaultEvent], None]] = None,
+    ):
+        scenario.validate(dc.config.n_nodes)
+        self.dc = dc
+        self.scenario = scenario
+        self.on_fault = on_fault
+        self.injected: List[FaultEvent] = []
+        self.skipped: List[str] = []
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every scenario event; call once, before running."""
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._armed = True
+        for event in self.scenario.events:
+            self.dc.sim.schedule_at(event.at, self._fire, event)
+
+    # ------------------------------------------------------------------
+    def _fire(self, event: FaultEvent) -> None:
+        try:
+            if isinstance(event, NodeCrash):
+                self.dc.crash_node(event.node)
+            elif isinstance(event, NodeRejoin):
+                self.dc.rejoin_node(event.node)
+            elif isinstance(event, LinkDegrade):
+                self.dc.degrade_link(
+                    event.node,
+                    direction=event.direction,
+                    bandwidth_factor=event.bandwidth_factor,
+                    extra_delay=event.extra_delay,
+                    loss_rate=event.loss_rate,
+                    duration=event.duration,
+                )
+            else:  # pragma: no cover - scenario.validate guards this
+                raise TypeError(f"unknown fault event {event!r}")
+        except ValueError as exc:
+            self.skipped.append(f"t={event.at:.3f} {event.kind} node={event.node}: {exc}")
+            return
+        self.injected.append(event)
+        if self.on_fault is not None:
+            self.on_fault(event)

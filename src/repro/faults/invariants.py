@@ -1,0 +1,161 @@
+"""Ring-level invariants the chaos harness asserts at every fault point.
+
+Each check returns a list of human-readable violation strings (empty
+means the invariant holds).  They are designed to be evaluated *between*
+simulation events -- message handling is synchronous, so at that point
+every circulating BAT copy is either queued in a transmit queue or on
+the wire, which makes exact byte conservation checkable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.messages import BATMessage
+from repro.core.ring import DataCyclotron
+
+__all__ = ["check_invariants", "check_terminal"]
+
+
+def _circulating_bats(dc: DataCyclotron):
+    """Every BAT message in any data channel (queued or on the wire)."""
+    for node_id in range(dc.config.n_nodes):
+        channel = dc.ring.data_channel(node_id)
+        for message, _size in channel.in_channel_items():
+            if isinstance(message, BATMessage):
+                yield node_id, message
+
+
+def check_conservation(dc: DataCyclotron) -> List[str]:
+    """Ring-load accounting matches the bytes physically in the ring."""
+    violations = []
+    actual_bytes = sum(msg.size for _, msg in _circulating_bats(dc))
+    actual_count = sum(1 for _ in _circulating_bats(dc))
+    recorded_bytes = dc.metrics.ring_bytes.current
+    recorded_count = dc.metrics.ring_bats.current
+    if recorded_bytes != actual_bytes:
+        violations.append(
+            f"ring byte conservation: metrics say {recorded_bytes}, "
+            f"channels hold {actual_bytes}"
+        )
+    if recorded_count != actual_count:
+        violations.append(
+            f"ring BAT-count conservation: metrics say {recorded_count}, "
+            f"channels hold {actual_count}"
+        )
+    return violations
+
+
+def check_no_orphans(dc: DataCyclotron) -> List[str]:
+    """Every circulating copy has a live owner, or a dead owner that all
+    live nodes know about (so the copy is retired/adopted on its next
+    hop).  Nothing may cycle forever without an owner."""
+    violations = []
+    live = [n for n in dc.nodes if not n.crashed]
+    for node_id, msg in _circulating_bats(dc):
+        if dc.ring.is_alive(msg.owner):
+            continue
+        unaware = [n.node_id for n in live if msg.owner not in n.dead_peers]
+        if unaware:
+            violations.append(
+                f"orphaned BAT {msg.bat_id} (owner {msg.owner} dead) in "
+                f"channel of node {node_id}; nodes {unaware} unaware"
+            )
+    return violations
+
+
+def check_timer_hygiene(dc: DataCyclotron) -> List[str]:
+    """Resend timers exist only on live nodes and only for open requests."""
+    violations = []
+    for node in dc.nodes:
+        if node.crashed:
+            if node._resend_timers:
+                violations.append(
+                    f"crashed node {node.node_id} still holds resend timers "
+                    f"for {sorted(node._resend_timers)}"
+                )
+            continue
+        for bat_id, event in node._resend_timers.items():
+            if event.cancelled:
+                violations.append(
+                    f"node {node.node_id} holds a cancelled timer for BAT {bat_id}"
+                )
+            if not node.s2.has(bat_id):
+                violations.append(
+                    f"node {node.node_id} holds a resend timer for BAT "
+                    f"{bat_id} with no outstanding request"
+                )
+    return violations
+
+
+def check_ownership(dc: DataCyclotron) -> List[str]:
+    """Each BAT has exactly one owner and the catalogs agree with the
+    facade's owner map."""
+    violations = []
+    for bat_id in dc.bat_ids:
+        owner = dc.bat_owner(bat_id)
+        holders = [
+            node.node_id
+            for node in dc.nodes
+            if node.s1.maybe(bat_id) is not None and not node.s1.get(bat_id).deleted
+        ]
+        if holders != [owner]:
+            violations.append(
+                f"BAT {bat_id}: owner map says {owner}, catalogs say {holders}"
+            )
+    return violations
+
+
+def check_pin_accounting(dc: DataCyclotron) -> List[str]:
+    """Pinned-byte counters agree with the cache contents on live nodes."""
+    violations = []
+    for node in dc.nodes:
+        if node.crashed:
+            if node.cache or node.pinned_bytes:
+                violations.append(
+                    f"crashed node {node.node_id} retains pinned memory"
+                )
+            continue
+        cached = sum(c.size for c in node.cache.values())
+        if cached != node.pinned_bytes:
+            violations.append(
+                f"node {node.node_id}: pinned_bytes={node.pinned_bytes} but "
+                f"cache holds {cached}"
+            )
+        for bat_id, entry in node.cache.items():
+            if entry.refcount < 0:
+                violations.append(
+                    f"node {node.node_id}: BAT {bat_id} refcount {entry.refcount} < 0"
+                )
+    return violations
+
+
+def check_invariants(dc: DataCyclotron) -> List[str]:
+    """All fault-point invariants; empty list = the ring is consistent."""
+    return (
+        check_conservation(dc)
+        + check_no_orphans(dc)
+        + check_timer_hygiene(dc)
+        + check_ownership(dc)
+        + check_pin_accounting(dc)
+    )
+
+
+def check_terminal(dc: DataCyclotron) -> List[str]:
+    """End-of-run obligations: every query terminated (finished, failed,
+    or DATA_UNAVAILABLE -- never a hang) and no dead-owner copy is still
+    circulating."""
+    violations = []
+    unterminated = [
+        rec.query_id
+        for rec in dc.metrics.queries.values()
+        if rec.finished_at is None
+    ]
+    if unterminated:
+        violations.append(f"queries never terminated: {sorted(unterminated)[:10]}")
+    stale = sorted(
+        {msg.bat_id for _, msg in _circulating_bats(dc) if not dc.ring.is_alive(msg.owner)}
+    )
+    if stale:
+        violations.append(f"dead-owner BATs still circulating: {stale}")
+    return violations + check_invariants(dc)

@@ -1,0 +1,169 @@
+"""Declarative chaos scenarios: what fails, when, and how.
+
+A :class:`ChaosScenario` is an ordered list of fault events --
+:class:`NodeCrash`, :class:`NodeRejoin`, :class:`LinkDegrade` -- each
+stamped with an absolute simulated time.  Scenarios are plain data: they
+serialise to/from dicts (and therefore JSON files for the ``repro
+chaos`` CLI) and can be generated deterministically from a seed via
+:meth:`ChaosScenario.random`, which draws every choice from named
+:class:`~repro.sim.rng.RngRegistry` streams so that changing one knob
+never perturbs the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.sim.rng import RngRegistry
+
+__all__ = ["NodeCrash", "NodeRejoin", "LinkDegrade", "ChaosScenario"]
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Kill ``node`` at time ``at``: volatile state lost, ring repaired."""
+
+    at: float
+    node: int
+    kind: str = field(default="crash", init=False)
+
+
+@dataclass(frozen=True)
+class NodeRejoin:
+    """Restart ``node`` at time ``at`` with an empty hot set."""
+
+    at: float
+    node: int
+    kind: str = field(default="rejoin", init=False)
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Degrade ``node``'s outgoing channel(s) at time ``at``.
+
+    ``bandwidth_factor`` scales the link rate (0.1 = a 90 % bandwidth
+    drop), ``extra_delay`` adds propagation latency (a latency spike),
+    ``loss_rate`` overrides the channel's loss probability (a loss
+    burst).  ``duration`` auto-heals the link; None is permanent.
+    """
+
+    at: float
+    node: int
+    direction: str = "data"
+    bandwidth_factor: float = 1.0
+    extra_delay: float = 0.0
+    loss_rate: Optional[float] = None
+    duration: Optional[float] = None
+    kind: str = field(default="degrade", init=False)
+
+
+FaultEvent = Union[NodeCrash, NodeRejoin, LinkDegrade]
+
+_EVENT_TYPES = {"crash": NodeCrash, "rejoin": NodeRejoin, "degrade": LinkDegrade}
+
+
+@dataclass
+class ChaosScenario:
+    """An ordered fault schedule to replay against a ring."""
+
+    events: List[FaultEvent]
+    name: str = "chaos"
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if event.at < 0:
+                raise ValueError(f"fault scheduled in the past: {event}")
+        self.events = sorted(self.events, key=lambda e: (e.at, e.node, e.kind))
+
+    def validate(self, n_nodes: int) -> None:
+        """Static sanity checks against a ring of ``n_nodes``."""
+        down: set = set()
+        for event in self.events:
+            if not 0 <= event.node < n_nodes:
+                raise ValueError(f"fault targets node {event.node} of {n_nodes}")
+            if isinstance(event, NodeCrash):
+                if event.node in down:
+                    raise ValueError(f"node {event.node} crashed while down")
+                down.add(event.node)
+                if len(down) >= n_nodes:
+                    raise ValueError("scenario kills every node")
+            elif isinstance(event, NodeRejoin):
+                if event.node not in down:
+                    raise ValueError(f"node {event.node} rejoined while up")
+                down.discard(event.node)
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "events": [asdict(e) for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChaosScenario":
+        events: List[FaultEvent] = []
+        for raw in data.get("events", []):
+            raw = dict(raw)
+            kind = raw.pop("kind")
+            try:
+                event_type = _EVENT_TYPES[kind]
+            except KeyError:
+                raise ValueError(f"unknown fault kind {kind!r}") from None
+            events.append(event_type(**raw))
+        return cls(events=events, name=data.get("name", "chaos"))
+
+    # ------------------------------------------------------------------
+    # seeded generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_nodes: int,
+        duration: float,
+        crashes: int = 1,
+        rejoin_fraction: float = 1.0,
+        degradations: int = 0,
+        min_downtime: float = 0.5,
+        protected_nodes: Sequence[int] = (),
+    ) -> "ChaosScenario":
+        """A deterministic crash/rejoin/degradation schedule.
+
+        Crashes hit distinct nodes at times spread over the middle 80 %
+        of ``duration``; a ``rejoin_fraction`` of them come back after at
+        least ``min_downtime`` seconds.  ``protected_nodes`` are never
+        crashed (useful to keep a workload's observer node up).
+        """
+        if crashes >= n_nodes:
+            raise ValueError("cannot crash every node in the ring")
+        rng = RngRegistry(seed)
+        crash_rng = rng.stream("crash")
+        degrade_rng = rng.stream("degrade")
+        events: List[FaultEvent] = []
+
+        candidates = [n for n in range(n_nodes) if n not in set(protected_nodes)]
+        victims = crash_rng.sample(candidates, min(crashes, len(candidates)))
+        lo, hi = 0.1 * duration, 0.9 * duration
+        rejoins = max(0, round(rejoin_fraction * len(victims)))
+        for i, node in enumerate(victims):
+            at = crash_rng.uniform(lo, hi)
+            events.append(NodeCrash(at=at, node=node))
+            if i < rejoins:
+                downtime = crash_rng.uniform(min_downtime, max(min_downtime, 0.3 * duration))
+                events.append(NodeRejoin(at=at + downtime, node=node))
+
+        for _ in range(degradations):
+            events.append(
+                LinkDegrade(
+                    at=degrade_rng.uniform(lo, hi),
+                    node=degrade_rng.randrange(n_nodes),
+                    direction="data",
+                    bandwidth_factor=degrade_rng.uniform(0.1, 0.5),
+                    extra_delay=degrade_rng.uniform(0.0, 5e-3),
+                    loss_rate=round(degrade_rng.uniform(0.0, 0.2), 3),
+                    duration=degrade_rng.uniform(0.5, 0.2 * duration + 0.5),
+                )
+            )
+        scenario = cls(events=events, name=f"random-{seed}")
+        scenario.validate(n_nodes)
+        return scenario

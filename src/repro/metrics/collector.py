@@ -37,6 +37,9 @@ class QueryRecord:
     finished_at: Optional[float] = None
     failed: bool = False
     error: Optional[str] = None
+    # degraded = finished, but only after fault recovery intervened
+    # (resend, re-homed owner, or an orphaned-copy serve)
+    degraded: bool = False
 
     @property
     def lifetime(self) -> Optional[float]:
@@ -68,6 +71,17 @@ class MetricsCollector:
         self.loss_drops = 0
         self.pending_postponed = 0
         self.loit_changes = 0
+        # fault-injection counters (docs/faults.md)
+        self.crash_drops = 0            # messages purged from a dead node's queues
+        self.bats_rehomed = 0           # ownership transfers off a dead node
+        self.bats_adopted = 0           # circulating copies adopted by a new owner
+        self.orphans_retired = 0        # dead-owner copies pulled out of the ring
+        self.requests_unavailable = 0   # requests failed with DATA_UNAVAILABLE
+        # per-node downtime intervals: node -> [(down_at, up_at | None)]
+        self.downtime: Dict[int, List[List[Optional[float]]]] = {}
+        # recovery latency: crash/rejoin -> first re-load of an affected BAT
+        self._recovering_bats: Dict[int, float] = {}
+        self.recovery_latencies: List[float] = []
 
     # ------------------------------------------------------------------
     # query lifecycle
@@ -86,6 +100,27 @@ class MetricsCollector:
         rec.failed = True
         rec.error = error
 
+    def query_degraded(self, query_id: int) -> None:
+        """The query needed fault recovery (resend / re-home / orphan serve)."""
+        rec = self.queries.get(query_id)
+        if rec is not None:
+            rec.degraded = True
+
+    def degraded_count(self) -> int:
+        return sum(
+            1
+            for rec in self.queries.values()
+            if rec.degraded and rec.finished_at is not None and not rec.failed
+        )
+
+    def unavailable_count(self) -> int:
+        """Queries that failed with the DATA_UNAVAILABLE outcome."""
+        return sum(
+            1
+            for rec in self.queries.values()
+            if rec.failed and rec.error == "DATA_UNAVAILABLE"
+        )
+
     # ------------------------------------------------------------------
     # BAT lifecycle
     # ------------------------------------------------------------------
@@ -103,6 +138,9 @@ class MetricsCollector:
 
     def bat_loaded(self, t: float, bat_id: int, size: int) -> None:
         self.bat_stats(bat_id).loads += 1
+        recovering_since = self._recovering_bats.pop(bat_id, None)
+        if recovering_since is not None:
+            self.recovery_latencies.append(t - recovering_since)
         self.ring_bytes.add(t, size)
         self.ring_bats.add(t, 1)
         tag = self._bat_tags.get(bat_id)
@@ -143,6 +181,63 @@ class MetricsCollector:
     def request_created(self, t: float, bat_id: int) -> None:
         self.bat_stats(bat_id).requests += 1
         self.requests_sent += 1
+
+    # ------------------------------------------------------------------
+    # fault-injection hooks (docs/faults.md)
+    # ------------------------------------------------------------------
+    def bat_purged(self, t: float, bat_id: int, size: int) -> None:
+        """A BAT message was lost to a node crash (purged transmit queue)."""
+        self.crash_drops += 1
+        self.ring_bytes.add(t, -size)
+        self.ring_bats.add(t, -1)
+        tag = self._bat_tags.get(bat_id)
+        if tag is not None:
+            self.ring_bytes_by_tag[tag].add(t, -size)
+
+    def bat_rehomed(self, t: float, bat_id: int) -> None:
+        """Ownership of ``bat_id`` moved off a crashed node."""
+        self.bats_rehomed += 1
+        self._recovering_bats.setdefault(bat_id, t)
+
+    def bat_adopted(self, t: float, bat_id: int) -> None:
+        """A circulating copy of a re-homed BAT was claimed by its new owner."""
+        self.bats_adopted += 1
+        # the copy never left the ring: recovery was instantaneous
+        recovering_since = self._recovering_bats.pop(bat_id, None)
+        if recovering_since is not None:
+            self.recovery_latencies.append(t - recovering_since)
+
+    def orphan_retired(self, t: float, bat_id: int, size: int) -> None:
+        """A dead owner's copy was pulled out of circulation."""
+        self.orphans_retired += 1
+        self.ring_bytes.add(t, -size)
+        self.ring_bats.add(t, -1)
+        tag = self._bat_tags.get(bat_id)
+        if tag is not None:
+            self.ring_bytes_by_tag[tag].add(t, -size)
+
+    def request_unavailable(self, t: float, bat_id: int) -> None:
+        self.requests_unavailable += 1
+
+    def node_down(self, t: float, node: int) -> None:
+        self.downtime.setdefault(node, []).append([t, None])
+
+    def node_up(self, t: float, node: int, owned_bats: Optional[List[int]] = None) -> None:
+        intervals = self.downtime.get(node)
+        if intervals and intervals[-1][1] is None:
+            intervals[-1][1] = t
+        for bat_id in owned_bats or []:
+            self._recovering_bats.setdefault(bat_id, t)
+
+    def node_downtime(self, node: int, until: float) -> float:
+        """Total seconds ``node`` spent down, open intervals clipped at ``until``."""
+        total = 0.0
+        for down_at, up_at in self.downtime.get(node, []):
+            total += (up_at if up_at is not None else until) - down_at
+        return total
+
+    def total_downtime(self, until: float) -> float:
+        return sum(self.node_downtime(node, until) for node in sorted(self.downtime))
 
     def request_served(self, t: float, bat_id: int, latency: float) -> None:
         stats = self.bat_stats(bat_id)

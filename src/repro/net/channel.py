@@ -46,6 +46,7 @@ class Channel:
         self.loss_rate = loss_rate
         self._rng = rng if rng is not None else random.Random(0)
         self._receiver: Optional[Callable[[Any, int], None]] = None
+        self._loss_handler: Optional[Callable[[Any, int], None]] = None
         self.dropped_by_loss = 0
         self.link = Link(
             sim,
@@ -65,10 +66,21 @@ class Channel:
         """Install the DropTail notification handler on the wrapped link."""
         self.link.on_drop = fn
 
+    def set_loss_handler(self, fn: Callable[[Any, int], None]) -> None:
+        """Install the handler invoked when loss injection eats a message.
+
+        Keeping loss notification on the channel (symmetric with the
+        DropTail handler on the link) lets senders account the two drop
+        kinds separately instead of guessing from ``send``'s boolean.
+        """
+        self._loss_handler = fn
+
     def send(self, message: Any, size: int) -> bool:
         """Send a message; returns False if dropped (loss or DropTail)."""
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.dropped_by_loss += 1
+            if self._loss_handler is not None:
+                self._loss_handler(message, size)
             return False
         return self.link.send(message, size)
 
@@ -79,6 +91,51 @@ class Channel:
     @property
     def stats(self):
         return self.link.stats
+
+    # ------------------------------------------------------------------
+    # fault injection support
+    # ------------------------------------------------------------------
+    def in_channel_items(self) -> list:
+        """Every (message, size) pair queued or on the wire, sender first."""
+        return self.link.queued_items() + self.link.in_flight_items()
+
+    def purge_queue(self) -> list:
+        """Drop all queued messages (crash semantics); returns the losses."""
+        return self.link.purge_queue()
+
+    def degrade(
+        self,
+        bandwidth_factor: float = 1.0,
+        extra_delay: float = 0.0,
+        loss_rate: Optional[float] = None,
+    ) -> dict:
+        """Apply a link-degradation fault; returns the pre-fault settings.
+
+        Bandwidth and delay changes affect messages serialised after the
+        call; messages already on the wire keep their old timing.
+        """
+        if bandwidth_factor <= 0:
+            raise ValueError("bandwidth_factor must be positive")
+        before = {
+            "bandwidth": self.link.bandwidth,
+            "delay": self.link.delay,
+            "loss_rate": self.loss_rate,
+        }
+        self.link.bandwidth = self.link.bandwidth * bandwidth_factor
+        self.link.delay = self.link.delay + extra_delay
+        if loss_rate is not None:
+            # unlike the constructor, a blackout (1.0) is allowed here:
+            # degradations are bounded by the fault's duration
+            if not 0.0 <= loss_rate <= 1.0:
+                raise ValueError("loss_rate must be in [0, 1]")
+            self.loss_rate = loss_rate
+        return before
+
+    def restore(self, settings: dict) -> None:
+        """Undo a :meth:`degrade`, restoring the saved settings."""
+        self.link.bandwidth = settings["bandwidth"]
+        self.link.delay = settings["delay"]
+        self.loss_rate = settings["loss_rate"]
 
     # ------------------------------------------------------------------
     def _arrived(self, message: Any, size: int) -> None:

@@ -88,6 +88,10 @@ class Link:
         self._queue: Deque[Tuple[Any, int]] = deque()
         self._queued_bytes = 0
         self._busy = False
+        # messages serialising or propagating (popped from the queue but
+        # not yet delivered); fault injection needs to see what is on the
+        # wire to account for crash-time losses and ring-byte conservation
+        self._in_flight: list[Tuple[Any, int]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -103,6 +107,30 @@ class Link:
     def busy(self) -> bool:
         """True while a message is being serialised onto the wire."""
         return self._busy
+
+    @property
+    def in_flight_bytes(self) -> int:
+        """Bytes serialising or propagating (left the queue, not delivered)."""
+        return sum(size for _, size in self._in_flight)
+
+    def queued_items(self) -> list[Tuple[Any, int]]:
+        """Snapshot of (message, size) pairs waiting in the transmit queue."""
+        return list(self._queue)
+
+    def in_flight_items(self) -> list[Tuple[Any, int]]:
+        """Snapshot of (message, size) pairs currently on the wire."""
+        return list(self._in_flight)
+
+    def purge_queue(self) -> list[Tuple[Any, int]]:
+        """Drop every queued message (crash semantics: the sender's memory
+        is gone).  Messages already on the wire keep propagating.  Returns
+        the purged (message, size) pairs so callers can account the loss;
+        the DropTail counters and callback are deliberately not touched.
+        """
+        purged = list(self._queue)
+        self._queue.clear()
+        self._queued_bytes = 0
+        return purged
 
     def transfer_time(self, size: int) -> float:
         """Serialisation + propagation time for an unqueued message."""
@@ -137,6 +165,7 @@ class Link:
         self._busy = True
         message, size = self._queue.popleft()
         self._queued_bytes -= size
+        self._in_flight.append((message, size))
         tx_time = size / self.bandwidth
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size
@@ -150,6 +179,7 @@ class Link:
         self._transmit_next()
 
     def _deliver(self, message: Any, size: int) -> None:
+        self._in_flight.remove((message, size))
         self.stats.messages_delivered += 1
         self.stats.bytes_delivered += size
         if self.on_receive is not None:

@@ -14,17 +14,26 @@ directed channels:
 Indices are modulo the ring size; the object also answers successor /
 predecessor queries and ring-wide aggregates used by the experiments
 (total queued bytes = the "ring load" series of Figure 7).
+
+Membership is dynamic: the fault-injection subsystem marks nodes dead
+and alive, and :meth:`Ring.rewire` repairs the topology by re-pointing
+every live node's channels at its nearest *live* neighbour.  The channel
+objects themselves are stable (they belong to the sending node), so
+messages already queued or on the wire survive a reconfiguration and are
+delivered to the repaired successor.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.net.channel import Channel
 from repro.sim.engine import Simulator
 
 __all__ = ["Ring"]
+
+Receiver = Callable[[Any, int], None]
 
 
 class Ring:
@@ -73,6 +82,9 @@ class Ring:
             )
             for i in range(n_nodes)
         ]
+        self.alive: List[bool] = [True] * n_nodes
+        self._bat_receivers: List[Optional[Receiver]] = [None] * n_nodes
+        self._request_receivers: List[Optional[Receiver]] = [None] * n_nodes
 
     # ------------------------------------------------------------------
     def successor(self, node: int) -> int:
@@ -82,6 +94,65 @@ class Ring:
     def predecessor(self, node: int) -> int:
         """Anti-clockwise neighbour of ``node``."""
         return (node - 1) % self.n_nodes
+
+    # ------------------------------------------------------------------
+    # dynamic membership (fault injection)
+    # ------------------------------------------------------------------
+    def install_node(self, node: int, on_bat: Receiver, on_request: Receiver) -> None:
+        """Register the message handlers :meth:`rewire` connects channels to."""
+        self._bat_receivers[node] = on_bat
+        self._request_receivers[node] = on_request
+
+    def set_alive(self, node: int, alive: bool) -> None:
+        self.alive[node] = alive
+
+    def is_alive(self, node: int) -> bool:
+        return self.alive[node]
+
+    @property
+    def live_nodes(self) -> List[int]:
+        return [i for i in range(self.n_nodes) if self.alive[i]]
+
+    def live_successor(self, node: int) -> int:
+        """Nearest live node clockwise of ``node`` (itself if sole survivor)."""
+        if not any(self.alive):
+            raise ValueError("no live nodes in the ring")
+        for step in range(1, self.n_nodes + 1):
+            candidate = (node + step) % self.n_nodes
+            if self.alive[candidate]:
+                return candidate
+        return node  # pragma: no cover - unreachable, guarded above
+
+    def live_predecessor(self, node: int) -> int:
+        """Nearest live node anti-clockwise of ``node``."""
+        if not any(self.alive):
+            raise ValueError("no live nodes in the ring")
+        for step in range(1, self.n_nodes + 1):
+            candidate = (node - step) % self.n_nodes
+            if self.alive[candidate]:
+                return candidate
+        return node  # pragma: no cover - unreachable, guarded above
+
+    def rewire(self, requests_clockwise: bool = False) -> None:
+        """Repair the topology around the current live set.
+
+        Every live node's data channel is pointed at its nearest live
+        successor's BAT handler and its request channel at its nearest
+        live predecessor's request handler (flipped for the
+        ``requests_clockwise`` ablation).  Dead nodes' channels keep
+        their last receiver but carry no new traffic: dead senders are
+        purged on crash and send nothing while down.
+        """
+        for i in self.live_nodes:
+            succ = self.live_successor(i)
+            pred = self.live_predecessor(i)
+            bat_receiver = self._bat_receivers[succ]
+            req_target = succ if requests_clockwise else pred
+            req_receiver = self._request_receivers[req_target]
+            if bat_receiver is None or req_receiver is None:
+                raise RuntimeError(f"node {succ if bat_receiver is None else req_target} has no installed receivers")
+            self.data[i].set_receiver(bat_receiver)
+            self.request[i].set_receiver(req_receiver)
 
     def data_channel(self, node: int) -> Channel:
         """The channel on which ``node`` sends BATs to its successor."""

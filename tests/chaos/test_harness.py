@@ -1,0 +1,134 @@
+"""The deterministic chaos harness: fixed-seed schedules, invariants at
+every fault point, and byte-identical reports across same-seed runs.
+
+The acceptance scenario from the issue lives here too: a 6-node uniform
+workload with one mid-run crash and one rejoin must complete every query
+that does not need the dead node's data, report DATA_UNAVAILABLE (not a
+hang or an exception) for the ones that do, and keep the ring invariants
+at every fault point.
+"""
+
+import pytest
+
+from repro.core import DataCyclotronConfig, QuerySpec
+from repro.core.query import PinStep
+from repro.core.runtime import DATA_UNAVAILABLE
+from repro.faults import ChaosHarness, ChaosScenario, NodeCrash, NodeRejoin
+from repro.faults.harness import run_chaos
+from repro.faults.invariants import check_invariants, check_terminal
+
+from helpers import MB, build_dc
+
+
+@pytest.mark.chaos_smoke
+def test_acceptance_crash_and_rejoin_mid_run():
+    """The issue's acceptance scenario, pinned to an explicit schedule."""
+    scenario = ChaosScenario(
+        [NodeCrash(at=2.0, node=4), NodeRejoin(at=3.5, node=4)],
+        name="acceptance",
+    )
+    harness = ChaosHarness(n_nodes=6, seed=11, scenario=scenario)
+    harness.injector.arm()
+    result = harness.run()
+    assert result.completed, "queries must terminate, never hang"
+    assert result.violations == []
+    assert result.invariant_checks == 3  # crash, rejoin, terminal
+    summary = result.summary
+    # every query terminated one way or the other
+    assert (
+        summary["queries_finished"] + summary["queries_failed"]
+        == summary["queries_submitted"]
+    )
+    # the crash window produced unavailability, expressed as the
+    # DATA_UNAVAILABLE outcome -- and nothing else failed
+    assert 0 < summary["queries_unavailable"] <= summary["queries_failed"]
+    metrics = harness.dc.metrics
+    other_errors = {
+        rec.error
+        for rec in metrics.queries.values()
+        if rec.failed and rec.error != DATA_UNAVAILABLE
+    }
+    assert other_errors <= {"NODE_CRASHED"}
+    # queries that never touched the dead node's data all completed
+    dead_data = {
+        b for b, owner in harness.dc._bat_owner.items() if owner == 4
+    }
+    for rec in metrics.queries.values():
+        if rec.failed:
+            continue
+        assert rec.finished_at is not None
+    unaffected = [
+        rec
+        for qid, rec in metrics.queries.items()
+        if not (set(harness.workload_bats(qid)) & dead_data) and rec.node != 4
+    ]
+    assert unaffected, "scenario must include unaffected queries"
+    assert all(not rec.failed for rec in unaffected)
+    assert summary["total_downtime"] == pytest.approx(1.5)
+
+
+@pytest.mark.chaos_smoke
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_schedules_keep_invariants(seed):
+    """Fixed-seed random crash schedules replay cleanly across >= 3 seeds."""
+    (result,) = run_chaos(seeds=(seed,), degradations=1)
+    assert result.completed
+    assert result.violations == []
+    assert result.invariant_checks >= 2
+    assert result.skipped_faults == []
+
+
+@pytest.mark.chaos
+def test_successor_rehoming_avoids_unavailability():
+    (result,) = run_chaos(seeds=(1,), rehome_policy="successor")
+    assert result.ok
+    assert result.summary["queries_unavailable"] == 0
+    assert result.summary["bats_rehomed"] > 0
+
+
+@pytest.mark.chaos
+def test_two_crashes_with_partial_rejoin():
+    (result,) = run_chaos(seeds=(4,), crashes=2, rejoin_fraction=0.5)
+    assert result.completed
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# satellite: determinism regression
+# ----------------------------------------------------------------------
+@pytest.mark.chaos_smoke
+def test_same_seed_runs_are_byte_identical():
+    """Two harness runs with identical parameters must render the exact
+    same report -- any dict-ordering or float-accumulation drift in the
+    metrics pipeline shows up here."""
+
+    def once():
+        harness = ChaosHarness(seed=3, degradations=1)
+        harness.injector.arm()
+        return harness.run().report()
+
+    first, second = once(), once()
+    assert first == second
+
+
+@pytest.mark.chaos_smoke
+def test_different_seeds_diverge():
+    a = ChaosHarness(seed=0)
+    b = ChaosHarness(seed=1)
+    a.injector.arm()
+    b.injector.arm()
+    assert a.run().report() != b.run().report()
+
+
+def test_plain_run_report_is_deterministic():
+    """Determinism holds without faults too: the report of a fault-free
+    run (empty scenario) is byte-stable."""
+
+    def once():
+        harness = ChaosHarness(
+            seed=5, scenario=ChaosScenario([], name="quiet"), duration=3.0
+        )
+        harness.injector.arm()
+        return harness.run().report()
+
+    assert once() == once()

@@ -78,3 +78,35 @@ def test_shell_command_reads_stdin(monkeypatch, capsys):
     assert main(["shell", "--nodes", "2"]) == 0
     out = capsys.readouterr().out
     assert "\\load" in out
+
+
+def test_chaos_command_quick(capsys):
+    assert main(["chaos", "--seeds", "1", "--duration", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos scenario random-1 (seed 1)" in out
+    assert "violations: 0" in out
+    assert "fault: " in out and "crash" in out
+
+
+def test_chaos_command_scenario_file(tmp_path, capsys):
+    import json
+
+    spec = {
+        "name": "from-file",
+        "events": [
+            {"kind": "crash", "at": 1.0, "node": 2},
+            {"kind": "rejoin", "at": 2.0, "node": 2},
+        ],
+    }
+    path = tmp_path / "faults.json"
+    path.write_text(json.dumps(spec))
+    assert main(["chaos", "--seeds", "0", "--duration", "4",
+                 "--scenario", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "chaos scenario from-file" in out
+    assert "crash node=2" in out
+
+
+def test_chaos_command_listed(capsys):
+    assert main(["list"]) == 0
+    assert "chaos" in capsys.readouterr().out

@@ -1,0 +1,123 @@
+"""Property-based tests of the LOI arithmetic (Equation 1) and the
+adaptive LOIT controller (section 5.2).
+
+These pin down the shape of the hot-set dynamics rather than single
+values: interest decays monotonically when nobody touches a BAT,
+repeated identical cycles converge to the cycle's CAVG bound, LOI can
+never go negative, and the threshold ladder never leaves its levels
+under arbitrary buffer-load histories.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loi import LoitController, new_loi
+
+
+lois = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+cycles = st.integers(min_value=1, max_value=10_000)
+hops = st.integers(min_value=1, max_value=1_000)
+
+
+# ----------------------------------------------------------------------
+# Equation (1)
+# ----------------------------------------------------------------------
+@given(loi=lois, cycles=cycles)
+def test_decay_is_monotone_without_interest(loi, cycles):
+    """With copies == 0 the new LOI never exceeds the old one, and a
+    second idle cycle never exceeds the first."""
+    once = new_loi(loi, copies=0, hops=8, cycles=cycles)
+    assert 0.0 <= once <= loi
+    twice = new_loi(once, copies=0, hops=8, cycles=cycles + 1)
+    assert twice <= once
+
+
+@given(loi=lois, copies=st.integers(min_value=0, max_value=1_000), h=hops,
+       cycles=cycles)
+def test_loi_is_never_negative(loi, copies, h, cycles):
+    assert new_loi(loi, copies=min(copies, h), hops=h, cycles=cycles) >= 0.0
+
+
+@given(loi=lois, cycles=st.integers(min_value=2, max_value=10_000))
+def test_aging_strictly_shrinks_positive_interest(loi, cycles):
+    if loi > 0:
+        assert new_loi(loi, copies=0, hops=8, cycles=cycles) < loi
+
+
+@given(start=lois, copies=st.integers(min_value=1, max_value=8))
+@settings(max_examples=50)
+def test_repeated_cycles_converge_to_cavg_bound(start, copies):
+    """Iterating Equation (1) with a constant per-cycle interest CAVG is
+    trapped in [CAVG, 2 * CAVG] regardless of the starting LOI: each
+    step is x -> x/c + CAVG with growing c, so the old interest is aged
+    away and only the renewal rate remains."""
+    hops_per_cycle = 8
+    cavg = copies / hops_per_cycle
+    loi = start
+    for cycle in range(2, 200):
+        loi = new_loi(loi, copies=copies, hops=hops_per_cycle, cycles=cycle)
+    assert cavg <= loi <= 2.0 * cavg + 1e-9
+
+
+def test_degenerate_single_node_ring_has_zero_cavg():
+    assert new_loi(1.0, copies=0, hops=0, cycles=2) == pytest.approx(0.5)
+
+
+@given(loi=lois)
+def test_invalid_cycles_rejected(loi):
+    with pytest.raises(ValueError):
+        new_loi(loi, copies=0, hops=8, cycles=0)
+
+
+# ----------------------------------------------------------------------
+# LOIT controller
+# ----------------------------------------------------------------------
+loads = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(history=st.lists(loads, max_size=200))
+def test_threshold_always_one_of_the_levels(history):
+    controller = LoitController(levels=(0.1, 0.6, 1.1))
+    for load in history:
+        threshold = controller.observe(load)
+        assert threshold in controller.levels
+    assert 0 <= controller.level < len(controller.levels)
+
+
+@given(history=st.lists(loads, max_size=200))
+def test_adjustment_counters_bound_level_drift(history):
+    controller = LoitController(levels=(0.1, 0.6, 1.1), initial_level=1)
+    for load in history:
+        controller.observe(load)
+    assert controller.level == 1 + controller.adjustments_up - controller.adjustments_down
+
+
+@given(load=loads)
+def test_static_threshold_never_moves(load):
+    controller = LoitController(static=0.7)
+    assert controller.observe(load) == 0.7
+    assert controller.threshold == 0.7
+
+
+def test_sustained_pressure_converges_to_extremes():
+    """Constant overload climbs to the top level and stays; constant
+    idleness descends to the bottom level and stays."""
+    controller = LoitController(levels=(0.1, 0.6, 1.1), initial_level=1)
+    for _ in range(10):
+        controller.observe(0.95)
+    assert controller.threshold == 1.1
+    for _ in range(10):
+        controller.observe(0.05)
+    assert controller.threshold == 0.1
+    assert controller.adjustments_up == 1
+    assert controller.adjustments_down == 2
+
+
+@given(history=st.lists(loads, min_size=1, max_size=100))
+def test_neutral_band_is_inert(history):
+    """Loads inside (low, high) watermarks never move the threshold."""
+    controller = LoitController(levels=(0.1, 0.6, 1.1), initial_level=1)
+    for load in history:
+        controller.observe(0.4 + 0.4 * load)  # squashed into [0.4, 0.8]
+    assert controller.level == 1
