@@ -13,7 +13,6 @@ Paper claims reproduced here:
 from bench_utils import (
     FULL,
     loit_sweep_levels,
-    mean_or_zero,
     run_loit_level,
     uniform_params,
     write_result,

@@ -11,7 +11,6 @@ Paper claims reproduced here:
 * Every phase's queries complete despite the turbulence.
 """
 
-import os
 
 from bench_utils import FULL, write_result
 from repro.core import DataCyclotron, DataCyclotronConfig, MB

@@ -20,7 +20,7 @@ price of longer waits for the cold tail, the Broadcast Disks trade-off.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.baselines.datacycle import BroadcastScheduleMixin
 from repro.metrics.collector import MetricsCollector

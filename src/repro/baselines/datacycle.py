@@ -18,7 +18,7 @@ per-message events -- which keeps the baseline cheap to simulate.
 from __future__ import annotations
 
 import math
-from typing import Dict, Generator, Iterable, List, Optional, Sequence
+from typing import Dict, Generator, Iterable
 
 from repro.core.query import QuerySpec
 from repro.metrics.collector import MetricsCollector

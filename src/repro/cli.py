@@ -219,8 +219,48 @@ def cmd_fig1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.events.tracer import Tracer, read_jsonl, write_chrome
+
+    if args.from_jsonl:
+        # convert mode: JSONL capture -> Chrome trace, no simulation
+        try:
+            records = read_jsonl(args.from_jsonl)
+            count = write_chrome(records, args.out)
+        except (OSError, ValueError) as exc:
+            print(f"repro trace: {exc}", file=sys.stderr)
+            return 2
+        print(f"converted {count} events -> {args.out}")
+        return 0
+
+    dataset, config, wl_kwargs, max_time = _uniform_setup(args.full, args.seed)
+    dc = DataCyclotron(DataCyclotronConfig(**config))
+    try:
+        tracer = Tracer(jsonl_path=args.jsonl)
+    except OSError as exc:
+        print(f"repro trace: cannot open JSONL output: {exc}", file=sys.stderr)
+        return 2
+    tracer.attach(dc.bus)
+    populate_ring(dc, dataset)
+    workload = UniformWorkload(dataset, seed=args.seed, **wl_kwargs)
+    total = workload.submit_to(dc)
+    dc.run_until_done(max_time=max_time)
+    tracer.close()
+    try:
+        count = tracer.to_chrome(args.out)
+    except OSError as exc:
+        print(f"repro trace: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{total} queries, {count} events -> {args.out}"
+        + (f" (JSONL: {args.jsonl})" if args.jsonl else "")
+    )
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     import json
+    import os
 
     from repro.faults import ChaosHarness, ChaosScenario
 
@@ -232,8 +272,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError, TypeError) as exc:
             print(f"repro chaos: bad scenario file: {exc}", file=sys.stderr)
             return 2
+    if args.trace:
+        try:
+            os.makedirs(args.trace, exist_ok=True)
+        except OSError as exc:
+            print(f"repro chaos: cannot create trace dir: {exc}", file=sys.stderr)
+            return 2
     failures = 0
     for seed in args.seeds:
+        trace_path = (
+            os.path.join(args.trace, f"chaos-seed{seed}.trace.json")
+            if args.trace
+            else None
+        )
         try:
             harness = ChaosHarness(
                 n_nodes=args.nodes,
@@ -244,6 +295,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 rejoin_fraction=args.rejoin_fraction,
                 degradations=args.degradations,
                 rehome_policy=args.rehome,
+                trace=trace_path,
             )
         except ValueError as exc:
             print(f"repro chaos: invalid parameters: {exc}", file=sys.stderr)
@@ -251,6 +303,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         harness.injector.arm()
         result = harness.run()
         print(result.report())
+        if trace_path:
+            print(f"trace: {trace_path}")
         if not result.ok:
             failures += 1
     return 1 if failures else 0
@@ -276,6 +330,7 @@ _COMMANDS = {
     "tab4": (cmd_tab4, "TPC-H trace replay scaling (Table 4)"),
     "sweep": (cmd_sweep, "ring-size sweep (Figures 10-11)"),
     "chaos": (cmd_chaos, "fault injection: crashes, rejoins, link faults"),
+    "trace": (cmd_trace, "capture an event trace (JSONL / Chrome trace_event)"),
     "shell": (cmd_shell, "interactive SQL over a simulated ring"),
     "list": (cmd_list, "list available experiments"),
 }
@@ -317,6 +372,17 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=("fail_fast", "successor"))
             p.add_argument("--scenario", default=None,
                            help="JSON scenario file (overrides --crashes etc.)")
+            p.add_argument("--trace", default=None, metavar="DIR",
+                           help="write chaos-seed<N>.trace.json per seed")
+        if name == "trace":
+            p.add_argument("--out", default="repro.trace.json",
+                           help="Chrome trace_event output file")
+            p.add_argument("--jsonl", default=None,
+                           help="also stream raw records to this JSONL file")
+            p.add_argument("--from-jsonl", default=None, dest="from_jsonl",
+                           metavar="FILE",
+                           help="convert an existing JSONL capture instead "
+                                "of running a simulation")
         if name == "fig1":
             p.add_argument("--gbps", type=float, default=10.0)
             p.add_argument("--cpu-ghz", type=float, default=2.33 * 4,

@@ -10,7 +10,7 @@ buffer-load watermarks.  Section 5.4 models four cores per node.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 __all__ = ["DataCyclotronConfig", "MB", "GBIT"]
 
@@ -91,6 +91,8 @@ class DataCyclotronConfig:
     # --- bookkeeping ---------------------------------------------------
     seed: int = 0
     metrics_time_bin: float = 1.0           # seconds per time-series bin
+    # JSONL event-trace path; None disables tracing (docs/events.md).
+    trace: Optional[str] = None
     _total_data_bytes: Optional[int] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:

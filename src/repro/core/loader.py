@@ -15,10 +15,11 @@ queue.  The leftovers stay for the next call."
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict
 
 from repro.core.messages import BATMessage
 from repro.core.structures import OwnedBat
+from repro.events import types as ev
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.runtime import NodeRuntime
@@ -78,7 +79,10 @@ class DataLoader:
         if not entry.pending:
             entry.pending = True
             entry.pending_since = self.sim.now
-            self.runtime.metrics.pending_postponed += 1
+            if self.runtime.bus.active:
+                self.runtime.bus.publish(
+                    ev.LoadPostponed(self.sim.now, entry.bat_id, self.runtime.node_id)
+                )
 
     def _start_fetch(self, entry: OwnedBat) -> None:
         entry.loading = True
@@ -115,7 +119,10 @@ class DataLoader:
         entry.loaded = True
         entry.loads += 1
         self.runtime.note_bat_forwarded(entry)
-        self.runtime.metrics.bat_loaded(self.sim.now, entry.bat_id, entry.size)
+        if self.runtime.bus.active:
+            self.runtime.bus.publish(
+                ev.BatLoaded(self.sim.now, entry.bat_id, entry.size, self.runtime.node_id)
+            )
         self.runtime.forward_bat(message)
 
     # ------------------------------------------------------------------
@@ -140,4 +147,7 @@ class DataLoader:
     def unload(self, entry: OwnedBat) -> None:
         """Pull the BAT out of circulation; it stays on the local disk."""
         entry.loaded = False
-        self.runtime.metrics.bat_unloaded(self.sim.now, entry.bat_id, entry.size)
+        if self.runtime.bus.active:
+            self.runtime.bus.publish(
+                ev.BatUnloaded(self.sim.now, entry.bat_id, entry.size, self.runtime.node_id)
+            )

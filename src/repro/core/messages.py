@@ -14,7 +14,7 @@ completes a rotation (Figures 4 and 5).
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 __all__ = ["BATMessage", "RequestMessage"]
 

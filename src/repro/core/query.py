@@ -20,11 +20,11 @@ BAT.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, List, Optional, Sequence
 
 from repro.core.runtime import NodeRuntime, PinResult
-from repro.sim.process import Delay
+from repro.events.types import QueryRegistered
 
 __all__ = ["PinStep", "QuerySpec", "query_process"]
 
@@ -109,9 +109,10 @@ def query_process(runtime: NodeRuntime, spec: QuerySpec) -> Generator:
     Mirrors the massaged MAL plan of Table 2: request() everything up
     front, then pin -> execute -> ... -> unpin, and report completion.
     """
-    runtime.metrics.query_registered(
-        runtime.sim.now, spec.query_id, spec.node, spec.tag
-    )
+    if runtime.bus.active:
+        runtime.bus.publish(
+            QueryRegistered(runtime.sim.now, spec.query_id, spec.node, spec.tag)
+        )
     runtime.request(spec.query_id, spec.bat_ids)
 
     pinned: List[int] = []

@@ -24,6 +24,10 @@ from typing import Any, Dict, Iterable, List, Optional
 from repro.core.config import DataCyclotronConfig
 from repro.core.query import QuerySpec, query_process
 from repro.core.runtime import NodeRuntime
+from repro.events import types as ev
+from repro.events.bridge import attach_metrics
+from repro.events.bus import Bus
+from repro.events.tracer import Tracer
 from repro.metrics.collector import MetricsCollector
 from repro.net.topology import Ring
 from repro.sim.engine import Simulator
@@ -34,16 +38,31 @@ __all__ = ["DataCyclotron"]
 
 
 class DataCyclotron:
-    """A complete simulated Data Cyclotron deployment."""
+    """A complete simulated Data Cyclotron deployment.
+
+    All instrumentation flows through ``self.bus``: the facade attaches
+    the :class:`MetricsCollector` as the first subscriber, then (when
+    ``config.trace`` names a JSONL path) a streaming
+    :class:`~repro.events.tracer.Tracer`.  Additional observers -- live
+    invariant monitors, dashboards -- subscribe to the same bus without
+    touching protocol code.
+    """
 
     def __init__(
         self,
         config: Optional[DataCyclotronConfig] = None,
         metrics: Optional[MetricsCollector] = None,
+        bus: Optional[Bus] = None,
     ):
         self.config = config if config is not None else DataCyclotronConfig()
-        self.sim = Simulator()
+        self.bus = bus if bus is not None else Bus()
+        self.sim = Simulator(bus=self.bus)
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        self._detach_metrics = attach_metrics(self.bus, self.metrics)
+        self.tracer: Optional[Tracer] = None
+        if self.config.trace is not None:
+            self.tracer = Tracer(jsonl_path=self.config.trace, keep=False)
+            self.tracer.attach(self.bus)
         self.rng = RngRegistry(self.config.seed)
 
         self.ring = Ring(
@@ -56,6 +75,7 @@ class DataCyclotron:
             data_loss_rate=self.config.data_loss_rate,
             request_loss_rate=self.config.request_loss_rate,
             rng=self.rng.stream("loss"),
+            bus=self.bus,
         )
 
         self.nodes: List[NodeRuntime] = [
@@ -63,7 +83,7 @@ class DataCyclotron:
                 node_id=i,
                 sim=self.sim,
                 config=self.config,
-                metrics=self.metrics,
+                bus=self.bus,
                 out_data=self.ring.data_channel(i),
                 out_request=self.ring.request_channel(i),
             )
@@ -119,7 +139,7 @@ class DataCyclotron:
         if payload is not None:
             node.loader.payloads[bat_id] = payload
         if tag is not None:
-            self.metrics.tag_bat(bat_id, tag)
+            self.bus.publish(ev.BatTagged(self.sim.now, bat_id, tag))
         return owner
 
     def bat_owner(self, bat_id: int) -> int:
@@ -207,6 +227,15 @@ class DataCyclotron:
             self.sim.run(until=min(self.sim.now + check_interval, max_time))
         return self.completed_queries >= self._submitted
 
+    def detach_metrics(self) -> None:
+        """Unsubscribe the MetricsCollector from the bus.
+
+        After this the collector stops accumulating (``summary()`` goes
+        stale) and metrics-only events take the no-subscriber fast path
+        -- the zero-observer configuration perf baselines run in.
+        """
+        self._detach_metrics()
+
     # ------------------------------------------------------------------
     # fault injection (docs/faults.md)
     # ------------------------------------------------------------------
@@ -233,7 +262,7 @@ class DataCyclotron:
 
         # the dead node's transmit queues are volatile memory
         for msg, _size in self.ring.data_channel(node_id).purge_queue():
-            self.metrics.bat_purged(now, msg.bat_id, msg.size)
+            self.bus.publish(ev.BatPurged(now, msg.bat_id, msg.size, node_id))
         self.ring.request_channel(node_id).purge_queue()
 
         runtime.crash()
@@ -252,7 +281,7 @@ class DataCyclotron:
                 payload = runtime.loader.payloads.pop(bat_id, None)
                 runtime.s1.remove(bat_id)
                 self._bat_owner[bat_id] = adopter_id
-                self.metrics.bat_rehomed(now, bat_id)
+                self.bus.publish(ev.BatRehomed(now, bat_id, adopter_id))
                 adopter.adopt_ownership(
                     bat_id,
                     size=entry.size,
@@ -263,7 +292,7 @@ class DataCyclotron:
         for i, other in enumerate(self.nodes):
             if i != node_id and self.ring.is_alive(i):
                 other.on_peer_down(node_id, owned, rehomed=rehomed)
-        self.metrics.node_down(now, node_id)
+        self.bus.publish(ev.NodeCrashed(now, node_id))
 
     def rejoin_node(self, node_id: int) -> None:
         """Restart a crashed node and splice it back into the ring."""
@@ -292,7 +321,7 @@ class DataCyclotron:
         for i, other in enumerate(self.nodes):
             if i != node_id and self.ring.is_alive(i):
                 other.on_peer_up(node_id, owned)
-        self.metrics.node_up(now, node_id, owned)
+        self.bus.publish(ev.NodeRejoined(now, node_id, tuple(owned)))
 
     def degrade_link(
         self,
@@ -316,13 +345,14 @@ class DataCyclotron:
             (ch, ch.degrade(bandwidth_factor, extra_delay, loss_rate))
             for ch in channels
         ]
+        self.bus.publish(ev.LinkDegraded(self.sim.now, node_id, direction))
         if duration is not None:
-            self.sim.schedule(duration, self._restore_links, saved)
+            self.sim.schedule(duration, self._restore_links, node_id, saved)
 
-    @staticmethod
-    def _restore_links(saved) -> None:
+    def _restore_links(self, node_id: int, saved) -> None:
         for ch, settings in saved:
             ch.restore(settings)
+        self.bus.publish(ev.LinkRestored(self.sim.now, node_id))
 
     @property
     def live_node_ids(self) -> List[int]:

@@ -16,6 +16,10 @@ the predecessor's BATs, and (c) the successor's requests.  It implements
   crash/restart lifecycle, dead-peer tracking with the
   ``DATA_UNAVAILABLE`` query outcome, adoption of circulating copies
   whose owner died, and exponential resend backoff with escalation.
+
+Every observable protocol action is published as a typed event on the
+deployment's :class:`~repro.events.bus.Bus` (docs/events.md); metrics,
+tracing and invariant checking are subscribers, not call sites.
 """
 
 from __future__ import annotations
@@ -34,7 +38,8 @@ from repro.core.structures import (
     PinWait,
     RequestTable,
 )
-from repro.metrics.collector import MetricsCollector
+from repro.events import types as ev
+from repro.events.bus import Bus
 from repro.net.channel import Channel
 from repro.sim.engine import Event, Simulator
 from repro.sim.process import Future
@@ -84,14 +89,14 @@ class NodeRuntime:
         node_id: int,
         sim: Simulator,
         config: DataCyclotronConfig,
-        metrics: MetricsCollector,
+        bus: Bus,
         out_data: Channel,
         out_request: Channel,
     ):
         self.node_id = node_id
         self.sim = sim
         self.config = config
-        self.metrics = metrics
+        self.bus = bus
         self.out_data = out_data          # clockwise, to the successor
         self.out_request = out_request    # anti-clockwise, to the predecessor
 
@@ -180,7 +185,8 @@ class NodeRuntime:
         cached = self.cache.get(bat_id)
         if cached is not None:
             cached.refcount += 1
-            self.metrics.bat_pinned(now, bat_id)
+            if self.bus.active:
+                self.bus.publish(ev.BatPinned(now, bat_id, self.node_id))
             self._note_query_pinned(bat_id, query_id)
             fut.resolve(
                 PinResult(True, bat_id, cached.payload, cached.version)
@@ -193,7 +199,8 @@ class NodeRuntime:
 
         if bat_id in self.unavailable_bats:
             # the owner is dead and the BAT was not re-homed: fail fast
-            self.metrics.request_unavailable(now, bat_id)
+            if self.bus.active:
+                self.bus.publish(ev.RequestUnavailable(now, bat_id, self.node_id))
             fut.resolve(PinResult(False, bat_id, error=DATA_UNAVAILABLE))
             return fut
 
@@ -222,10 +229,14 @@ class NodeRuntime:
         self._sweep_resend_timers()
         if failed:
             self.queries_failed += 1
-            self.metrics.query_failed(self.sim.now, query_id, error)
+            if self.bus.active:
+                self.bus.publish(
+                    ev.QueryFailed(self.sim.now, query_id, error, self.node_id)
+                )
         else:
             self.queries_finished += 1
-            self.metrics.query_finished(self.sim.now, query_id)
+            if self.bus.active:
+                self.bus.publish(ev.QueryFinished(self.sim.now, query_id, self.node_id))
 
     def exec_op(self, duration: float) -> Future:
         """Execute one relational operator for ``duration`` CPU seconds.
@@ -260,9 +271,15 @@ class NodeRuntime:
         # does not exist (anymore), or its owner is dead and nobody
         # re-homed it; associated queries raise an exception.
         if msg.origin == self.node_id:
-            self.metrics.requests_returned_to_origin += 1
+            if self.bus.active:
+                self.bus.publish(
+                    ev.RequestReturnedToOrigin(now, msg.bat_id, self.node_id)
+                )
             if msg.bat_id in self.unavailable_bats:
-                self.metrics.request_unavailable(now, msg.bat_id)
+                if self.bus.active:
+                    self.bus.publish(
+                        ev.RequestUnavailable(now, msg.bat_id, self.node_id)
+                    )
                 self._fail_request(msg.bat_id, DATA_UNAVAILABLE)
             else:
                 self._fail_request(msg.bat_id, "BAT does not exist")
@@ -291,11 +308,13 @@ class NodeRuntime:
                 local.sent = True
                 local.sent_at = now
                 self._arm_resend(local)
-            self.metrics.requests_absorbed += 1
+            if self.bus.active:
+                self.bus.publish(ev.RequestAbsorbed(now, msg.bat_id, self.node_id))
             return
 
         # Outcome 6: just forward it anti-clockwise.
-        self.metrics.requests_forwarded += 1
+        if self.bus.active:
+            self.bus.publish(ev.RequestForwarded(now, msg.bat_id, self.node_id))
         self.out_request.send(msg, self.config.request_message_size)
 
     def on_bat_message(self, msg: BATMessage, _size: int) -> None:
@@ -305,7 +324,10 @@ class NodeRuntime:
         if self.crashed:
             # delivered into a dead node's memory: the copy is lost; the
             # owner's lazy loss detection will reload it
-            self.metrics.bat_purged(self.sim.now, msg.bat_id, msg.size)
+            if self.bus.active:
+                self.bus.publish(
+                    ev.BatPurged(self.sim.now, msg.bat_id, msg.size, self.node_id)
+                )
             return
         if msg.owner == self.node_id:
             self._hot_set_management(msg)
@@ -316,11 +338,17 @@ class NodeRuntime:
 
     def on_data_drop(self, msg: BATMessage, _size: int) -> None:
         """DropTail discarded a BAT from the full transmit queue."""
-        self.metrics.bat_dropped(self.sim.now, msg.bat_id, msg.size, by_loss=False)
+        if self.bus.active:
+            self.bus.publish(
+                ev.BatDropped(self.sim.now, msg.bat_id, msg.size, False, self.node_id)
+            )
 
     def on_data_loss(self, msg: BATMessage, _size: int) -> None:
         """Loss injection ate a BAT this node tried to forward."""
-        self.metrics.bat_dropped(self.sim.now, msg.bat_id, msg.size, by_loss=True)
+        if self.bus.active:
+            self.bus.publish(
+                ev.BatDropped(self.sim.now, msg.bat_id, msg.size, True, self.node_id)
+            )
 
     # ==================================================================
     # the core algorithms
@@ -335,7 +363,8 @@ class NodeRuntime:
             req.last_data_seen = self.sim.now
             if self.s3.has_pins(bat_id) and self._memory_admits(msg.size):
                 msg.copies += 1
-                self.metrics.bat_touched(self.sim.now, bat_id)
+                if self.bus.active:
+                    self.bus.publish(ev.BatTouched(self.sim.now, bat_id, self.node_id))
                 self._serve_pins(msg, req)
             if req.all_pinned():
                 self.s2.unregister(bat_id)
@@ -348,22 +377,34 @@ class NodeRuntime:
         if entry is None or entry.deleted or not entry.loaded:
             # Owned BAT came back after deletion or after being declared
             # lost; swallow it rather than circulate a ghost.
-            self.metrics.bat_unloaded(self.sim.now, msg.bat_id, msg.size)
+            if self.bus.active:
+                self.bus.publish(
+                    ev.BatUnloaded(self.sim.now, msg.bat_id, msg.size, self.node_id)
+                )
             return
         if msg.incarnation != entry.incarnation:
             # a presumed-lost copy survived a reload: retire the stale
             # incarnation so exactly one copy stays in flight
-            self.metrics.bat_unloaded(self.sim.now, msg.bat_id, msg.size)
+            if self.bus.active:
+                self.bus.publish(
+                    ev.BatUnloaded(self.sim.now, msg.bat_id, msg.size, self.node_id)
+                )
             return
         if msg.version != entry.version:
             # A stale version returned after an update (section 6.4): the
             # owner retires it and circulates the current version instead.
-            self.metrics.bat_unloaded(self.sim.now, msg.bat_id, msg.size)
+            if self.bus.active:
+                self.bus.publish(
+                    ev.BatUnloaded(self.sim.now, msg.bat_id, msg.size, self.node_id)
+                )
             entry.loaded = False
             self.loader.try_load(msg.bat_id)
             return
         msg.cycles += 1
-        self.metrics.bat_cycle(self.sim.now, msg.bat_id, msg.cycles)
+        if self.bus.active:
+            self.bus.publish(
+                ev.BatCycled(self.sim.now, msg.bat_id, msg.cycles, self.node_id)
+            )
         updated = new_loi(msg.loi, msg.copies, msg.hops, msg.cycles)
         msg.copies = 0
         msg.hops = 0
@@ -389,7 +430,10 @@ class NodeRuntime:
             # this node adopted ownership of the BAT
             if entry.loaded or entry.loading:
                 # a fresh incarnation already circulates: retire the stale copy
-                self.metrics.orphan_retired(now, msg.bat_id, msg.size)
+                if self.bus.active:
+                    self.bus.publish(
+                        ev.OrphanRetired(now, msg.bat_id, msg.size, self.node_id)
+                    )
                 return
             entry.incarnation += 1
             entry.loaded = True
@@ -398,7 +442,8 @@ class NodeRuntime:
             msg.version = entry.version
             msg.copies = 0
             msg.hops = 0
-            self.metrics.bat_adopted(now, msg.bat_id)
+            if self.bus.active:
+                self.bus.publish(ev.BatAdopted(now, msg.bat_id, self.node_id))
             self.note_bat_forwarded(entry)
             self.forward_bat(msg)
             return
@@ -410,12 +455,14 @@ class NodeRuntime:
             and self._memory_admits(msg.size)
         ):
             msg.copies += 1
-            self.metrics.bat_touched(now, msg.bat_id)
+            if self.bus.active:
+                self.bus.publish(ev.BatTouched(now, msg.bat_id, self.node_id))
             self._serve_pins(msg, req, degraded=True)
             if req.all_pinned():
                 self.s2.unregister(msg.bat_id)
                 self._cancel_resend(msg.bat_id)
-        self.metrics.orphan_retired(now, msg.bat_id, msg.size)
+        if self.bus.active:
+            self.bus.publish(ev.OrphanRetired(now, msg.bat_id, msg.size, self.node_id))
 
     def forward_bat(self, msg: BATMessage) -> None:
         """Enqueue a BAT for the successor; accounts loss-injected drops.
@@ -436,7 +483,8 @@ class NodeRuntime:
         # drop kind from the boolean here double-counted DropTail drops
         # as loss drops whenever both mechanisms were active.
         if self.out_data.send(msg, wire):
-            self.metrics.bat_messages_forwarded += 1
+            if self.bus.active:
+                self.bus.publish(ev.BatForwarded(self.sim.now, msg.bat_id, self.node_id))
 
     def note_bat_forwarded(self, entry) -> None:
         entry.last_seen = self.sim.now
@@ -472,13 +520,22 @@ class NodeRuntime:
         self.pinned_bytes += msg.size
         if req.served_at is None:
             req.served_at = now
-            self.metrics.request_served(now, msg.bat_id, now - req.registered_at)
-        self.metrics.bat_pinned(now, msg.bat_id, count=len(waits))
+            if self.bus.active:
+                self.bus.publish(
+                    ev.RequestServed(
+                        now, msg.bat_id, now - req.registered_at, self.node_id
+                    )
+                )
+        if self.bus.active:
+            self.bus.publish(
+                ev.BatPinned(now, msg.bat_id, self.node_id, count=len(waits))
+            )
         result = PinResult(True, msg.bat_id, msg.payload, msg.version)
         for wait in waits:
             req.queries[wait.query_id] = True
             if degraded:
-                self.metrics.query_degraded(wait.query_id)
+                if self.bus.active:
+                    self.bus.publish(ev.QueryDegraded(now, wait.query_id, self.node_id))
             wait.future.resolve(result)
 
     def _note_query_pinned(self, bat_id: int, query_id: int) -> None:
@@ -538,7 +595,8 @@ class NodeRuntime:
         now = self.sim.now
         entry.sent = True
         entry.sent_at = now
-        self.metrics.request_created(now, entry.bat_id)
+        if self.bus.active:
+            self.bus.publish(ev.RequestCreated(now, entry.bat_id, self.node_id))
         msg = RequestMessage(origin=self.node_id, bat_id=entry.bat_id)
         self.out_request.send(msg, self.config.request_message_size)
         self._arm_resend(entry)
@@ -597,11 +655,13 @@ class NodeRuntime:
         ):
             # escalation: the BAT is gone for good as far as this node can
             # tell -- stop retrying and fail the blocked queries
-            self.metrics.request_unavailable(now, bat_id)
+            if self.bus.active:
+                self.bus.publish(ev.RequestUnavailable(now, bat_id, self.node_id))
             self._fail_request(bat_id, DATA_UNAVAILABLE)
             return
         entry.resends += 1
-        self.metrics.resends += 1
+        if self.bus.active:
+            self.bus.publish(ev.RequestResent(now, bat_id, self.node_id))
         entry.sent_at = now
         msg = RequestMessage(origin=self.node_id, bat_id=bat_id)
         self.out_request.send(msg, self.config.request_message_size)
@@ -687,7 +747,8 @@ class NodeRuntime:
                 continue
             self.unavailable_bats.add(bat_id)
             if self.s2.has(bat_id):
-                self.metrics.request_unavailable(now, bat_id)
+                if self.bus.active:
+                    self.bus.publish(ev.RequestUnavailable(now, bat_id, self.node_id))
                 self._fail_request(bat_id, DATA_UNAVAILABLE)
 
     def on_peer_up(self, peer: int, owned_bats: List[int]) -> None:
@@ -723,7 +784,10 @@ class NodeRuntime:
             self.s2.unregister(bat_id)
             self._cancel_resend(bat_id)
             for wait in self.s3.pop_all(bat_id):
-                self.metrics.query_degraded(wait.query_id)
+                if self.bus.active:
+                    self.bus.publish(
+                        ev.QueryDegraded(self.sim.now, wait.query_id, self.node_id)
+                    )
                 self._local_fetch(bat_id, wait.future)
 
     # ==================================================================
@@ -737,7 +801,8 @@ class NodeRuntime:
         before = self.loit.threshold
         after = self.loit.observe(load)
         if after != before:
-            self.metrics.loit_changes += 1
+            if self.bus.active:
+                self.bus.publish(ev.LoitChanged(self.sim.now, self.node_id, after))
             self.loit_history.append((self.sim.now, after))
 
     # ==================================================================

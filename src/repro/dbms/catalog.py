@@ -10,7 +10,7 @@ global integer id -- the ``bat_id`` circulating in the storage ring.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

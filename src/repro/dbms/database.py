@@ -13,7 +13,6 @@ from typing import Dict, Optional, Sequence
 
 from repro.dbms.catalog import Catalog
 from repro.dbms.interpreter import Interpreter, ResultSet, local_registry
-from repro.dbms.mal import Plan
 from repro.dbms.optimizer import dc_optimize
 from repro.dbms.sql import parse, plan_select
 from repro.dbms.sql.planner import PlannedQuery

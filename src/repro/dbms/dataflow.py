@@ -16,7 +16,7 @@ latency behind useful work.
 from __future__ import annotations
 
 import inspect
-from typing import Any, Dict, Generator, List, Optional, Set
+from typing import Any, Dict, Generator, List
 
 from repro.dbms.interpreter import UnknownOperator
 from repro.dbms.mal import Instruction, Plan, Var

@@ -14,7 +14,7 @@ MonetDB's materialise-all-intermediates execution model.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 

@@ -14,8 +14,8 @@ use to check the DC optimizer's rewrite against the paper.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "Var",
@@ -207,7 +207,6 @@ def _parse_args(text: str) -> tuple:
     """Parse an argument list: literals, vars, OID literals, [lists]."""
     pos = 0
     stack: List[list] = [[]]
-    expect_value = True
     while pos < len(text):
         match = _ARG_TOKEN_RE.match(text, pos)
         if match is None:

@@ -24,7 +24,6 @@ from repro.dbms.sql.parser import (
     BinOp,
     ColumnRef,
     Comparison,
-    HavingCond,
     InList,
     Literal,
     OrderItem,

@@ -1,0 +1,93 @@
+"""The metrics subscriber: routes bus events into a MetricsCollector.
+
+This is the compatibility layer of the event-bus refactor: the protocol
+code publishes typed events, and this bridge reproduces -- bit for bit
+-- the collector state the old hard-wired ``self.metrics.*`` calls
+produced.  The golden-equivalence test (tests/test_events_golden.py)
+pins that property against a checked-in snapshot.
+
+The collector keeps its full public API; the bridge only decides *when*
+its methods run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.events import types as ev
+from repro.events.bus import Bus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collector import MetricsCollector
+
+__all__ = ["attach_metrics"]
+
+
+def attach_metrics(bus: Bus, metrics: "MetricsCollector") -> Callable[[], None]:
+    """Subscribe ``metrics`` to every event it accounts for.
+
+    Handlers are bound per event type; events the collector does not
+    care about (``LinkTransmit``, ``SimEventFired``, ...) are simply not
+    subscribed, so they keep their no-subscriber fast path.
+
+    Returns a detach callable that removes every subscription made here
+    -- the way to run a simulation with zero observers (perf baselines).
+    """
+    subscribed = []
+
+    def sub(event_type, handler):
+        bus.subscribe(event_type, handler)
+        subscribed.append((event_type, handler))
+
+    # --- query lifecycle ----------------------------------------------
+    sub(ev.QueryRegistered,
+        lambda e: metrics.query_registered(e.t, e.query_id, e.node, e.tag))
+    sub(ev.QueryFinished, lambda e: metrics.query_finished(e.t, e.query_id))
+    sub(ev.QueryFailed, lambda e: metrics.query_failed(e.t, e.query_id, e.error))
+    sub(ev.QueryDegraded, lambda e: metrics.query_degraded(e.query_id))
+
+    # --- BAT lifecycle -------------------------------------------------
+    sub(ev.BatTagged, lambda e: metrics.tag_bat(e.bat_id, e.tag))
+    sub(ev.BatLoaded, lambda e: metrics.bat_loaded(e.t, e.bat_id, e.size))
+    sub(ev.BatUnloaded, lambda e: metrics.bat_unloaded(e.t, e.bat_id, e.size))
+    sub(ev.BatTouched, lambda e: metrics.bat_touched(e.t, e.bat_id))
+    sub(ev.BatPinned, lambda e: metrics.bat_pinned(e.t, e.bat_id, e.count))
+    sub(ev.BatCycled, lambda e: metrics.bat_cycle(e.t, e.bat_id, e.cycles))
+    sub(ev.BatDropped,
+        lambda e: metrics.bat_dropped(e.t, e.bat_id, e.size, e.by_loss))
+
+    # --- request propagation ------------------------------------------
+    sub(ev.RequestCreated, lambda e: metrics.request_created(e.t, e.bat_id))
+    sub(ev.RequestServed,
+        lambda e: metrics.request_served(e.t, e.bat_id, e.latency))
+    sub(ev.RequestUnavailable,
+        lambda e: metrics.request_unavailable(e.t, e.bat_id))
+
+    # --- pure counters -------------------------------------------------
+    def _count(attr):
+        def bump(_event, _m=metrics, _attr=attr):
+            setattr(_m, _attr, getattr(_m, _attr) + 1)
+        return bump
+
+    sub(ev.RequestForwarded, _count("requests_forwarded"))
+    sub(ev.RequestAbsorbed, _count("requests_absorbed"))
+    sub(ev.RequestReturnedToOrigin, _count("requests_returned_to_origin"))
+    sub(ev.RequestResent, _count("resends"))
+    sub(ev.BatForwarded, _count("bat_messages_forwarded"))
+    sub(ev.LoadPostponed, _count("pending_postponed"))
+    sub(ev.LoitChanged, _count("loit_changes"))
+
+    # --- fault injection (docs/faults.md) ------------------------------
+    sub(ev.BatPurged, lambda e: metrics.bat_purged(e.t, e.bat_id, e.size))
+    sub(ev.BatRehomed, lambda e: metrics.bat_rehomed(e.t, e.bat_id))
+    sub(ev.BatAdopted, lambda e: metrics.bat_adopted(e.t, e.bat_id))
+    sub(ev.OrphanRetired,
+        lambda e: metrics.orphan_retired(e.t, e.bat_id, e.size))
+    sub(ev.NodeCrashed, lambda e: metrics.node_down(e.t, e.node))
+    sub(ev.NodeRejoined, lambda e: metrics.node_up(e.t, e.node, e.owned_bats))
+
+    def detach():
+        for event_type, handler in subscribed:
+            bus.unsubscribe(event_type, handler)
+
+    return detach

@@ -1,0 +1,415 @@
+"""The event taxonomy: every observable action of the Data Cyclotron.
+
+One slotted ``@dataclass`` per event kind, grouped by the paper section
+that motivates it (see docs/events.md for the full taxonomy and the
+mapping from the section 5 figures to the events that feed them).  All
+events carry the simulated timestamp ``t``; protocol events also carry
+the publishing ``node`` so traces can be split per ring position.
+
+Events are plain data -- no behaviour, no references into the runtime --
+so any subscriber (metrics, tracer, invariant monitor, a future live
+dashboard) can retain them safely.  They are deliberately *not* frozen:
+tens of thousands are constructed per simulated second, and a frozen
+dataclass pays ``object.__setattr__`` per field at construction time.
+Subscribers must treat received events as immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = [
+    # query lifecycle (Figures 6, 8; Table 4)
+    "QueryRegistered",
+    "QueryFinished",
+    "QueryFailed",
+    "QueryDegraded",
+    # BAT lifecycle (Figures 7, 9, 11)
+    "BatTagged",
+    "BatLoaded",
+    "BatUnloaded",
+    "BatTouched",
+    "BatPinned",
+    "BatCycled",
+    "BatDropped",
+    "BatForwarded",
+    # request propagation (Figure 3, Figure 10)
+    "RequestCreated",
+    "RequestForwarded",
+    "RequestAbsorbed",
+    "RequestReturnedToOrigin",
+    "RequestServed",
+    "RequestResent",
+    "RequestUnavailable",
+    # loader / hot-set management (Figures 4, 5)
+    "LoadPostponed",
+    "LoitChanged",
+    # fault injection (docs/faults.md)
+    "NodeCrashed",
+    "NodeRejoined",
+    "BatPurged",
+    "BatRehomed",
+    "BatAdopted",
+    "OrphanRetired",
+    "LinkDegraded",
+    "LinkRestored",
+    "FaultInjected",
+    # network layer (section 5 setup)
+    "LinkTransmit",
+    "LinkDelivered",
+    "LinkDropped",
+    "ChannelLoss",
+    # simulation engine
+    "SimEventFired",
+]
+
+
+# ----------------------------------------------------------------------
+# query lifecycle
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class QueryRegistered:
+    """A query arrived at ``node`` and entered the system."""
+
+    t: float
+    query_id: int
+    node: int
+    tag: str = ""
+
+
+@dataclass(slots=True)
+class QueryFinished:
+    """All operators of the query completed successfully."""
+
+    t: float
+    query_id: int
+    node: int
+
+
+@dataclass(slots=True)
+class QueryFailed:
+    """The query terminated with an error (e.g. ``DATA_UNAVAILABLE``)."""
+
+    t: float
+    query_id: int
+    error: str
+    node: int
+
+
+@dataclass(slots=True)
+class QueryDegraded:
+    """The query needed fault recovery (resend / re-home / orphan serve)."""
+
+    t: float
+    query_id: int
+    node: int
+
+
+# ----------------------------------------------------------------------
+# BAT lifecycle
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class BatTagged:
+    """A workload tag (e.g. ``dh2``) was attached to a BAT (Figure 8a)."""
+
+    t: float
+    bat_id: int
+    tag: str
+
+
+@dataclass(slots=True)
+class BatLoaded:
+    """The owner put the BAT into the storage ring (Figure 4, load)."""
+
+    t: float
+    bat_id: int
+    size: int
+    node: int
+
+
+@dataclass(slots=True)
+class BatUnloaded:
+    """The owner pulled the BAT out of the hot set (Figure 5, unload)."""
+
+    t: float
+    bat_id: int
+    size: int
+    node: int
+
+
+@dataclass(slots=True)
+class BatTouched:
+    """A node pinned the passing BAT into local memory (a "copy")."""
+
+    t: float
+    bat_id: int
+    node: int
+
+
+@dataclass(slots=True)
+class BatPinned:
+    """``count`` pin() calls were served for the BAT at ``node``."""
+
+    t: float
+    bat_id: int
+    node: int
+    count: int = 1
+
+
+@dataclass(slots=True)
+class BatCycled:
+    """The BAT completed its ``cycles``-th ring rotation (Figure 11)."""
+
+    t: float
+    bat_id: int
+    cycles: int
+    node: int
+
+
+@dataclass(slots=True)
+class BatDropped:
+    """A BAT copy was lost in transit: DropTail or injected loss."""
+
+    t: float
+    bat_id: int
+    size: int
+    by_loss: bool
+    node: int
+
+
+@dataclass(slots=True)
+class BatForwarded:
+    """``node`` enqueued a BAT message for its successor."""
+
+    t: float
+    bat_id: int
+    node: int
+
+
+# ----------------------------------------------------------------------
+# request propagation (Figure 3)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class RequestCreated:
+    """A request message entered the ring anti-clockwise."""
+
+    t: float
+    bat_id: int
+    node: int
+
+
+@dataclass(slots=True)
+class RequestForwarded:
+    """Outcome 6: the request passed through ``node`` unchanged."""
+
+    t: float
+    bat_id: int
+    node: int
+
+
+@dataclass(slots=True)
+class RequestAbsorbed:
+    """Outcome 5: a passing request doubled as this node's own."""
+
+    t: float
+    bat_id: int
+    node: int
+
+
+@dataclass(slots=True)
+class RequestReturnedToOrigin:
+    """Outcome 1: the request circled the ring unanswered."""
+
+    t: float
+    bat_id: int
+    node: int
+
+
+@dataclass(slots=True)
+class RequestServed:
+    """The first pin was served ``latency`` seconds after the request."""
+
+    t: float
+    bat_id: int
+    latency: float
+    node: int
+
+
+@dataclass(slots=True)
+class RequestResent:
+    """The rotational-delay timeout fired and the request was re-issued."""
+
+    t: float
+    bat_id: int
+    node: int
+
+
+@dataclass(slots=True)
+class RequestUnavailable:
+    """A request failed fast: the BAT's owner is dead (docs/faults.md)."""
+
+    t: float
+    bat_id: int
+    node: int
+
+
+# ----------------------------------------------------------------------
+# loader / hot-set management
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class LoadPostponed:
+    """Outcome 3: the BAT queue is full, the load waits for ``loadAll``."""
+
+    t: float
+    bat_id: int
+    node: int
+
+
+@dataclass(slots=True)
+class LoitChanged:
+    """The adaptive LOIT controller stepped to a new ``threshold``."""
+
+    t: float
+    node: int
+    threshold: float
+
+
+# ----------------------------------------------------------------------
+# fault injection (docs/faults.md)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class NodeCrashed:
+    """``node`` died: queues purged, ring rewired, peers notified."""
+
+    t: float
+    node: int
+
+
+@dataclass(slots=True)
+class NodeRejoined:
+    """``node`` restarted with an empty hot set and was spliced back."""
+
+    t: float
+    node: int
+    owned_bats: List[int]
+
+
+@dataclass(slots=True)
+class BatPurged:
+    """A BAT message died with a crashed node's volatile queues."""
+
+    t: float
+    bat_id: int
+    size: int
+    node: int
+
+
+@dataclass(slots=True)
+class BatRehomed:
+    """Ownership of the BAT moved off a dead node to ``new_owner``."""
+
+    t: float
+    bat_id: int
+    new_owner: int
+
+
+@dataclass(slots=True)
+class BatAdopted:
+    """A circulating copy of a re-homed BAT was claimed by its new owner."""
+
+    t: float
+    bat_id: int
+    node: int
+
+
+@dataclass(slots=True)
+class OrphanRetired:
+    """A dead owner's copy was pulled out of circulation at ``node``."""
+
+    t: float
+    bat_id: int
+    size: int
+    node: int
+
+
+@dataclass(slots=True)
+class LinkDegraded:
+    """``node``'s outgoing channel(s) were degraded by fault injection."""
+
+    t: float
+    node: int
+    direction: str
+
+
+@dataclass(slots=True)
+class LinkRestored:
+    """A timed link degradation healed."""
+
+    t: float
+    node: int
+
+
+@dataclass(slots=True)
+class FaultInjected:
+    """The injector fired one scheduled scenario event (``kind``)."""
+
+    t: float
+    kind: str
+    node: int
+
+
+# ----------------------------------------------------------------------
+# network layer
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class LinkTransmit:
+    """A message started serialising onto the wire of ``link``."""
+
+    t: float
+    link: str
+    size: int
+    mtype: str
+
+
+@dataclass(slots=True)
+class LinkDelivered:
+    """A message fully arrived at the far end of ``link``."""
+
+    t: float
+    link: str
+    size: int
+    mtype: str
+
+
+@dataclass(slots=True)
+class LinkDropped:
+    """DropTail discarded a message from ``link``'s full transmit queue."""
+
+    t: float
+    link: str
+    size: int
+    mtype: str
+
+
+@dataclass(slots=True)
+class ChannelLoss:
+    """Injected loss ate a message on ``channel``."""
+
+    t: float
+    channel: str
+    size: int
+    mtype: str
+
+
+# ----------------------------------------------------------------------
+# simulation engine
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class SimEventFired:
+    """The discrete-event engine dispatched one callback."""
+
+    t: float
+    seq: int
+    fn: str
+    node: Optional[int] = None

@@ -9,13 +9,15 @@ harness runs with identical parameters produce byte-identical reports
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.config import MB, DataCyclotronConfig
 from repro.core.ring import DataCyclotron
+from repro.events.tracer import Tracer
 from repro.faults.injector import FaultInjector
-from repro.faults.invariants import check_invariants, check_terminal
+from repro.faults.invariants import InvariantMonitor, check_terminal
 from repro.faults.scenario import ChaosScenario
 from repro.workloads.base import UniformDataset, populate_ring
 from repro.workloads.uniform import UniformWorkload
@@ -71,10 +73,12 @@ class ChaosHarness:
         rejoin_fraction: float = 1.0,
         degradations: int = 0,
         rehome_policy: str = "fail_fast",
+        trace: Optional[str] = None,
         **config_overrides,
     ):
         self.seed = seed
         self.duration = duration
+        self.trace_path = trace
         config = dict(
             n_nodes=n_nodes,
             seed=seed,
@@ -120,25 +124,17 @@ class ChaosHarness:
         )
         # materialised up front so tests can ask which BATs a query needs
         self.specs = {spec.query_id: spec for spec in self.workload.queries()}
-        self._fault_log: List[str] = []
-        self._violations: List[str] = []
-        self._checks = 0
-        self.injector = FaultInjector(self.dc, self.scenario, on_fault=self._on_fault)
+        # The invariant checkpoints ride the event bus: the facade
+        # publishes NodeCrashed/NodeRejoined/LinkDegraded at the end of
+        # each fault action, exactly where the old injector callback ran.
+        self.monitor = InvariantMonitor(self.dc)
+        self.tracer: Optional[Tracer] = None
+        if trace is not None:
+            self.tracer = Tracer()
+            self.tracer.attach(self.dc.bus)
+        self.injector = FaultInjector(self.dc, self.scenario)
 
     # ------------------------------------------------------------------
-    def _on_fault(self, event) -> None:
-        """Invariant checkpoint, run synchronously after each fault."""
-        self._checks += 1
-        found = check_invariants(self.dc)
-        live = len(self.dc.live_node_ids)
-        self._fault_log.append(
-            f"t={self.dc.now:.3f} {event.kind} node={event.node} live={live} "
-            f"violations={len(found)}"
-        )
-        self._violations.extend(
-            f"after {event.kind}@{event.at:.3f}: {v}" for v in found
-        )
-
     def workload_bats(self, query_id: int) -> List[int]:
         """The distinct BATs ``query_id`` pins (empty if unknown)."""
         spec = self.specs.get(query_id)
@@ -151,9 +147,12 @@ class ChaosHarness:
         # retired before the terminal audit
         grace = 4.0 * self.dc.config.derived_resend_timeout(self.dataset.mean_size)
         self.dc.run(until=self.dc.now + grace)
-        self._checks += 1
+        violations = list(self.monitor.violations)
         terminal = check_terminal(self.dc)
-        self._violations.extend(f"terminal: {v}" for v in terminal)
+        violations.extend(f"terminal: {v}" for v in terminal)
+        if self.tracer is not None and self.trace_path is not None:
+            self.tracer.detach()
+            self.tracer.to_chrome(self.trace_path)
         summary = self.dc.summary()
         summary["queries_submitted"] = total
         return ChaosResult(
@@ -161,20 +160,29 @@ class ChaosHarness:
             scenario_name=self.scenario.name,
             completed=completed,
             summary=summary,
-            fault_log=self._fault_log,
+            fault_log=list(self.monitor.log),
             skipped_faults=list(self.injector.skipped),
-            invariant_checks=self._checks,
-            violations=self._violations,
+            invariant_checks=self.monitor.checks + 1,
+            violations=violations,
         )
 
 def run_chaos(
     seeds=(0,),
+    trace_dir=None,
     **harness_kwargs,
 ) -> List[ChaosResult]:
-    """Convenience: one harness run per seed (used by CLI and tests)."""
+    """Convenience: one harness run per seed (used by CLI and tests).
+
+    With ``trace_dir`` set, each seed additionally writes a Chrome trace
+    to ``<trace_dir>/chaos-seed<N>.trace.json``.
+    """
     results = []
     for seed in seeds:
-        harness = ChaosHarness(seed=seed, **harness_kwargs)
+        trace = None
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+            trace = os.path.join(trace_dir, f"chaos-seed{seed}.trace.json")
+        harness = ChaosHarness(seed=seed, trace=trace, **harness_kwargs)
         harness.injector.arm()
         results.append(harness.run())
     return results

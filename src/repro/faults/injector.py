@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.core.ring import DataCyclotron
+from repro.events.types import FaultInjected
 from repro.faults.scenario import (
     ChaosScenario,
     FaultEvent,
@@ -71,5 +72,6 @@ class FaultInjector:
             self.skipped.append(f"t={event.at:.3f} {event.kind} node={event.node}: {exc}")
             return
         self.injected.append(event)
+        self.dc.bus.publish(FaultInjected(self.dc.now, event.kind, event.node))
         if self.on_fault is not None:
             self.on_fault(event)

@@ -5,16 +5,23 @@ means the invariant holds).  They are designed to be evaluated *between*
 simulation events -- message handling is synchronous, so at that point
 every circulating BAT copy is either queued in a transmit queue or on
 the wire, which makes exact byte conservation checkable.
+
+:class:`InvariantMonitor` packages the checks as an event-bus subscriber:
+it audits the ring at every fault event (crash, rejoin, link
+degradation) in *any* simulation that publishes them -- not only chaos
+harness runs.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.messages import BATMessage
 from repro.core.ring import DataCyclotron
+from repro.events import types as ev
+from repro.events.bus import Bus
 
-__all__ = ["check_invariants", "check_terminal"]
+__all__ = ["InvariantMonitor", "check_invariants", "check_terminal"]
 
 
 def _circulating_bats(dc: DataCyclotron):
@@ -139,6 +146,54 @@ def check_invariants(dc: DataCyclotron) -> List[str]:
         + check_ownership(dc)
         + check_pin_accounting(dc)
     )
+
+
+class InvariantMonitor:
+    """Audits the ring after every fault, driven by the event bus.
+
+    Subscribes to :class:`~repro.events.types.NodeCrashed`,
+    :class:`~repro.events.types.NodeRejoined` and
+    :class:`~repro.events.types.LinkDegraded`.  The facade publishes each
+    of these at the *end* of the corresponding fault action, after the
+    topology repair and re-homing completed, so the invariants are
+    checked at exactly the consistency point the chaos harness used to
+    probe via its injector callback -- but the monitor works in any
+    simulation, with or without a :class:`FaultInjector`.
+    """
+
+    _KINDS = {
+        ev.NodeCrashed: "crash",
+        ev.NodeRejoined: "rejoin",
+        ev.LinkDegraded: "degrade",
+    }
+
+    def __init__(self, dc: DataCyclotron, bus: Optional[Bus] = None):
+        self.dc = dc
+        self.checks = 0
+        self.log: List[str] = []
+        self.violations: List[str] = []
+        self._bus = bus if bus is not None else dc.bus
+        self._bus.subscribe_many(self._KINDS, self._on_fault)
+
+    def detach(self) -> None:
+        """Stop auditing (idempotent)."""
+        for event_type in self._KINDS:
+            self._bus.unsubscribe(event_type, self._on_fault)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _on_fault(self, event) -> None:
+        kind = self._KINDS[type(event)]
+        self.checks += 1
+        found = check_invariants(self.dc)
+        live = len(self.dc.live_node_ids)
+        self.log.append(
+            f"t={self.dc.now:.3f} {kind} node={event.node} live={live} "
+            f"violations={len(found)}"
+        )
+        self.violations.extend(f"after {kind}@{event.t:.3f}: {v}" for v in found)
 
 
 def check_terminal(dc: DataCyclotron) -> List[str]:

@@ -18,10 +18,14 @@ test asserts it under random traffic.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro.events.types import ChannelLoss
 from repro.net.link import Link
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.events.bus import Bus
 
 __all__ = ["Channel"]
 
@@ -38,12 +42,14 @@ class Channel:
         loss_rate: float = 0.0,
         rng: Optional[random.Random] = None,
         name: str = "channel",
+        bus: Optional["Bus"] = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         self.sim = sim
         self.name = name
         self.loss_rate = loss_rate
+        self.bus = bus
         self._rng = rng if rng is not None else random.Random(0)
         self._receiver: Optional[Callable[[Any, int], None]] = None
         self._loss_handler: Optional[Callable[[Any, int], None]] = None
@@ -55,6 +61,7 @@ class Channel:
             queue_capacity=queue_capacity,
             on_receive=self._arrived,
             name=name,
+            bus=bus,
         )
 
     # ------------------------------------------------------------------
@@ -79,6 +86,11 @@ class Channel:
         """Send a message; returns False if dropped (loss or DropTail)."""
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.dropped_by_loss += 1
+            bus = self.bus
+            if bus is not None and bus.wants(ChannelLoss):
+                bus.publish(
+                    ChannelLoss(self.sim.now, self.name, size, type(message).__name__)
+                )
             if self._loss_handler is not None:
                 self._loss_handler(message, size)
             return False

@@ -18,9 +18,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional, Tuple
 
+from repro.events.types import LinkDelivered, LinkDropped, LinkTransmit
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.events.bus import Bus
 
 __all__ = ["Link", "LinkStats"]
 
@@ -61,6 +65,10 @@ class Link:
         message fully arrives.
     on_drop:
         Optional callback ``fn(message, size)`` when DropTail discards.
+    bus:
+        Optional event bus; when a subscriber wants them, the link
+        publishes :class:`LinkTransmit` / :class:`LinkDelivered` /
+        :class:`LinkDropped` events (no cost otherwise).
     """
 
     def __init__(
@@ -72,6 +80,7 @@ class Link:
         on_receive: Optional[Callable[[Any, int], None]] = None,
         on_drop: Optional[Callable[[Any, int], None]] = None,
         name: str = "link",
+        bus: Optional["Bus"] = None,
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -84,6 +93,13 @@ class Link:
         self.on_receive = on_receive
         self.on_drop = on_drop
         self.name = name
+        self.bus = bus
+        # Cached bus.wants() verdicts, refreshed when the bus version
+        # moves -- one int compare per message instead of a method call.
+        self._bus_version = -1
+        self._wants_tx = False
+        self._wants_rx = False
+        self._wants_drop = False
         self.stats = LinkStats()
         self._queue: Deque[Tuple[Any, int]] = deque()
         self._queued_bytes = 0
@@ -132,6 +148,13 @@ class Link:
         self._queued_bytes = 0
         return purged
 
+    def _refresh_wants(self) -> None:
+        bus = self.bus
+        self._bus_version = bus.version
+        self._wants_tx = bus.wants(LinkTransmit)
+        self._wants_rx = bus.wants(LinkDelivered)
+        self._wants_drop = bus.wants(LinkDropped)
+
     def transfer_time(self, size: int) -> float:
         """Serialisation + propagation time for an unqueued message."""
         return size / self.bandwidth + self.delay
@@ -147,6 +170,16 @@ class Link:
         ):
             self.stats.messages_dropped += 1
             self.stats.bytes_dropped += size
+            bus = self.bus
+            if bus is not None:
+                if bus.version != self._bus_version:
+                    self._refresh_wants()
+                if self._wants_drop:
+                    bus.publish(
+                        LinkDropped(
+                            self.sim.now, self.name, size, type(message).__name__
+                        )
+                    )
             if self.on_drop is not None:
                 self.on_drop(message, size)
             return False
@@ -170,6 +203,14 @@ class Link:
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size
         self.stats.busy_time += tx_time
+        bus = self.bus
+        if bus is not None:
+            if bus.version != self._bus_version:
+                self._refresh_wants()
+            if self._wants_tx:
+                bus.publish(
+                    LinkTransmit(self.sim.now, self.name, size, type(message).__name__)
+                )
         # Serialisation finishes after tx_time; the wire is then free for
         # the next message while this one propagates for ``delay`` more.
         self.sim.schedule(tx_time, self._serialised, message, size)
@@ -182,5 +223,13 @@ class Link:
         self._in_flight.remove((message, size))
         self.stats.messages_delivered += 1
         self.stats.bytes_delivered += size
+        bus = self.bus
+        if bus is not None:
+            if bus.version != self._bus_version:
+                self._refresh_wants()
+            if self._wants_rx:
+                bus.publish(
+                    LinkDelivered(self.sim.now, self.name, size, type(message).__name__)
+                )
         if self.on_receive is not None:
             self.on_receive(message, size)

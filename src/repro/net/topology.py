@@ -26,10 +26,13 @@ delivered to the repaired successor.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from repro.net.channel import Channel
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.events.bus import Bus
 
 __all__ = ["Ring"]
 
@@ -50,6 +53,7 @@ class Ring:
         data_loss_rate: float = 0.0,
         request_loss_rate: float = 0.0,
         rng: Optional[random.Random] = None,
+        bus: Optional["Bus"] = None,
     ):
         if n_nodes < 1:
             raise ValueError("a ring needs at least one node")
@@ -66,6 +70,7 @@ class Ring:
                 loss_rate=data_loss_rate,
                 rng=rng,
                 name=f"data[{i}->{(i + 1) % n_nodes}]",
+                bus=bus,
             )
             for i in range(n_nodes)
         ]
@@ -79,6 +84,7 @@ class Ring:
                 loss_rate=request_loss_rate,
                 rng=rng,
                 name=f"req[{i}->{(i - 1) % n_nodes}]",
+                bus=bus,
             )
             for i in range(n_nodes)
         ]

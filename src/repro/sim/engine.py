@@ -5,15 +5,29 @@ events.  Events scheduled for the same instant fire in the order they
 were scheduled (FIFO), which keeps protocol traces deterministic -- the
 property the paper relies on when comparing LOIT levels across runs
 (section 5.1 repeats the identical workload eleven times).
+
+The engine can publish a :class:`~repro.events.types.SimEventFired`
+event onto an attached :class:`~repro.events.bus.Bus` for every callback
+it dispatches; the publish is skipped entirely (a single dict probe)
+unless somebody subscribed, so attaching a bus costs nothing on the
+hot path.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.events.types import SimEventFired
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.events.bus import Bus
 
 __all__ = ["Event", "Simulator", "SimulationError"]
+
+# A cancelled backlog below this size is never worth compacting.
+_COMPACT_MIN_CANCELLED = 16
 
 
 class SimulationError(RuntimeError):
@@ -25,22 +39,37 @@ class Event:
 
     Events are created through :meth:`Simulator.schedule` /
     :meth:`Simulator.schedule_at` and can be cancelled with
-    :meth:`Simulator.cancel` (or :meth:`cancel`).  A cancelled event stays
-    in the heap but is skipped when popped; this makes cancellation O(1).
+    :meth:`Simulator.cancel` (or :meth:`cancel`).  A cancelled event
+    stays in the heap until it is popped or the engine compacts -- which
+    it does lazily once cancelled entries outnumber live ones, so
+    cancel-heavy workloads (resend timers re-armed on every data
+    sighting) cannot grow the heap without bound.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it."""
+        """Mark the event so the engine skips it (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -66,12 +95,19 @@ class Simulator:
     1.0
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bus: Optional["Bus"] = None) -> None:
         self.now: float = 0.0
+        self.bus = bus
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._cancelled = 0  # cancelled events still sitting in the heap
+        # Cached verdict of bus.wants(SimEventFired), keyed on the bus
+        # subscription version so the hot loop pays one int compare per
+        # event instead of a method call.
+        self._bus_version = -1
+        self._fire_wanted = False
 
     # ------------------------------------------------------------------
     # scheduling
@@ -88,7 +124,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is t={self.now})"
             )
-        event = Event(time, next(self._seq), fn, args)
+        event = Event(time, next(self._seq), fn, args, self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -97,17 +133,60 @@ class Simulator:
         event.cancel()
 
     # ------------------------------------------------------------------
+    # cancelled-event hygiene
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts once >50% is dead."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (stable: the
+        (time, seq) order of live events is a total order, so heapify
+        preserves FIFO semantics for simultaneous events)."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    def _pop_cancelled(self) -> None:
+        heapq.heappop(self._heap)
+        if self._cancelled > 0:
+            self._cancelled -= 1
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _fire(self, event: Event) -> None:
+        self.now = event.time
+        self._processed += 1
+        bus = self.bus
+        if bus is not None:
+            if bus.version != self._bus_version:
+                self._bus_version = bus.version
+                self._fire_wanted = bus.wants(SimEventFired)
+            if self._fire_wanted:
+                bus.publish(
+                    SimEventFired(
+                        event.time,
+                        event.seq,
+                        getattr(event.fn, "__qualname__", repr(event.fn)),
+                    )
+                )
+        event.fn(*event.args)
+
     def step(self) -> bool:
         """Run the next pending event.  Returns ``False`` when none remain."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
-            self.now = event.time
-            self._processed += 1
-            event.fn(*event.args)
+            self._fire(event)
             return True
         return False
 
@@ -122,17 +201,34 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         count = 0
+        pop = heapq.heappop
+        bus = self.bus
         try:
+            # The body of ``_fire`` is inlined here: this loop dispatches
+            # every simulation callback, so the per-event overhead budget
+            # is a handful of attribute loads (no extra function call).
             while self._heap:
                 event = self._heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    self._pop_cancelled()
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._heap)
+                pop(self._heap)
                 self.now = event.time
                 self._processed += 1
+                if bus is not None:
+                    if bus.version != self._bus_version:
+                        self._bus_version = bus.version
+                        self._fire_wanted = bus.wants(SimEventFired)
+                    if self._fire_wanted:
+                        bus.publish(
+                            SimEventFired(
+                                event.time,
+                                event.seq,
+                                getattr(event.fn, "__qualname__", repr(event.fn)),
+                            )
+                        )
                 event.fn(*event.args)
                 count += 1
                 if max_events is not None and count >= max_events:
@@ -145,7 +241,7 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled
 
     @property
     def processed(self) -> int:
@@ -155,5 +251,5 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            self._pop_cancelled()
         return self._heap[0].time if self._heap else None

@@ -13,7 +13,7 @@ generator that yields:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator
 
 from repro.sim.engine import Simulator
 

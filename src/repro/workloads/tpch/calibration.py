@@ -18,14 +18,12 @@ executor charges -- accumulates into the OpT of the next pin call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
-from repro.dbms.catalog import Catalog
 from repro.dbms.database import Database
 from repro.dbms.executor import OperatorCostModel
 from repro.dbms.interpreter import Interpreter
-from repro.dbms.mal import Plan
 from repro.workloads.tpch.queries import TPCH_QUERIES, TpchQuery
 
 __all__ = ["TraceStep", "QueryTrace", "calibrate", "load_traces", "save_traces"]

@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.config import MB, DataCyclotronConfig
+from repro.core.config import DataCyclotronConfig
 from repro.core.query import PinStep, QuerySpec
 from repro.core.ring import DataCyclotron
 from repro.dbms.database import Database

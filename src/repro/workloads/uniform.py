@@ -14,7 +14,7 @@ chosen processing time between 100 msec and 200 msec."
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
 from repro.core.query import QuerySpec
 from repro.sim.rng import RngRegistry

@@ -18,7 +18,7 @@ visited node, charged to the query's arrival time.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.query import QuerySpec
 from repro.core.ring import DataCyclotron

@@ -22,7 +22,7 @@ Two pieces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import MB, DataCyclotronConfig
@@ -178,8 +178,6 @@ class RingSizeSweep:
         cycles = {
             b: s.max_cycles for b, s in dc.metrics.bats.items() if s.max_cycles > 0
         }
-        total_cycles = sum(cycles.values())
-        mean_cycle = (dc.now / total_cycles * len(cycles)) if total_cycles else 0.0
         # cycle duration estimate: per-hop transfer of the mean BAT times n
         mean_bat = dataset.mean_size
         per_hop = mean_bat / config.bandwidth + config.link_delay

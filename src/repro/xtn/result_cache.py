@@ -17,7 +17,7 @@ keeps it on the creator's disk until a request arrives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.core.ring import DataCyclotron

@@ -20,7 +20,7 @@ and circulates the new version (see the version check in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.core.ring import DataCyclotron

@@ -10,14 +10,10 @@ at every fault point.
 
 import pytest
 
-from repro.core import DataCyclotronConfig, QuerySpec
-from repro.core.query import PinStep
 from repro.core.runtime import DATA_UNAVAILABLE
 from repro.faults import ChaosHarness, ChaosScenario, NodeCrash, NodeRejoin
 from repro.faults.harness import run_chaos
-from repro.faults.invariants import check_invariants, check_terminal
 
-from helpers import MB, build_dc
 
 
 @pytest.mark.chaos_smoke

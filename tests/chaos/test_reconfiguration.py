@@ -8,7 +8,7 @@ invariants.
 
 import pytest
 
-from repro.core import DataCyclotronConfig, QuerySpec
+from repro.core import QuerySpec
 from repro.core.query import PinStep
 from repro.core.runtime import DATA_UNAVAILABLE, NODE_CRASHED
 from repro.faults.invariants import check_invariants

@@ -10,7 +10,7 @@ from repro.faults import (
     NodeRejoin,
 )
 
-from helpers import MB, build_dc
+from helpers import build_dc
 
 pytestmark = pytest.mark.chaos_smoke
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.messages import RequestMessage
 
 from helpers import MB, build_dc
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import DataCyclotron, DataCyclotronConfig, QuerySpec
+from repro.core import QuerySpec
 
 from helpers import MB, build_dc
 

@@ -7,7 +7,6 @@ and Hot Set Management (Figure 5).
 
 import pytest
 
-from repro.core import DataCyclotronConfig, QuerySpec
 from repro.core.messages import BATMessage, RequestMessage
 
 from helpers import MB, build_dc

@@ -17,7 +17,7 @@ def plan_a():
     p = Plan("user.a")
     t = p.emit("datacyclotron", "request", ("sys", "t", "id", 0))
     col = p.emit("datacyclotron", "pin", (t,))
-    sel = p.emit("algebra", "select", (col, 1, 5))
+    p.emit("algebra", "select", (col, 1, 5))
     return p
 
 
@@ -25,10 +25,10 @@ def plan_b_renamed():
     """Same structure as plan_a but with extra leading junk so variable
     numbers differ."""
     p = Plan("user.b")
-    junk = p.emit("sql", "resultSet", ())
+    p.emit("sql", "resultSet", ())
     t = p.emit("datacyclotron", "request", ("sys", "t", "id", 0))
     col = p.emit("datacyclotron", "pin", (t,))
-    sel = p.emit("algebra", "select", (col, 1, 5))
+    p.emit("algebra", "select", (col, 1, 5))
     return p
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import DataCyclotronConfig
-from repro.dbms import Database
 from repro.dbms.dataflow import DataflowExecutor
 from repro.dbms.executor import RingDatabase
 from repro.dbms.interpreter import UnknownOperator, local_registry
@@ -69,7 +68,7 @@ def test_dataflow_respects_dependencies_regardless_of_order():
     plan = Plan()
     a = plan.emit("sql", "bind", ("sys", "t", "id", 0))
     b = plan.emit("test", "slow", (a,))      # finishes at t=1
-    c = plan.emit("test", "fast", (a,))      # independent: finishes at t=0
+    plan.emit("test", "fast", (a,))          # independent: finishes at t=0
     d = plan.emit("test", "fast", (b,))      # must wait for the slow op
     env = run_dataflow(registry, plan)
     assert trace == ["fast", "slow", "fast"]

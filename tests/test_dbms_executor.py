@@ -11,7 +11,7 @@ import pytest
 from repro.core import DataCyclotronConfig
 from repro.dbms import Database
 from repro.dbms.bat import BAT
-from repro.dbms.executor import OperatorCostModel, QueryAbort, RingDatabase
+from repro.dbms.executor import OperatorCostModel, RingDatabase
 
 
 def make_data(seed=3, n=400):

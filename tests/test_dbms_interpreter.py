@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.dbms import Database
 from repro.dbms.bat import BAT
 from repro.dbms.catalog import Catalog
 from repro.dbms.interpreter import (

@@ -229,7 +229,7 @@ def test_partitioned_table_queries_identical():
 
 def test_self_join_rejected_without_aliases_conflict(db):
     with pytest.raises(SqlError):
-        parse_and_plan = db.query("SELECT id FROM items, items")
+        db.query("SELECT id FROM items, items")
 
 
 def test_unknown_column(db):

@@ -1,0 +1,211 @@
+"""Tests for the event tracer: JSONL capture, Chrome export, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import DataCyclotron, DataCyclotronConfig, QuerySpec
+from repro.events import types as ev
+from repro.events.bus import Bus
+from repro.events.tracer import (
+    Tracer,
+    event_record,
+    read_jsonl,
+    records_to_chrome,
+    write_chrome,
+)
+
+
+def _run_small(config=None):
+    dc = DataCyclotron(config or DataCyclotronConfig(n_nodes=3, seed=1))
+    for bat_id in range(6):
+        dc.add_bat(bat_id, size=1 << 20)
+    for q in range(4):
+        dc.submit(QuerySpec.simple(
+            q, node=q % 3, arrival=0.01 * q, bat_ids=[q, (q + 1) % 6],
+            processing_times=[0.01, 0.01],
+        ))
+    assert dc.run_until_done(max_time=30.0)
+    return dc
+
+
+# ----------------------------------------------------------------------
+# record flattening
+# ----------------------------------------------------------------------
+def test_event_record_flattens_all_fields():
+    record = event_record(ev.BatLoaded(1.5, 7, 4096, 2))
+    assert record == {
+        "event": "BatLoaded", "t": 1.5, "bat_id": 7, "size": 4096, "node": 2,
+    }
+
+
+def test_tracer_records_everything_published():
+    bus = Bus()
+    with Tracer() as tracer:
+        tracer.attach(bus)
+        bus.publish(ev.NodeCrashed(1.0, 0))
+        bus.publish(ev.NodeRejoined(2.0, 0, (3, 4)))
+    assert [r["event"] for r in tracer.records] == ["NodeCrashed", "NodeRejoined"]
+
+
+def test_detach_stops_recording():
+    bus = Bus()
+    tracer = Tracer().attach(bus)
+    bus.publish(ev.NodeCrashed(1.0, 0))
+    tracer.detach()
+    bus.publish(ev.NodeCrashed(2.0, 1))
+    assert len(tracer.records) == 1
+    assert bus.subscription_count == 0
+
+
+# ----------------------------------------------------------------------
+# JSONL round trip
+# ----------------------------------------------------------------------
+def test_jsonl_round_trip(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    dc = _run_small()
+    tracer = Tracer().attach(dc.bus)
+    # replay a few synthetic events through the live bus
+    dc.bus.publish(ev.NodeCrashed(dc.now, 1))
+    tracer.to_jsonl(path)
+    assert read_jsonl(path) == tracer.records
+
+
+def test_streaming_jsonl_matches_memory(tmp_path):
+    path = str(tmp_path / "stream.jsonl")
+    config = DataCyclotronConfig(n_nodes=3, seed=1, trace=path)
+    dc = _run_small(config)
+    assert dc.tracer is not None
+    dc.tracer.close()
+    records = read_jsonl(path)
+    assert records, "streaming trace captured nothing"
+    assert records[0]["event"]
+    # every record names a known event type
+    assert all(hasattr(ev, r["event"]) for r in records)
+
+
+def test_streaming_trace_open_fails_early(tmp_path):
+    config = DataCyclotronConfig(
+        n_nodes=3, seed=1, trace=str(tmp_path / "no-such-dir" / "x.jsonl")
+    )
+    with pytest.raises(OSError):
+        DataCyclotron(config)
+
+
+def test_read_jsonl_rejects_bad_json(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"event":"NodeCrashed","t":1.0,"node":0}\nnot json\n')
+    with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+        read_jsonl(str(path))
+
+
+def test_read_jsonl_rejects_non_records(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"t": 1.0}\n')
+    with pytest.raises(ValueError, match="not a trace record"):
+        read_jsonl(str(path))
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event export
+# ----------------------------------------------------------------------
+def test_chrome_trace_schema(tmp_path):
+    dc = _run_small()
+    tracer = Tracer().attach(dc.bus)
+    dc.bus.publish(ev.BatLoaded(0.25, 3, 1024, 2))
+    dc.bus.publish(ev.LinkTransmit(0.5, "data[0->1]", 1024, "BATMessage"))
+    path = str(tmp_path / "trace.json")
+    assert tracer.to_chrome(path) == 2
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    assert doc["displayTimeUnit"] == "ms"
+    first, second = doc["traceEvents"]
+    # instant event on the publishing node's track, microsecond timestamps
+    assert first == {
+        "name": "BatLoaded", "ph": "i", "s": "t", "ts": 250000.0,
+        "pid": 2, "tid": 2, "args": {"bat_id": 3, "size": 1024},
+    }
+    # events without a node land on track 0
+    assert second["pid"] == 0 and second["tid"] == 0
+    assert second["args"]["link"] == "data[0->1]"
+
+
+def test_records_to_chrome_matches_write_chrome(tmp_path):
+    records = [event_record(ev.NodeCrashed(1.0, 4))]
+    path = str(tmp_path / "t.json")
+    assert write_chrome(records, path) == 1
+    with open(path) as fh:
+        assert json.load(fh) == records_to_chrome(records)
+
+
+def test_same_seed_traces_are_identical():
+    def capture():
+        config = DataCyclotronConfig(n_nodes=3, seed=1)
+        dc = DataCyclotron(config)
+        tracer = Tracer().attach(dc.bus)
+        for bat_id in range(6):
+            dc.add_bat(bat_id, size=1 << 20)
+        for q in range(4):
+            dc.submit(QuerySpec.simple(
+                q, node=q % 3, arrival=0.01 * q, bat_ids=[q, (q + 1) % 6],
+                processing_times=[0.01, 0.01],
+            ))
+        dc.run_until_done(max_time=30.0)
+        return tracer.records
+
+    first, second = capture(), capture()
+    assert first == second
+    assert len(first) > 50
+
+
+# ----------------------------------------------------------------------
+# the ``repro trace`` CLI
+# ----------------------------------------------------------------------
+def test_cli_trace_writes_chrome_and_jsonl(tmp_path, capsys):
+    out = str(tmp_path / "out.trace.json")
+    jsonl = str(tmp_path / "out.jsonl")
+    assert main(["trace", "--out", out, "--jsonl", jsonl]) == 0
+    with open(out) as fh:
+        doc = json.load(fh)
+    assert doc["traceEvents"], "empty Chrome trace"
+    assert len(read_jsonl(jsonl)) == len(doc["traceEvents"])
+    assert out in capsys.readouterr().out
+
+
+def test_cli_trace_convert_mode(tmp_path, capsys):
+    jsonl = tmp_path / "in.jsonl"
+    jsonl.write_text('{"event":"NodeCrashed","t":1.0,"node":0}\n')
+    out = str(tmp_path / "converted.json")
+    assert main(["trace", "--from-jsonl", str(jsonl), "--out", out]) == 0
+    with open(out) as fh:
+        doc = json.load(fh)
+    assert doc["traceEvents"][0]["name"] == "NodeCrashed"
+    assert "converted 1 events" in capsys.readouterr().out
+
+
+def test_cli_trace_bad_jsonl_path(tmp_path, capsys):
+    assert main([
+        "trace", "--out", str(tmp_path / "x.json"),
+        "--jsonl", str(tmp_path / "missing" / "y.jsonl"),
+    ]) == 2
+    assert "repro trace" in capsys.readouterr().err
+
+
+def test_cli_trace_bad_convert_input(tmp_path, capsys):
+    assert main([
+        "trace", "--from-jsonl", str(tmp_path / "nope.jsonl"),
+        "--out", str(tmp_path / "x.json"),
+    ]) == 2
+    assert "repro trace" in capsys.readouterr().err
+
+
+def test_cli_trace_bad_output_dir(tmp_path, capsys):
+    jsonl = tmp_path / "in.jsonl"
+    jsonl.write_text('{"event":"NodeCrashed","t":1.0,"node":0}\n')
+    assert main([
+        "trace", "--from-jsonl", str(jsonl),
+        "--out", str(tmp_path / "missing" / "x.json"),
+    ]) == 2
+    assert "repro trace" in capsys.readouterr().err

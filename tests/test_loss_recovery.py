@@ -9,8 +9,6 @@ the metrics, and exercises the ``_arm_resend`` / ``_cancel_resend`` /
 
 import pytest
 
-from repro.core import DataCyclotronConfig
-from repro.core.messages import BATMessage, RequestMessage
 
 from helpers import MB, build_dc
 

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.metrics.stats import Summary, replicate, summarise
+from repro.metrics.stats import replicate, summarise
 
 
 def test_summarise_basics():

@@ -6,10 +6,8 @@ in plain Python.  This guards the whole pipeline -- parser, planner,
 kernel -- far beyond the hand-written cases.
 """
 
-import math
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.dbms import Database

@@ -12,7 +12,6 @@ safety properties always hold:
 * **determinism** -- identical seeds give identical traces.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import DataCyclotron, DataCyclotronConfig, MB, QuerySpec

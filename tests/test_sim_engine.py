@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.engine import (
+    _COMPACT_MIN_CANCELLED,
+    Event,
+    SimulationError,
+    Simulator,
+)
 
 
 def test_events_fire_in_time_order():
@@ -170,3 +175,63 @@ def test_not_reentrant():
     sim.schedule(1.0, bad)
     with pytest.raises(SimulationError):
         sim.run()
+
+
+# ----------------------------------------------------------------------
+# cancelled-event compaction (the resend-timer churn fix)
+# ----------------------------------------------------------------------
+def test_churn_does_not_grow_the_heap():
+    """Cancel/re-arm churn must not leak cancelled entries.
+
+    This is the resend-timer pattern: every BAT sighting cancels the
+    pending timeout and schedules a fresh one.  Before lazy compaction
+    the heap kept every cancelled entry until its deadline, growing
+    linearly with churn.
+    """
+    sim = Simulator()
+    timer = sim.schedule(1000.0, lambda: None)
+    for _ in range(10_000):
+        timer.cancel()
+        timer = sim.schedule(1000.0, lambda: None)
+    # one live timer; the dead ones must have been compacted away
+    assert sim.pending == 1
+    assert len(sim._heap) < 2 * _COMPACT_MIN_CANCELLED
+
+
+def test_compaction_preserves_fifo_order():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.schedule(1.0, order.append, name)
+    # heavy churn at a later time forces at least one compaction pass
+    timer = sim.schedule(5.0, order.append, "tail")
+    for _ in range(100):
+        timer.cancel()
+        timer = sim.schedule(5.0, order.append, "tail")
+    sim.run()
+    assert order == list("abcde") + ["tail"]
+
+
+def test_small_cancelled_backlogs_are_left_alone():
+    sim = Simulator()
+    events = [sim.schedule(1.0, lambda: None) for _ in range(4)]
+    for event in events:
+        event.cancel()
+    # below the compaction floor nothing is rebuilt, but accounting holds
+    assert sim.pending == 0
+    assert len(sim._heap) == 4
+    assert sim.peek() is None
+
+
+def test_cancelled_counter_survives_mixed_pop_and_compact():
+    sim = Simulator()
+    fired = []
+    for i in range(50):
+        sim.schedule(float(i), fired.append, i)
+    doomed = [sim.schedule(100.0, fired.append, -1) for _ in range(50)]
+    for event in doomed:
+        event.cancel()
+    sim.run()
+    assert fired == list(range(50))
+    assert sim.pending == 0
+    assert sim._cancelled <= len(sim._heap)

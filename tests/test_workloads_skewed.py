@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import MB
 from repro.workloads.base import UniformDataset
 from repro.workloads.gaussian import GaussianWorkload
 from repro.workloads.skewed import SkewedPhase, SkewedWorkload, paper_phases

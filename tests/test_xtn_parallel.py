@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import PinStep, QuerySpec
+from repro.core import QuerySpec
 from repro.xtn.parallel import combine_results, split_query, submit_parallel
 
 from helpers import MB, build_dc
