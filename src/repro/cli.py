@@ -295,6 +295,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 rejoin_fraction=args.rejoin_fraction,
                 degradations=args.degradations,
                 rehome_policy=args.rehome,
+                resilience=args.resilience,
+                replication=args.replication,
                 trace=trace_path,
             )
         except ValueError as exc:
@@ -303,6 +305,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         harness.injector.arm()
         result = harness.run()
         print(result.report())
+        if args.resilience:
+            latencies = harness.dc.metrics.repair_latencies
+            mean = sum(latencies) / len(latencies) if latencies else 0.0
+            peak = max(latencies) if latencies else 0.0
+            print(
+                f"recovery: {len(latencies)} detector-driven repair(s), "
+                f"mean latency {mean:.3f}s, max {peak:.3f}s"
+            )
         if trace_path:
             print(f"trace: {trace_path}")
         if not result.ok:
@@ -317,7 +327,7 @@ def cmd_shell(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    for name, (fn, help_text) in sorted(_COMMANDS.items()):
+    for name, (_fn, help_text) in sorted(_COMMANDS.items()):
         print(f"  {name:<6} {help_text}")
     return 0
 
@@ -370,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--degradations", type=int, default=0)
             p.add_argument("--rehome", default="fail_fast",
                            choices=("fail_fast", "successor"))
+            p.add_argument("--resilience", action="store_true",
+                           help="heartbeat detector + query retry + "
+                                "K-replica re-homing (docs/resilience.md)")
+            p.add_argument("--replication", type=int, default=2,
+                           help="replica count K with --resilience")
             p.add_argument("--scenario", default=None,
                            help="JSON scenario file (overrides --crashes etc.)")
             p.add_argument("--trace", default=None, metavar="DIR",

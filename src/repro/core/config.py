@@ -71,6 +71,42 @@ class DataCyclotronConfig:
     # which reloads them from shared storage on demand.
     rehome_policy: str = "fail_fast"
 
+    # --- resilience subsystem (docs/resilience.md) ---------------------
+    # Off by default: with ``resilience=False`` nothing below schedules a
+    # single event, keeping the paper-faithful event stream bit-identical
+    # (the golden-equivalence test relies on it).
+    resilience: bool = False
+    # Failure detector: each node beacons to its live predecessor every
+    # ``heartbeat_interval`` seconds; the predecessor keeps a sliding
+    # window of inter-arrival gaps and scores phi = log10(e)*elapsed/mean
+    # (exponential phi-accrual).  Crossing ``phi_suspect`` publishes
+    # NodeSuspected; crossing ``phi_confirm`` publishes NodeConfirmedDead
+    # and triggers the detector-driven ring repair.
+    heartbeat_interval: float = 0.05
+    heartbeat_window: int = 16
+    phi_suspect: float = 1.5
+    phi_confirm: float = 3.0
+    # K-replica BAT ownership: every BAT gets K-1 replica owners placed
+    # round-robin clockwise of the primary; on confirmed death the first
+    # live replica is promoted.  K=1 keeps single ownership.
+    replication_k: int = 1
+    # Query retry/failover: attempts are capped, spaced by exponential
+    # backoff with +-``retry_jitter`` relative jitter, and bounded by a
+    # per-query deadline (seconds from first arrival; None = none).
+    # ``retry_attempt_timeout`` abandons an attempt that shows no outcome
+    # in time and re-dispatches; the superseded attempt's eventual result
+    # is discarded by epoch tagging.
+    retry_max_attempts: int = 4
+    retry_backoff_initial: float = 0.2
+    retry_backoff_base: float = 2.0
+    retry_backoff_cap: float = 2.0
+    retry_jitter: float = 0.25
+    retry_deadline: Optional[float] = None
+    retry_attempt_timeout: Optional[float] = None
+    # Admission valve: shed (fast-fail) new queries while at least this
+    # fraction of the ring is known-dead or under suspicion.
+    admission_suspect_fraction: float = 0.5
+
     # --- node resources ----------------------------------------------
     local_memory_bytes: Optional[int] = None  # pinned-BAT budget; None = ample
     cores_per_node: int = 4
@@ -122,6 +158,33 @@ class DataCyclotronConfig:
             raise ValueError("resend_backoff_cap must be >= 1.0")
         if self.max_resends is not None and self.max_resends < 1:
             raise ValueError("max_resends must be >= 1 (or None)")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_window < 1:
+            raise ValueError("heartbeat_window must be >= 1")
+        if not 0 < self.phi_suspect <= self.phi_confirm:
+            raise ValueError("need 0 < phi_suspect <= phi_confirm")
+        if not 1 <= self.replication_k <= self.n_nodes:
+            raise ValueError("replication_k must be in [1, n_nodes]")
+        if self.retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be >= 1")
+        if self.retry_backoff_initial < 0 or self.retry_backoff_base < 1.0:
+            raise ValueError("invalid retry backoff parameters")
+        if self.retry_backoff_cap < self.retry_backoff_initial:
+            raise ValueError("retry_backoff_cap must be >= retry_backoff_initial")
+        if not 0 <= self.retry_jitter < 1:
+            raise ValueError("retry_jitter must be in [0, 1)")
+        if self.retry_deadline is not None and self.retry_deadline <= 0:
+            raise ValueError("retry_deadline must be positive (or None)")
+        if self.retry_attempt_timeout is not None and self.retry_attempt_timeout <= 0:
+            raise ValueError("retry_attempt_timeout must be positive (or None)")
+        if not 0 < self.admission_suspect_fraction <= 1:
+            raise ValueError("admission_suspect_fraction must be in (0, 1]")
+        if self.resilience and self.requests_clockwise:
+            raise ValueError(
+                "resilience monitors the anti-clockwise request channel; "
+                "it is incompatible with the requests_clockwise ablation"
+            )
         if self.transfer_mode not in ("rdma", "offload", "legacy"):
             raise ValueError("transfer_mode must be 'rdma', 'offload' or 'legacy'")
         if self.host_cpu_ghz <= 0:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["BATMessage", "RequestMessage"]
+__all__ = ["BATMessage", "RequestMessage", "HeartbeatMessage"]
 
 
 class BATMessage:
@@ -96,3 +96,23 @@ class RequestMessage:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Request bat={self.bat_id} origin={self.origin} hops={self.hops}>"
+
+
+class HeartbeatMessage:
+    """A liveness beacon piggybacked on the anti-clockwise request channel.
+
+    Beyond the paper (docs/resilience.md): each node periodically sends a
+    beacon to its live predecessor, which monitors the inter-arrival gaps
+    of *any* traffic from its successor (beacons and forwarded requests
+    alike) with a phi-accrual suspicion score.  The ``sender`` field lets
+    the monitor discard beacons that were in flight across a topology
+    change and no longer originate from the monitored successor.
+    """
+
+    __slots__ = ("sender",)
+
+    def __init__(self, sender: int):
+        self.sender = sender
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Heartbeat from={self.sender}>"

@@ -134,3 +134,7 @@ def query_process(runtime: NodeRuntime, spec: QuerySpec) -> Generator:
     for bat_id in pinned:
         runtime.unpin(spec.query_id, bat_id)
     runtime.finish_query(spec.query_id, failed=failed is not None, error=failed or "")
+    # The generator's return value becomes the Process result: None on
+    # success, the error string on failure.  The retry manager
+    # (repro.resilience) joins on it to decide whether to fail over.
+    return failed

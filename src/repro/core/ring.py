@@ -19,7 +19,7 @@ True
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import DataCyclotronConfig
 from repro.core.query import QuerySpec, query_process
@@ -98,13 +98,31 @@ class DataCyclotron:
             # Drops happen at the *sending* node's queue / channel.
             self.ring.data_channel(i).set_drop_handler(node.on_data_drop)
             self.ring.data_channel(i).set_loss_handler(node.on_data_loss)
+        # The resilience manager (docs/resilience.md) interposes on the
+        # request receivers before the first rewire so its liveness
+        # monitors see every arrival; with resilience off nothing here
+        # perturbs the paper-faithful event stream.
+        self.resilience = None
+        if self.config.resilience:
+            from repro.resilience.manager import ResilienceManager
+
+            self.resilience = ResilienceManager(self)
         self.ring.rewire(self.config.requests_clockwise)
 
         self._bat_sizes: Dict[int, int] = {}
         self._bat_owner: Dict[int, int] = {}
+        self._bat_replicas: Dict[int, List[int]] = {}
         self._next_owner = 0
         self._submitted = 0
         self._ticks_started = False
+        # failed-but-unrepaired nodes (fail_node without repair_after_failure)
+        self._unrepaired: set = set()
+        self._failed_at: Dict[int, float] = {}
+        # The membership view the wiring follows: every node except the
+        # *acknowledged* dead (crashed or repaired-after-failure).  A
+        # silently failed node stays a member until its repair, so the
+        # ring keeps delivering into the corpse -- no oracle rewiring.
+        self._members = set(range(self.config.n_nodes))
 
     # ------------------------------------------------------------------
     # data placement
@@ -134,16 +152,30 @@ class DataCyclotron:
             raise ValueError(f"owner {owner} out of range")
         self._bat_sizes[bat_id] = size
         self._bat_owner[bat_id] = owner
+        # K-replica placement (docs/resilience.md): the primary plus the
+        # next K-1 nodes clockwise hold a disk copy; on confirmed death
+        # the first live replica is promoted to owner.
+        replicas = [
+            (owner + j) % self.config.n_nodes
+            for j in range(self.config.replication_k)
+        ]
+        self._bat_replicas[bat_id] = replicas
         node = self.nodes[owner]
         node.s1.add(bat_id, size)
         if payload is not None:
             node.loader.payloads[bat_id] = payload
+            for replica in replicas[1:]:
+                self.nodes[replica].loader.payloads[bat_id] = payload
         if tag is not None:
             self.bus.publish(ev.BatTagged(self.sim.now, bat_id, tag))
         return owner
 
     def bat_owner(self, bat_id: int) -> int:
         return self._bat_owner[bat_id]
+
+    def bat_replicas(self, bat_id: int) -> List[int]:
+        """The BAT's replica chain (primary first) as placed at add time."""
+        return list(self._bat_replicas[bat_id])
 
     def bat_size(self, bat_id: int) -> int:
         return self._bat_sizes[bat_id]
@@ -195,6 +227,8 @@ class DataCyclotron:
             node.loss_timeout = timeout
         self.sim.schedule(self.config.load_all_interval, self._tick_load_all)
         self.sim.schedule(self.config.loit_adapt_interval, self._tick_loit)
+        if self.resilience is not None:
+            self.resilience.start()
 
     def _tick_load_all(self) -> None:
         for node in self.nodes:
@@ -239,60 +273,167 @@ class DataCyclotron:
     # ------------------------------------------------------------------
     # fault injection (docs/faults.md)
     # ------------------------------------------------------------------
-    def crash_node(self, node_id: int) -> None:
-        """Kill ``node_id``: purge its queues, repair the ring around it,
-        and apply the configured re-homing policy to the BATs it owned.
-
-        With ``rehome_policy="successor"`` ownership moves to the live
-        successor (shared-storage assumption); with ``"fail_fast"``
-        requests for those BATs fail with DATA_UNAVAILABLE until rejoin.
-        """
+    def _validate_killable(self, node_id: int) -> None:
         if not 0 <= node_id < self.config.n_nodes:
             raise ValueError(f"node {node_id} out of range")
         if not self.ring.is_alive(node_id):
             raise ValueError(f"node {node_id} is already down")
         if len(self.ring.live_nodes) <= 1:
             raise ValueError("cannot crash the last live node")
+
+    def _kill_node(self, node_id: int) -> None:
+        """Physical death: volatile queues purged, runtime crashed."""
         now = self.sim.now
-        runtime = self.nodes[node_id]
-
-        # repair the topology first: traffic in flight bypasses the corpse
-        self.ring.set_alive(node_id, False)
-        self.ring.rewire(self.config.requests_clockwise)
-
         # the dead node's transmit queues are volatile memory
         for msg, _size in self.ring.data_channel(node_id).purge_queue():
             self.bus.publish(ev.BatPurged(now, msg.bat_id, msg.size, node_id))
         self.ring.request_channel(node_id).purge_queue()
+        self.nodes[node_id].crash()
 
-        runtime.crash()
+    def _rehome_owned_bats(self, node_id: int) -> Tuple[Dict[int, int], List[int]]:
+        """Apply the re-homing policy to everything ``node_id`` owned.
 
+        Per BAT: promote the first live replica (``replication_k > 1``),
+        else hand over to the live successor (``rehome_policy ==
+        "successor"``, shared-storage assumption), else declare it
+        unavailable.  Returns ``(rehomed {bat: adopter}, unavailable)``.
+        """
+        now = self.sim.now
+        runtime = self.nodes[node_id]
         owned = sorted(
             bat_id for bat_id, owner in self._bat_owner.items() if owner == node_id
         )
-        rehomed = self.config.rehome_policy == "successor" and bool(owned)
-        if rehomed:
-            adopter_id = self.ring.live_successor(node_id)
-            adopter = self.nodes[adopter_id]
-            for bat_id in owned:
-                entry = runtime.s1.maybe(bat_id)
-                if entry is None or entry.deleted:
-                    continue
-                payload = runtime.loader.payloads.pop(bat_id, None)
-                runtime.s1.remove(bat_id)
-                self._bat_owner[bat_id] = adopter_id
-                self.bus.publish(ev.BatRehomed(now, bat_id, adopter_id))
-                adopter.adopt_ownership(
-                    bat_id,
-                    size=entry.size,
-                    payload=payload,
-                    incarnation=entry.incarnation,
-                    version=entry.version,
-                )
+        rehomed: Dict[int, int] = {}
+        unavailable: List[int] = []
+        for bat_id in owned:
+            adopter_id: Optional[int] = None
+            promoted = False
+            if self.config.replication_k > 1:
+                for candidate in self._bat_replicas.get(bat_id, []):
+                    if candidate != node_id and self.ring.is_alive(candidate):
+                        adopter_id = candidate
+                        promoted = True
+                        break
+            elif self.config.rehome_policy == "successor":
+                adopter_id = self.ring.live_successor(node_id)
+            entry = runtime.s1.maybe(bat_id)
+            if entry is None or entry.deleted:
+                # deleted stubs are not re-homed; without a rescue policy
+                # they are unavailable like everything else the node owned
+                if adopter_id is None:
+                    unavailable.append(bat_id)
+                continue
+            if adopter_id is None:
+                unavailable.append(bat_id)
+                continue
+            payload = runtime.loader.payloads.pop(bat_id, None)
+            runtime.s1.remove(bat_id)
+            self._bat_owner[bat_id] = adopter_id
+            self.bus.publish(ev.BatRehomed(now, bat_id, adopter_id))
+            if promoted:
+                self.bus.publish(ev.BatPromoted(now, bat_id, adopter_id))
+            self.nodes[adopter_id].adopt_ownership(
+                bat_id,
+                size=entry.size,
+                payload=payload,
+                incarnation=entry.incarnation,
+                version=entry.version,
+            )
+            rehomed[bat_id] = adopter_id
+        return rehomed, unavailable
+
+    def _notify_peer_down(
+        self, node_id: int, unavailable: List[int], rehomed: List[int]
+    ) -> None:
         for i, other in enumerate(self.nodes):
             if i != node_id and self.ring.is_alive(i):
-                other.on_peer_down(node_id, owned, rehomed=rehomed)
+                other.on_peer_down(node_id, unavailable, rehomed)
+
+    def crash_node(self, node_id: int) -> None:
+        """Kill ``node_id``: purge its queues, repair the ring around it,
+        and apply the configured re-homing policy to the BATs it owned.
+
+        This is the injector's *omniscient* crash: death, topology
+        repair, re-homing and peer notification happen atomically.  The
+        detector-driven alternative is :meth:`fail_node` +
+        :meth:`repair_after_failure` (docs/resilience.md).
+
+        With ``rehome_policy="successor"`` ownership moves to the live
+        successor (shared-storage assumption); with ``"fail_fast"``
+        requests for those BATs fail with DATA_UNAVAILABLE until rejoin.
+        """
+        self._validate_killable(node_id)
+        now = self.sim.now
+
+        # repair the topology first: traffic in flight bypasses the corpse
+        self.ring.set_alive(node_id, False)
+        self._members.discard(node_id)
+        self.ring.rewire(self.config.requests_clockwise, members=self._members)
+        self._kill_node(node_id)
+
+        rehomed, unavailable = self._rehome_owned_bats(node_id)
+        self._notify_peer_down(node_id, unavailable, sorted(rehomed))
         self.bus.publish(ev.NodeCrashed(now, node_id))
+
+    def fail_node(self, node_id: int) -> None:
+        """Kill ``node_id`` *silently*: no repair, no peer notification.
+
+        The ring stays wired through the corpse -- traffic delivered
+        into it is swallowed -- until something (normally the heartbeat
+        detector) calls :meth:`repair_after_failure`.  This models a real
+        crash, where no oracle tells the survivors.
+        """
+        self._validate_killable(node_id)
+        now = self.sim.now
+        self.ring.set_alive(node_id, False)
+        self._kill_node(node_id)
+        self._unrepaired.add(node_id)
+        self._failed_at[node_id] = now
+        self.bus.publish(ev.NodeFailed(now, node_id))
+
+    def repair_after_failure(self, node_id: int) -> None:
+        """Repair the ring around a silently-failed node.
+
+        Rewires the topology, applies the per-BAT re-homing policy
+        (replica promotion first), notifies the survivors -- failing
+        pins blocked on unavailable BATs and re-issuing requests for
+        re-homed ones -- and publishes :class:`~repro.events.types.RingRepaired`
+        carrying the failure-to-repair latency.
+        """
+        if self.ring.is_alive(node_id):
+            raise ValueError(f"node {node_id} is alive")
+        if node_id not in self._unrepaired:
+            raise ValueError(f"node {node_id} has no unrepaired failure")
+        self._unrepaired.discard(node_id)
+        now = self.sim.now
+        # remove only the *confirmed* node from the membership: another
+        # silently-failed corpse stays wired in until its own repair
+        self._members.discard(node_id)
+        self.ring.rewire(self.config.requests_clockwise, members=self._members)
+        rehomed, unavailable = self._rehome_owned_bats(node_id)
+        self._notify_peer_down(node_id, unavailable, sorted(rehomed))
+        latency = now - self._failed_at.pop(node_id, now)
+        self.bus.publish(ev.RingRepaired(now, node_id, latency))
+
+    @property
+    def unrepaired_failures(self) -> set:
+        """Nodes killed by :meth:`fail_node` and not yet repaired."""
+        return set(self._unrepaired)
+
+    @property
+    def members(self) -> set:
+        """The membership view the wiring follows (acknowledged-dead excluded)."""
+        return set(self._members)
+
+    def wired_successor(self, node_id: int) -> int:
+        """The node currently wired to receive ``node_id``'s clockwise
+        traffic -- a silently-failed member, unlike ``live_successor``'s
+        answer, until its death is acknowledged."""
+        for step in range(1, self.config.n_nodes + 1):
+            candidate = (node_id + step) % self.config.n_nodes
+            if candidate in self._members:
+                return candidate
+        return node_id
 
     def rejoin_node(self, node_id: int) -> None:
         """Restart a crashed node and splice it back into the ring."""
@@ -304,7 +445,11 @@ class DataCyclotron:
         runtime = self.nodes[node_id]
         runtime.restart()
         self.ring.set_alive(node_id, True)
-        self.ring.rewire(self.config.requests_clockwise)
+        self._members.add(node_id)
+        self.ring.rewire(self.config.requests_clockwise, members=self._members)
+        # a failed-but-undetected node that resurrects needs no repair
+        self._unrepaired.discard(node_id)
+        self._failed_at.pop(node_id, None)
 
         owned = sorted(
             bat_id for bat_id, owner in self._bat_owner.items() if owner == node_id
@@ -386,7 +531,7 @@ class DataCyclotron:
         """Headline counters of the run so far (for reports and shells)."""
         metrics = self.metrics
         lifetimes = metrics.lifetimes()
-        return {
+        base = {
             "simulated_seconds": round(self.sim.now, 6),
             "queries_submitted": self._submitted,
             "queries_finished": metrics.finished_count(),
@@ -421,7 +566,29 @@ class DataCyclotron:
                 if metrics.recovery_latencies
                 else 0.0
             ),
+            # resilience outcomes (docs/resilience.md); all zero with
+            # resilience off
+            "nodes_failed": metrics.nodes_failed,
+            "node_suspicions": metrics.node_suspicions,
+            "nodes_confirmed_dead": metrics.nodes_confirmed_dead,
+            "ring_repairs": metrics.ring_repairs,
+            "mean_repair_latency": (
+                round(
+                    sum(metrics.repair_latencies) / len(metrics.repair_latencies), 6
+                )
+                if metrics.repair_latencies
+                else 0.0
+            ),
+            "resends_abandoned": metrics.resends_abandoned,
+            "bats_promoted": metrics.bats_promoted,
+            "queries_retried": metrics.queries_retried,
+            "queries_abandoned": metrics.queries_abandoned,
+            "queries_shed": metrics.queries_shed,
+            "stale_results_discarded": metrics.stale_results_discarded,
         }
+        if self.resilience is not None:
+            base.update(self.resilience.stats())
+        return base
 
     def cpu_utilisation(self, horizon: Optional[float] = None) -> float:
         """Average core utilisation across the ring (Table 4, CPU%)."""

@@ -656,6 +656,9 @@ class NodeRuntime:
             # escalation: the BAT is gone for good as far as this node can
             # tell -- stop retrying and fail the blocked queries
             if self.bus.active:
+                self.bus.publish(
+                    ev.ResendAbandoned(now, bat_id, self.node_id, entry.resends)
+                )
                 self.bus.publish(ev.RequestUnavailable(now, bat_id, self.node_id))
             self._fail_request(bat_id, DATA_UNAVAILABLE)
             return
@@ -731,18 +734,27 @@ class NodeRuntime:
             entry.loading = False
             entry.pending = False
 
-    def on_peer_down(self, peer: int, owned_bats: List[int], rehomed: bool) -> None:
-        """Failure notification: ``peer`` crashed owning ``owned_bats``.
+    def on_peer_down(
+        self, peer: int, unavailable_bats: List[int], rehomed_bats: List[int]
+    ) -> None:
+        """Failure notification: ``peer`` is dead; its BATs were either
+        re-homed (``rehomed_bats``) or declared ``unavailable_bats``.
 
-        Without re-homing, requests for those BATs fail fast with
-        DATA_UNAVAILABLE -- pending ones immediately, future ones at
-        pin() time -- until the owner rejoins.
+        Unavailable BATs fail fast with DATA_UNAVAILABLE -- pending
+        requests (and the pins blocked on them) immediately, future ones
+        at pin() time -- until the owner rejoins.  This notification is
+        also what resolves a pin issued *inside* the failure window
+        (between the physical death and the ring repair): the blocked S3
+        wait is failed here rather than hanging until resend escalation.
+
+        For re-homed BATs with a request still outstanding, the request
+        is re-issued at once: the original may have died in the dead
+        node's purged queues, and waiting out the rotational resend
+        timeout would dominate the recovery latency.
         """
         self.dead_peers.add(peer)
-        if rehomed:
-            return
         now = self.sim.now
-        for bat_id in owned_bats:
+        for bat_id in unavailable_bats:
             if self.s1.owns(bat_id):
                 continue
             self.unavailable_bats.add(bat_id)
@@ -750,6 +762,17 @@ class NodeRuntime:
                 if self.bus.active:
                     self.bus.publish(ev.RequestUnavailable(now, bat_id, self.node_id))
                 self._fail_request(bat_id, DATA_UNAVAILABLE)
+        for bat_id in rehomed_bats:
+            entry = self.s2.get(bat_id)
+            if entry is None or not entry.sent:
+                continue
+            entry.resends += 1
+            if self.bus.active:
+                self.bus.publish(ev.RequestResent(now, bat_id, self.node_id))
+            entry.sent_at = now
+            msg = RequestMessage(origin=self.node_id, bat_id=bat_id)
+            self.out_request.send(msg, self.config.request_message_size)
+            self._arm_resend(entry)
 
     def on_peer_up(self, peer: int, owned_bats: List[int]) -> None:
         """Recovery notification: ``peer`` rejoined with ``owned_bats``."""

@@ -47,7 +47,7 @@ class DataflowExecutor:
                 var_ready[name] = Future(self.sim)
 
         instruction_done: List[Future] = []
-        for index, instr in enumerate(plan):
+        for instr in plan:
             done = Future(self.sim)
             instruction_done.append(done)
             Process(self.sim, self._run_instruction(instr, env, var_ready, done))

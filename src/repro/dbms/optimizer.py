@@ -76,7 +76,7 @@ def dc_optimize(plan: Plan, bind_ops=BIND_OPS) -> Plan:
     # Requests are hoisted to the top of the plan: request() "does not
     # block" (section 4.1) and issuing every request at registration
     # time lets the hot set start flowing while the plan executes.
-    for i, instr in enumerate(replaced):
+    for instr in replaced:
         if instr.opname == "datacyclotron.request":
             out.append(instr)
     for i, instr in enumerate(replaced):

@@ -86,6 +86,23 @@ def attach_metrics(bus: Bus, metrics: "MetricsCollector") -> Callable[[], None]:
     sub(ev.NodeCrashed, lambda e: metrics.node_down(e.t, e.node))
     sub(ev.NodeRejoined, lambda e: metrics.node_up(e.t, e.node, e.owned_bats))
 
+    # --- resilience (docs/resilience.md) -------------------------------
+    def _failed(e):
+        metrics.nodes_failed += 1
+        metrics.node_down(e.t, e.node)
+
+    sub(ev.NodeFailed, _failed)
+    sub(ev.RingRepaired, lambda e: metrics.ring_repaired(e.t, e.node, e.latency))
+    sub(ev.NodeSuspected, _count("node_suspicions"))
+    sub(ev.NodeSuspicionCleared, _count("suspicions_cleared"))
+    sub(ev.NodeConfirmedDead, _count("nodes_confirmed_dead"))
+    sub(ev.ResendAbandoned, _count("resends_abandoned"))
+    sub(ev.BatPromoted, _count("bats_promoted"))
+    sub(ev.QueryRetried, _count("queries_retried"))
+    sub(ev.QueryAbandoned, _count("queries_abandoned"))
+    sub(ev.QueryShed, _count("queries_shed"))
+    sub(ev.StaleResultDiscarded, _count("stale_results_discarded"))
+
     def detach():
         for event_type, handler in subscribed:
             bus.unsubscribe(event_type, handler)

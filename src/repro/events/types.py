@@ -55,6 +55,18 @@ __all__ = [
     "LinkDegraded",
     "LinkRestored",
     "FaultInjected",
+    # resilience: failure detection + retry/failover (docs/resilience.md)
+    "NodeFailed",
+    "NodeSuspected",
+    "NodeSuspicionCleared",
+    "NodeConfirmedDead",
+    "RingRepaired",
+    "ResendAbandoned",
+    "BatPromoted",
+    "QueryRetried",
+    "QueryAbandoned",
+    "QueryShed",
+    "StaleResultDiscarded",
     # network layer (section 5 setup)
     "LinkTransmit",
     "LinkDelivered",
@@ -357,6 +369,122 @@ class FaultInjected:
     t: float
     kind: str
     node: int
+
+
+# ----------------------------------------------------------------------
+# resilience: failure detection, repair, retry (docs/resilience.md)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class NodeFailed:
+    """``node`` died *silently*: queues purged, no repair yet.
+
+    Unlike :class:`NodeCrashed` (the injector's omniscient crash+repair),
+    a failed node leaves the ring wedged until the heartbeat detector
+    confirms the death and triggers :class:`RingRepaired`.
+    """
+
+    t: float
+    node: int
+
+
+@dataclass(slots=True)
+class NodeSuspected:
+    """``by``'s failure detector crossed the suspicion threshold for ``node``."""
+
+    t: float
+    node: int
+    by: int
+    phi: float
+
+
+@dataclass(slots=True)
+class NodeSuspicionCleared:
+    """Liveness traffic from ``node`` resumed; ``by`` withdrew suspicion."""
+
+    t: float
+    node: int
+    by: int
+
+
+@dataclass(slots=True)
+class NodeConfirmedDead:
+    """``by``'s phi score for ``node`` crossed the confirmation threshold."""
+
+    t: float
+    node: int
+    by: int
+    phi: float
+
+
+@dataclass(slots=True)
+class RingRepaired:
+    """Detector-driven repair completed: topology rewired, BATs re-homed.
+
+    ``latency`` is seconds from the physical failure to this repair --
+    the detection + repair latency the recovery report tracks.
+    """
+
+    t: float
+    node: int
+    latency: float
+
+
+@dataclass(slots=True)
+class ResendAbandoned:
+    """Resend escalation gave up on ``bat_id`` after ``resends`` attempts."""
+
+    t: float
+    bat_id: int
+    node: int
+    resends: int
+
+
+@dataclass(slots=True)
+class BatPromoted:
+    """A replica owner took over ``bat_id`` from a dead primary."""
+
+    t: float
+    bat_id: int
+    node: int
+
+
+@dataclass(slots=True)
+class QueryRetried:
+    """The retry manager re-dispatched the query (``attempt`` >= 2)."""
+
+    t: float
+    query_id: int
+    attempt: int
+    node: int
+    error: str
+
+
+@dataclass(slots=True)
+class QueryAbandoned:
+    """Retry budget or deadline exhausted; the query failed terminally."""
+
+    t: float
+    query_id: int
+    attempts: int
+    error: str
+
+
+@dataclass(slots=True)
+class QueryShed:
+    """Admission control fast-failed the query (ring-wide suspicion)."""
+
+    t: float
+    query_id: int
+    node: int
+
+
+@dataclass(slots=True)
+class StaleResultDiscarded:
+    """A superseded attempt completed; its result was suppressed."""
+
+    t: float
+    query_id: int
+    attempt: int
 
 
 # ----------------------------------------------------------------------

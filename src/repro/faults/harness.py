@@ -73,11 +73,14 @@ class ChaosHarness:
         rejoin_fraction: float = 1.0,
         degradations: int = 0,
         rehome_policy: str = "fail_fast",
+        resilience: bool = False,
+        replication: int = 2,
         trace: Optional[str] = None,
         **config_overrides,
     ):
         self.seed = seed
         self.duration = duration
+        self.resilience = resilience
         self.trace_path = trace
         config = dict(
             n_nodes=n_nodes,
@@ -93,6 +96,8 @@ class ChaosHarness:
             disk_latency=1e-4,
             load_all_interval=0.02,
         )
+        if resilience:
+            config.update(resilience=True, replication_k=replication)
         config.update(config_overrides)
         self.dc = DataCyclotron(DataCyclotronConfig(**config))
         self.dataset = UniformDataset(
@@ -141,7 +146,15 @@ class ChaosHarness:
         return spec.bat_ids if spec is not None else []
 
     def run(self, max_time: float = 300.0) -> ChaosResult:
-        total = self.dc.submit_all(self.specs.values())
+        if self.resilience:
+            # Route every query through the retry/failover manager; it
+            # dispatches attempts via dc.submit, so run_until_done still
+            # balances completions against submissions.
+            for spec in self.specs.values():
+                self.dc.resilience.submit(spec)
+            total = len(self.specs)
+        else:
+            total = self.dc.submit_all(self.specs.values())
         completed = self.dc.run_until_done(max_time=max_time)
         # grace period: let in-flight orphans reach their next hop and be
         # retired before the terminal audit

@@ -54,7 +54,13 @@ class FaultInjector:
     def _fire(self, event: FaultEvent) -> None:
         try:
             if isinstance(event, NodeCrash):
-                self.dc.crash_node(event.node)
+                if self.dc.config.resilience:
+                    # Resilience mode: inject only the *failure*.  Repair
+                    # is the heartbeat detector's job (NodeConfirmedDead
+                    # -> repair_after_failure), not the injector's.
+                    self.dc.fail_node(event.node)
+                else:
+                    self.dc.crash_node(event.node)
             elif isinstance(event, NodeRejoin):
                 self.dc.rejoin_node(event.node)
             elif isinstance(event, LinkDegrade):

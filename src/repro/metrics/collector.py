@@ -77,6 +77,19 @@ class MetricsCollector:
         self.bats_adopted = 0           # circulating copies adopted by a new owner
         self.orphans_retired = 0        # dead-owner copies pulled out of the ring
         self.requests_unavailable = 0   # requests failed with DATA_UNAVAILABLE
+        # resilience counters (docs/resilience.md)
+        self.nodes_failed = 0           # silent failures (fail_node)
+        self.node_suspicions = 0        # NodeSuspected events
+        self.suspicions_cleared = 0     # NodeSuspicionCleared events
+        self.nodes_confirmed_dead = 0   # NodeConfirmedDead events
+        self.ring_repairs = 0           # detector-driven ring repairs
+        self.repair_latencies: List[float] = []  # failure -> repair, seconds
+        self.resends_abandoned = 0      # resend escalations that gave up
+        self.bats_promoted = 0          # replica owners promoted to primary
+        self.queries_retried = 0        # retry attempts dispatched (>= 2nd)
+        self.queries_abandoned = 0      # retry budget/deadline exhausted
+        self.queries_shed = 0           # admission valve fast-fails
+        self.stale_results_discarded = 0  # superseded attempt completions
         # per-node downtime intervals: node -> [(down_at, up_at | None)]
         self.downtime: Dict[int, List[List[Optional[float]]]] = {}
         # recovery latency: crash/rejoin -> first re-load of an affected BAT
@@ -218,6 +231,11 @@ class MetricsCollector:
 
     def request_unavailable(self, t: float, bat_id: int) -> None:
         self.requests_unavailable += 1
+
+    def ring_repaired(self, t: float, node: int, latency: float) -> None:
+        """A detector-driven repair completed ``latency`` s after the failure."""
+        self.ring_repairs += 1
+        self.repair_latencies.append(latency)
 
     def node_down(self, t: float, node: int) -> None:
         self.downtime.setdefault(node, []).append([t, None])

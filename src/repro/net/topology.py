@@ -139,19 +139,31 @@ class Ring:
                 return candidate
         return node  # pragma: no cover - unreachable, guarded above
 
-    def rewire(self, requests_clockwise: bool = False) -> None:
-        """Repair the topology around the current live set.
+    def rewire(
+        self, requests_clockwise: bool = False, members: Optional[List[int]] = None
+    ) -> None:
+        """Repair the topology around ``members`` (default: the live set).
 
-        Every live node's data channel is pointed at its nearest live
-        successor's BAT handler and its request channel at its nearest
-        live predecessor's request handler (flipped for the
-        ``requests_clockwise`` ablation).  Dead nodes' channels keep
-        their last receiver but carry no new traffic: dead senders are
-        purged on crash and send nothing while down.
+        Every member's data channel is pointed at its next member
+        successor's BAT handler and its request channel at its next
+        member predecessor's request handler (flipped for the
+        ``requests_clockwise`` ablation).  Non-member nodes' channels
+        keep their last receiver but carry no new traffic: dead senders
+        are purged on crash and send nothing while down.
+
+        ``members`` exists for the resilience subsystem: a silently
+        failed node stays a *member* (wired in, swallowing the traffic
+        delivered to it) until the failure detector confirms its death
+        -- wiring around it any earlier would leak oracle knowledge of
+        the failure into the topology.
         """
-        for i in self.live_nodes:
-            succ = self.live_successor(i)
-            pred = self.live_predecessor(i)
+        members = sorted(members) if members is not None else self.live_nodes
+        if not members:
+            raise ValueError("cannot rewire an empty membership")
+        count = len(members)
+        for idx, i in enumerate(members):
+            succ = members[(idx + 1) % count]
+            pred = members[(idx - 1) % count]
             bat_receiver = self._bat_receivers[succ]
             req_target = succ if requests_clockwise else pred
             req_receiver = self._request_receivers[req_target]

@@ -1,0 +1,94 @@
+"""Phi-accrual successor monitoring over the anti-clockwise channel.
+
+The paper defers node failure to future work (section 6.3); this module
+is the reproduction's failure detector, designed to fit the ring: node
+*i* already receives a continuous message stream from its clockwise
+successor (forwarded requests travelling anti-clockwise), so each node
+monitors exactly one peer -- its current live successor -- and the
+:class:`~repro.resilience.manager.ResilienceManager` pads the stream
+with periodic :class:`~repro.core.messages.HeartbeatMessage` beacons so
+silence is always meaningful.
+
+The suspicion score follows the phi-accrual idea (Hayashibara et al.):
+model inter-arrival gaps, and report
+
+    phi(t) = -log10 P(gap > elapsed)
+
+under an exponential model with the windowed mean gap ``mu``:
+
+    phi(t) = log10(e) * elapsed / mu
+
+so phi grows linearly with silence, scaled by the observed traffic rate.
+``mu`` is floored at the beacon interval: bursts of forwarded requests
+must not shrink the expected gap below the guaranteed beacon cadence,
+which would turn ordinary inter-beacon silence into a false accusation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+__all__ = ["ArrivalWindow", "SuccessorMonitor", "PHI_LOG10_E"]
+
+PHI_LOG10_E = 0.4342944819032518  # log10(e)
+
+
+class ArrivalWindow:
+    """Sliding window of inter-arrival gaps with a phi score."""
+
+    __slots__ = ("_gaps", "_floor")
+
+    def __init__(self, capacity: int, prior: float):
+        if capacity < 1:
+            raise ValueError("window capacity must be >= 1")
+        if prior <= 0:
+            raise ValueError("prior gap must be positive")
+        # seeded with the beacon interval so the first silence after a
+        # reset is judged against the guaranteed cadence
+        self._gaps: Deque[float] = deque([prior], maxlen=capacity)
+        self._floor = prior
+
+    def observe(self, gap: float) -> None:
+        self._gaps.append(max(gap, 0.0))
+
+    @property
+    def mean(self) -> float:
+        return max(sum(self._gaps) / len(self._gaps), self._floor)
+
+    def phi(self, elapsed: float) -> float:
+        """Suspicion score for ``elapsed`` seconds of silence."""
+        if elapsed <= 0:
+            return 0.0
+        return PHI_LOG10_E * elapsed / self.mean
+
+
+class SuccessorMonitor:
+    """One node's view of the liveness of its current live successor."""
+
+    __slots__ = ("node_id", "window_capacity", "prior", "target", "window",
+                 "last_arrival", "suspected")
+
+    def __init__(self, node_id: int, window_capacity: int, prior: float):
+        self.node_id = node_id
+        self.window_capacity = window_capacity
+        self.prior = prior
+        self.target: Optional[int] = None     # who is being monitored
+        self.window = ArrivalWindow(window_capacity, prior)
+        self.last_arrival = 0.0
+        self.suspected = False
+
+    def reset(self, target: Optional[int], now: float) -> None:
+        """Point the monitor at a (possibly new) successor, fresh window."""
+        self.target = target
+        self.window = ArrivalWindow(self.window_capacity, self.prior)
+        self.last_arrival = now
+        self.suspected = False
+
+    def note_arrival(self, now: float) -> None:
+        """Traffic from the monitored successor arrived."""
+        self.window.observe(now - self.last_arrival)
+        self.last_arrival = now
+
+    def phi(self, now: float) -> float:
+        return self.window.phi(now - self.last_arrival)

@@ -192,7 +192,7 @@ def test_loit_adapts_under_pressure():
     )
     qid = 0
     for node in range(2):
-        for k in range(6):
+        for _ in range(6):
             dc.submit(QuerySpec.simple(
                 qid, node=node, arrival=0.0,
                 bat_ids=[(qid * 5 + 1) % 12],

@@ -99,7 +99,7 @@ def test_property_no_core_overlap(n_cores, ops):
         by_core.setdefault(core, []).append((start, end))
     for intervals in by_core.values():
         intervals.sort()
-        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        for (_s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
             assert e1 <= s2 + 1e-9
 
 
