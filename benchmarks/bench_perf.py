@@ -1,0 +1,199 @@
+"""Machine-readable performance baseline for the federation.
+
+Writes ``BENCH_multiring.json`` (repo root, or ``--out``) with three
+groups of numbers:
+
+* ``engine``: simulator throughput (events/second of wall time) for a
+  classic single ring and for a 4-ring federation at the same total
+  node count -- the federation must not slow the event loop down,
+* ``rotation``: the analytic full-ring rotation time (mean-BAT per-hop
+  transfer x circumference, the quantity behind the section 6.3
+  "latency grows 75% per 5 nodes" claim) for the single ring vs one
+  federated ring, plus the measured worst per-BAT request latency,
+* ``router``: the overlay's own cost -- events per terminal query with
+  and without the federation, cross-ring fetch latency stats, and the
+  degenerate 1-ring/0-gateway overhead (must be exactly zero events).
+
+Run: ``PYTHONPATH=src python benchmarks/bench_perf.py [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core import MB, DataCyclotron, DataCyclotronConfig
+from repro.multiring import MultiRingConfig, RingFederation
+from repro.workloads.base import UniformDataset, populate_ring
+from repro.workloads.gaussian import GaussianWorkload
+
+SEED = 3
+TOTAL_NODES = 8
+N_RINGS = 4
+N_BATS = 120
+DURATION = 10.0
+TOTAL_RATE = 80.0
+QUEUE = 10 * MB
+
+
+def _dataset() -> UniformDataset:
+    return UniformDataset(n_bats=N_BATS, min_size=MB, max_size=2 * MB, seed=SEED)
+
+
+def _workload(dataset: UniformDataset) -> GaussianWorkload:
+    return GaussianWorkload(
+        dataset, n_nodes=TOTAL_NODES,
+        queries_per_second=TOTAL_RATE / TOTAL_NODES, duration=DURATION,
+        mean=N_BATS / 2, std=N_BATS / 20,
+        min_proc_time=0.05, max_proc_time=0.10, seed=SEED,
+    )
+
+
+def run_single() -> dict:
+    dataset = _dataset()
+    dc = DataCyclotron(DataCyclotronConfig(
+        n_nodes=TOTAL_NODES, bat_queue_capacity=QUEUE, seed=SEED,
+    ))
+    populate_ring(dc, dataset)
+    total = _workload(dataset).submit_to(dc)
+    start = time.perf_counter()
+    assert dc.run_until_done(max_time=600.0)
+    wall = time.perf_counter() - start
+    per_hop = dataset.mean_size / dc.config.bandwidth + dc.config.link_delay
+    peak = max(
+        (s.max_request_latency for s in dc.metrics.bats.values()), default=0.0
+    )
+    return {
+        "queries": total,
+        "events": dc.sim.processed,
+        "wall_seconds": round(wall, 4),
+        "events_per_second": round(dc.sim.processed / wall) if wall else None,
+        "events_per_query": round(dc.sim.processed / total, 2),
+        "rotation_seconds": round(per_hop * TOTAL_NODES, 6),
+        "peak_request_latency": round(peak, 4),
+    }
+
+
+def run_federation() -> dict:
+    dataset = _dataset()
+    nodes_per_ring = TOTAL_NODES // N_RINGS
+    fed = RingFederation(MultiRingConfig(
+        base=DataCyclotronConfig(
+            n_nodes=nodes_per_ring, bat_queue_capacity=QUEUE, seed=SEED,
+        ),
+        n_rings=N_RINGS, nodes_per_ring=nodes_per_ring,
+        splitmerge_interval=0.0,
+    ))
+    for bat_id, size in dataset.sizes.items():
+        fed.add_bat(bat_id, size)
+    total = _workload(dataset).submit_to(fed)
+    start = time.perf_counter()
+    assert fed.run_until_done(max_time=600.0)
+    wall = time.perf_counter() - start
+    ring = fed.rings[0]
+    per_hop = dataset.mean_size / ring.config.bandwidth + ring.config.link_delay
+    peak = 0.0
+    for r in fed.rings:
+        for s in r.metrics.bats.values():
+            peak = max(peak, s.max_request_latency)
+    for latency in fed.router.fetch_latency_max.values():
+        peak = max(peak, latency)
+    stats = fed.router.stats()
+    return {
+        "queries": total,
+        "events": fed.sim.processed,
+        "wall_seconds": round(wall, 4),
+        "events_per_second": round(fed.sim.processed / wall) if wall else None,
+        "events_per_query": round(fed.sim.processed / total, 2),
+        "rotation_seconds": round(per_hop * nodes_per_ring, 6),
+        "peak_request_latency": round(peak, 4),
+        "queries_shipped": fed.metrics.queries_shipped,
+        "fetches_served": stats["fetches_served"],
+        "fetch_mean_latency": stats["fetch_mean_latency"],
+        "fetch_max_latency": stats["fetch_max_latency"],
+    }
+
+
+def run_degenerate_overhead() -> dict:
+    """1 ring + 0 gateways vs classic: the overlay must cost 0 events."""
+    results = {}
+    for mode in ("classic", "degenerate"):
+        dataset = _dataset()
+        if mode == "classic":
+            facade = DataCyclotron(DataCyclotronConfig(
+                n_nodes=TOTAL_NODES, bat_queue_capacity=QUEUE, seed=SEED,
+            ))
+            populate_ring(facade, dataset)
+            sim = facade.sim
+        else:
+            facade = RingFederation(MultiRingConfig(
+                base=DataCyclotronConfig(
+                    n_nodes=TOTAL_NODES, bat_queue_capacity=QUEUE, seed=SEED,
+                ),
+                n_rings=1, nodes_per_ring=TOTAL_NODES,
+                gateways_per_ring=0, max_rings=1,
+            ))
+            for bat_id, size in dataset.sizes.items():
+                facade.add_bat(bat_id, size)
+            sim = facade.sim
+        _workload(dataset).submit_to(facade)
+        assert facade.run_until_done(max_time=600.0)
+        results[mode] = sim.processed
+    results["extra_events"] = results["degenerate"] - results["classic"]
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent.parent / "BENCH_multiring.json")
+    )
+    args = parser.parse_args(argv)
+
+    single = run_single()
+    federation = run_federation()
+    degenerate = run_degenerate_overhead()
+    report = {
+        "benchmark": "multiring",
+        "seed": SEED,
+        "total_nodes": TOTAL_NODES,
+        "n_rings": N_RINGS,
+        "engine": {
+            "single_ring_events_per_second": single["events_per_second"],
+            "federation_events_per_second": federation["events_per_second"],
+        },
+        "rotation": {
+            "single_ring_seconds": single["rotation_seconds"],
+            "federated_ring_seconds": federation["rotation_seconds"],
+            "single_peak_request_latency": single["peak_request_latency"],
+            "federation_peak_request_latency": federation["peak_request_latency"],
+        },
+        "router_overhead": {
+            "single_events_per_query": single["events_per_query"],
+            "federation_events_per_query": federation["events_per_query"],
+            "degenerate_extra_events": degenerate["extra_events"],
+            "queries_shipped": federation["queries_shipped"],
+            "fetches_served": federation["fetches_served"],
+            "fetch_mean_latency": federation["fetch_mean_latency"],
+            "fetch_max_latency": federation["fetch_max_latency"],
+        },
+        "single": single,
+        "federation": federation,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwritten: {args.out}", file=sys.stderr)
+    # sanity gates: the degenerate overlay is free, the federation ran
+    if degenerate["extra_events"] != 0:
+        print("FAIL: degenerate federation scheduled extra events", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

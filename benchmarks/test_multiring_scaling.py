@@ -1,0 +1,159 @@
+"""Federated ring-size scaling: the Figure 10 curve, capped.
+
+The section 6.3 sweep shows a single ring's maximum per-BAT request
+latency growing with node count: every added node lengthens the
+rotation every request must wait out.  The federation's claim
+(docs/multiring.md) is that the curve is *rotation-bound, not
+node-bound*: keep rings small and add rings instead of nodes, and the
+worst-case wait grows with the (constant) ring circumference plus a
+bounded cross-ring hop, not with the total node count.
+
+This benchmark re-runs the section 5.3 Gaussian workload at equal
+total node count -- N nodes as one classic ring vs the same N nodes as
+a 4-ring federation -- at two scales, and asserts:
+
+* growth: doubling the node count inflates the federation's maximum
+  per-BAT request latency strictly slower than the single ring's,
+* absolute: at the larger scale the federation's worst-case latency
+  beats the single ring's.
+
+Written without the pytest-benchmark fixture so the quick version runs
+in the plain CI test matrix.
+"""
+
+from bench_utils import FULL, write_result
+from repro.core import MB, DataCyclotronConfig
+from repro.metrics.report import render_table
+from repro.multiring import MultiRingConfig, RingFederation
+from repro.workloads.base import UniformDataset
+from repro.workloads.gaussian import GaussianWorkload
+from repro.xtn.pulsating import RingSizeSweep
+
+SEED = 3
+N_RINGS = 4
+
+if FULL:
+    SIZES = (8, 16, 20)
+    PARAMS = dict(
+        n_bats=1000, min_size=1 * MB, max_size=10 * MB, total_rate=800.0,
+        duration=60.0, min_proc_time=0.100, max_proc_time=0.200,
+        bat_queue_capacity=200 * MB,
+    )
+    MAX_TIME = 3600.0
+else:
+    SIZES = (8, 16)
+    PARAMS = dict(
+        n_bats=120, min_size=MB, max_size=2 * MB, total_rate=80.0,
+        duration=10.0, min_proc_time=0.05, max_proc_time=0.10,
+        bat_queue_capacity=10 * MB,
+    )
+    MAX_TIME = 600.0
+
+
+def run_single_ring(n_nodes: int):
+    """One point of the classic Figure 10 curve."""
+    sweep = RingSizeSweep(seed=SEED, **PARAMS)
+    return sweep.run_size(n_nodes, max_time=MAX_TIME)
+
+
+def run_federation(total_nodes: int) -> dict:
+    """The same workload over ``total_nodes`` split into N_RINGS rings."""
+    assert total_nodes % N_RINGS == 0
+    nodes_per_ring = total_nodes // N_RINGS
+    base = DataCyclotronConfig(
+        n_nodes=nodes_per_ring,
+        bat_queue_capacity=PARAMS["bat_queue_capacity"],
+        seed=SEED,
+    )
+    fed = RingFederation(MultiRingConfig(
+        base=base, n_rings=N_RINGS, nodes_per_ring=nodes_per_ring,
+        splitmerge_interval=0.0,  # fixed topology: measure routing, not resizing
+    ))
+    dataset = UniformDataset(
+        n_bats=PARAMS["n_bats"], min_size=PARAMS["min_size"],
+        max_size=PARAMS["max_size"], seed=SEED,
+    )
+    for bat_id, size in dataset.sizes.items():
+        fed.add_bat(bat_id, size)
+    workload = GaussianWorkload(
+        dataset,
+        n_nodes=total_nodes,
+        queries_per_second=PARAMS["total_rate"] / total_nodes,
+        duration=PARAMS["duration"],
+        mean=PARAMS["n_bats"] / 2,
+        std=PARAMS["n_bats"] / 20,
+        min_proc_time=PARAMS["min_proc_time"],
+        max_proc_time=PARAMS["max_proc_time"],
+        seed=SEED,
+    )
+    workload.submit_to(fed)
+    completed = fed.run_until_done(max_time=MAX_TIME)
+    # worst wait for any BAT anywhere: the slowest in-ring request plus
+    # the slowest cross-ring fetch (a remote pin waits for both paths)
+    per_bat: dict = {}
+    for ring in fed.rings:
+        for b, s in ring.metrics.bats.items():
+            if s.max_request_latency > per_bat.get(b, 0.0):
+                per_bat[b] = s.max_request_latency
+    for b, latency in fed.router.fetch_latency_max.items():
+        if latency > per_bat.get(b, 0.0):
+            per_bat[b] = latency
+    return {
+        "total_nodes": total_nodes,
+        "completed": completed,
+        "peak_latency": max(per_bat.values(), default=0.0),
+        "summary": fed.summary(),
+    }
+
+
+def test_federation_caps_the_figure10_latency_curve():
+    single = {n: run_single_ring(n) for n in SIZES}
+    fed = {n: run_federation(n) for n in SIZES}
+
+    rows = []
+    for n in SIZES:
+        rows.append((
+            n,
+            round(single[n].peak_latency, 3),
+            round(fed[n]["peak_latency"], 3),
+            single[n].finished,
+            fed[n]["summary"]["completed"],
+        ))
+    write_result(
+        "multiring_scaling",
+        render_table(
+            ["#nodes", "single max lat(s)", f"{N_RINGS}-ring max lat(s)",
+             "single finished", "fed finished"],
+            rows,
+            title="Figure 10 at equal node count: one ring vs a federation",
+        ),
+    )
+
+    for n in SIZES:
+        assert single[n].finished > 0
+        assert fed[n]["completed"], f"federation at {n} nodes must terminate"
+        assert fed[n]["summary"]["failed"] == 0
+
+    lo, hi = SIZES[0], SIZES[-1]
+    single_growth = single[hi].peak_latency / single[lo].peak_latency
+    fed_growth = fed[hi]["peak_latency"] / fed[lo]["peak_latency"]
+    # the tentpole claim: the federation's worst-case request latency
+    # grows strictly slower than the single ring's
+    assert fed_growth < single_growth, (
+        f"federation growth x{fed_growth:.2f} must stay under the single "
+        f"ring's x{single_growth:.2f}"
+    )
+    # and at the larger scale it wins outright
+    assert fed[hi]["peak_latency"] < single[hi].peak_latency, (
+        f"at {hi} nodes: federation {fed[hi]['peak_latency']:.2f}s vs "
+        f"single ring {single[hi].peak_latency:.2f}s"
+    )
+
+
+def test_cross_ring_traffic_is_actually_exercised():
+    result = run_federation(SIZES[0])
+    s = result["summary"]
+    # the Gaussian hot set is spread round-robin over all rings, so a
+    # meaningful share of pins must cross rings (shipped or fetched)
+    assert s["queries_shipped"] + s["fetches_served"] > 0
+    assert s["failed"] == 0

@@ -10,6 +10,8 @@ Usage::
     python -m repro sweep [--sizes 5 10] # ring-size sweep (Figures 10-11)
     python -m repro fig1                 # the RDMA host cost model
     python -m repro chaos [--seeds 0 1]  # fault injection (docs/faults.md)
+    python -m repro multiring [--rings 4]           # federation (docs/multiring.md)
+    python -m repro multiring --chaos gateway       # federated chaos scenarios
 
 Each command prints the same rows/series the paper reports.  ``--full``
 switches to the paper's exact parameters (slow; see EXPERIMENTS.md).
@@ -320,6 +322,61 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_multiring(args: argparse.Namespace) -> int:
+    from repro.metrics.federation import render_federation_report
+    from repro.multiring import MultiRingConfig, RingFederation
+    from repro.multiring.chaos import run_multiring_chaos
+
+    if args.chaos:
+        failures = 0
+        for result in run_multiring_chaos(
+            scenario=args.chaos,
+            seeds=args.seeds,
+            resilience=args.resilience,
+            n_rings=args.rings,
+            nodes_per_ring=args.nodes_per_ring,
+            duration=args.duration,
+        ):
+            print(result.report())
+            if not result.ok:
+                failures += 1
+        return 1 if failures else 0
+
+    # the demo run: the section 5.3 Gaussian workload over a federation
+    base = DataCyclotronConfig(
+        n_nodes=args.nodes_per_ring, bandwidth=40 * MB,
+        bat_queue_capacity=10 * MB, seed=args.seed,
+    )
+    try:
+        config = MultiRingConfig(
+            base=base, n_rings=args.rings, nodes_per_ring=args.nodes_per_ring,
+        )
+    except ValueError as exc:
+        print(f"repro multiring: invalid parameters: {exc}", file=sys.stderr)
+        return 2
+    fed = RingFederation(config)
+    n_bats = 1000 if args.full else 120
+    dataset = UniformDataset(
+        n_bats=n_bats, min_size=MB, max_size=2 * MB, seed=args.seed
+    )
+    for bat_id, size in dataset.sizes.items():
+        fed.add_bat(bat_id, size)
+    workload = GaussianWorkload(
+        dataset,
+        n_nodes=fed.total_nodes,
+        queries_per_second=(800.0 if args.full else 80.0) / fed.total_nodes,
+        duration=60.0 if args.full else args.duration,
+        mean=n_bats / 2, std=n_bats / 20,
+        min_proc_time=0.05, max_proc_time=0.10,
+        seed=args.seed,
+    )
+    total = workload.submit_to(fed)
+    done = fed.run_until_done(max_time=2000.0 if args.full else 600.0)
+    print(render_federation_report(fed))
+    print(f"{fed.completed_queries}/{total} queries terminal by t={fed.sim.now:.0f}s")
+    return 0 if done else 1
+
+
 def cmd_shell(args: argparse.Namespace) -> int:
     from repro.shell import run_shell
 
@@ -340,6 +397,7 @@ _COMMANDS = {
     "tab4": (cmd_tab4, "TPC-H trace replay scaling (Table 4)"),
     "sweep": (cmd_sweep, "ring-size sweep (Figures 10-11)"),
     "chaos": (cmd_chaos, "fault injection: crashes, rejoins, link faults"),
+    "multiring": (cmd_multiring, "multi-ring federation (docs/multiring.md)"),
     "trace": (cmd_trace, "capture an event trace (JSONL / Chrome trace_event)"),
     "shell": (cmd_shell, "interactive SQL over a simulated ring"),
     "list": (cmd_list, "list available experiments"),
@@ -389,6 +447,20 @@ def build_parser() -> argparse.ArgumentParser:
                            help="JSON scenario file (overrides --crashes etc.)")
             p.add_argument("--trace", default=None, metavar="DIR",
                            help="write chaos-seed<N>.trace.json per seed")
+        if name == "multiring":
+            p.add_argument("--rings", type=int, default=4)
+            p.add_argument("--nodes-per-ring", type=int, default=4,
+                           dest="nodes_per_ring")
+            p.add_argument("--duration", type=float, default=10.0)
+            p.add_argument("--chaos", default=None,
+                           choices=("gateway", "migration"),
+                           help="run a federated chaos scenario instead "
+                                "of the Gaussian demo")
+            p.add_argument("--seeds", type=int, nargs="+", default=[0],
+                           help="chaos seeds (with --chaos)")
+            p.add_argument("--resilience", action="store_true",
+                           help="per-ring detector + federated retry "
+                                "(with --chaos)")
         if name == "trace":
             p.add_argument("--out", default="repro.trace.json",
                            help="Chrome trace_event output file")

@@ -53,10 +53,14 @@ class DataCyclotron:
         config: Optional[DataCyclotronConfig] = None,
         metrics: Optional[MetricsCollector] = None,
         bus: Optional[Bus] = None,
+        sim: Optional[Simulator] = None,
     ):
         self.config = config if config is not None else DataCyclotronConfig()
         self.bus = bus if bus is not None else Bus()
-        self.sim = Simulator(bus=self.bus)
+        # A shared simulator lets several rings co-exist on one clock
+        # (repro.multiring); the default keeps the classic single-ring
+        # deployment self-contained.
+        self.sim = sim if sim is not None else Simulator(bus=self.bus)
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self._detach_metrics = attach_metrics(self.bus, self.metrics)
         self.tracer: Optional[Tracer] = None
@@ -170,6 +174,25 @@ class DataCyclotron:
             self.bus.publish(ev.BatTagged(self.sim.now, bat_id, tag))
         return owner
 
+    def remove_bat(self, bat_id: int) -> Any:
+        """Withdraw a BAT from this deployment; returns its payload (or None).
+
+        Used by cross-ring fragment migration (repro.multiring).  The
+        caller must have established quiescence first: no outstanding S2
+        entries, no blocked pins, no disk fetch in flight.  A copy still
+        circulating is retired at its (former) owner on the next pass --
+        the regular swallow path of Hot Set Management.
+        """
+        owner = self._bat_owner.pop(bat_id)
+        self._bat_sizes.pop(bat_id)
+        replicas = self._bat_replicas.pop(bat_id, [owner])
+        runtime = self.nodes[owner]
+        payload = runtime.loader.payloads.pop(bat_id, None)
+        for replica in replicas[1:]:
+            self.nodes[replica].loader.payloads.pop(bat_id, None)
+        runtime.s1.remove(bat_id)
+        return payload
+
     def bat_owner(self, bat_id: int) -> int:
         return self._bat_owner[bat_id]
 
@@ -179,6 +202,9 @@ class DataCyclotron:
 
     def bat_size(self, bat_id: int) -> int:
         return self._bat_sizes[bat_id]
+
+    def has_bat(self, bat_id: int) -> bool:
+        return bat_id in self._bat_sizes
 
     @property
     def bat_ids(self) -> List[int]:

@@ -103,6 +103,20 @@ def attach_metrics(bus: Bus, metrics: "MetricsCollector") -> Callable[[], None]:
     sub(ev.QueryShed, _count("queries_shed"))
     sub(ev.StaleResultDiscarded, _count("stale_results_discarded"))
 
+    # --- multi-ring federation (docs/multiring.md) ---------------------
+    sub(ev.RingLeaveVolunteered, _count("ring_leaves_volunteered"))
+    sub(ev.RingJoinCalled, _count("ring_join_calls"))
+    sub(ev.CrossRingRequest, _count("cross_ring_requests"))
+    sub(ev.CrossRingTransfer, _count("cross_ring_transfers"))
+    sub(ev.QueryShipped, _count("queries_shipped"))
+    sub(ev.MigrationStarted, _count("migrations_started"))
+    sub(ev.FragmentMigrated, _count("fragments_migrated"))
+    sub(ev.MigrationAborted, _count("migrations_aborted"))
+    sub(ev.RingSplit, _count("ring_splits"))
+    sub(ev.RingsMerged, _count("rings_merged"))
+    sub(ev.GatewayFailed, _count("gateway_failures"))
+    sub(ev.GatewayElected, _count("gateway_elections"))
+
     def detach():
         for event_type, handler in subscribed:
             bus.unsubscribe(event_type, handler)

@@ -72,6 +72,20 @@ __all__ = [
     "LinkDelivered",
     "LinkDropped",
     "ChannelLoss",
+    # pulsating rings (section 6.3, docs/multiring.md)
+    "RingLeaveVolunteered",
+    "RingJoinCalled",
+    # multi-ring federation (docs/multiring.md)
+    "CrossRingRequest",
+    "CrossRingTransfer",
+    "QueryShipped",
+    "MigrationStarted",
+    "FragmentMigrated",
+    "MigrationAborted",
+    "RingSplit",
+    "RingsMerged",
+    "GatewayFailed",
+    "GatewayElected",
     # simulation engine
     "SimEventFired",
 ]
@@ -528,6 +542,136 @@ class ChannelLoss:
     channel: str
     size: int
     mtype: str
+
+
+# ----------------------------------------------------------------------
+# pulsating rings (section 6.3, docs/multiring.md)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class RingLeaveVolunteered:
+    """A node's exploitation stayed under the leave threshold long enough."""
+
+    t: float
+    node: int
+    ring: int = 0
+
+
+@dataclass(slots=True)
+class RingJoinCalled:
+    """A node crossed the join threshold: the ring wants reinforcements."""
+
+    t: float
+    node: int
+    ring: int = 0
+
+
+# ----------------------------------------------------------------------
+# multi-ring federation (docs/multiring.md)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class CrossRingRequest:
+    """A gateway dispatched a fetch for a BAT homed on another ring."""
+
+    t: float
+    bat_id: int
+    from_ring: int
+    to_ring: int
+    resend: bool = False
+
+
+@dataclass(slots=True)
+class CrossRingTransfer:
+    """A remote gateway shipped a BAT copy back across the inter-ring link."""
+
+    t: float
+    bat_id: int
+    from_ring: int
+    to_ring: int
+    size: int
+    latency: float
+
+
+@dataclass(slots=True)
+class QueryShipped:
+    """A whole query moved to the ring that holds most of its data."""
+
+    t: float
+    query_id: int
+    from_ring: int
+    to_ring: int
+    node: int
+
+
+@dataclass(slots=True)
+class MigrationStarted:
+    """The placement manager began re-homing a fragment to another ring."""
+
+    t: float
+    bat_id: int
+    from_ring: int
+    to_ring: int
+    size: int
+
+
+@dataclass(slots=True)
+class FragmentMigrated:
+    """A fragment migration completed: the BAT is homed on ``to_ring``."""
+
+    t: float
+    bat_id: int
+    from_ring: int
+    to_ring: int
+    size: int
+    latency: float
+
+
+@dataclass(slots=True)
+class MigrationAborted:
+    """An in-flight migration was rolled back (gateway death, lost link)."""
+
+    t: float
+    bat_id: int
+    from_ring: int
+    to_ring: int
+    reason: str
+
+
+@dataclass(slots=True)
+class RingSplit:
+    """The split/merge controller activated a standby ring for a hot one."""
+
+    t: float
+    from_ring: int
+    new_ring: int
+    fragments: int
+
+
+@dataclass(slots=True)
+class RingsMerged:
+    """An underutilized ring drained its fragments into another ring."""
+
+    t: float
+    from_ring: int
+    into_ring: int
+    fragments: int
+
+
+@dataclass(slots=True)
+class GatewayFailed:
+    """A ring's gateway node died; cross-ring traffic re-routes."""
+
+    t: float
+    ring: int
+    node: int
+
+
+@dataclass(slots=True)
+class GatewayElected:
+    """A new gateway took over a ring's inter-ring endpoints."""
+
+    t: float
+    ring: int
+    node: int
 
 
 # ----------------------------------------------------------------------

@@ -90,6 +90,19 @@ class MetricsCollector:
         self.queries_abandoned = 0      # retry budget/deadline exhausted
         self.queries_shed = 0           # admission valve fast-fails
         self.stale_results_discarded = 0  # superseded attempt completions
+        # multi-ring federation counters (docs/multiring.md)
+        self.ring_leaves_volunteered = 0  # RingLeaveVolunteered events
+        self.ring_join_calls = 0        # RingJoinCalled events
+        self.cross_ring_requests = 0    # fetches dispatched to another ring
+        self.cross_ring_transfers = 0   # BAT copies shipped between rings
+        self.queries_shipped = 0        # whole queries moved to another ring
+        self.migrations_started = 0     # fragment re-homings begun
+        self.fragments_migrated = 0     # fragment re-homings completed
+        self.migrations_aborted = 0     # re-homings rolled back mid-flight
+        self.ring_splits = 0            # standby rings activated
+        self.rings_merged = 0           # underutilized rings drained
+        self.gateway_failures = 0       # gateway nodes lost
+        self.gateway_elections = 0      # replacement gateways designated
         # per-node downtime intervals: node -> [(down_at, up_at | None)]
         self.downtime: Dict[int, List[List[Optional[float]]]] = {}
         # recovery latency: crash/rejoin -> first re-load of an affected BAT

@@ -1,0 +1,87 @@
+"""Wire messages of the inter-ring links (docs/multiring.md).
+
+Same style as :mod:`repro.core.messages`: plain slotted classes, one
+per protocol message, sized explicitly by the sender.  Inter-ring
+traffic never mixes with the intra-ring data/request channels -- these
+messages exist only on the gateway-to-gateway links.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["FetchRequest", "FetchReply", "MigrationShipment"]
+
+
+class FetchRequest:
+    """Gateway-to-gateway ask for one BAT homed on the destination ring."""
+
+    __slots__ = ("req_id", "bat_id", "from_ring", "to_ring")
+
+    def __init__(self, req_id: int, bat_id: int, from_ring: int, to_ring: int):
+        self.req_id = req_id
+        self.bat_id = bat_id
+        self.from_ring = from_ring
+        self.to_ring = to_ring
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FetchRequest(req={self.req_id}, bat={self.bat_id}, "
+            f"{self.from_ring}->{self.to_ring})"
+        )
+
+
+class FetchReply:
+    """The answer to a :class:`FetchRequest`: a BAT copy or a failure."""
+
+    __slots__ = ("req_id", "bat_id", "ok", "payload", "version", "size", "error")
+
+    def __init__(
+        self,
+        req_id: int,
+        bat_id: int,
+        ok: bool,
+        payload: Any = None,
+        version: int = 0,
+        size: int = 0,
+        error: str = "",
+    ):
+        self.req_id = req_id
+        self.bat_id = bat_id
+        self.ok = ok
+        self.payload = payload
+        self.version = version
+        self.size = size
+        self.error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "ok" if self.ok else f"error={self.error!r}"
+        return f"FetchReply(req={self.req_id}, bat={self.bat_id}, {status})"
+
+
+class MigrationShipment:
+    """A fragment being re-homed: the full BAT travels to its new ring."""
+
+    __slots__ = ("mig_id", "bat_id", "size", "payload", "from_ring", "to_ring")
+
+    def __init__(
+        self,
+        mig_id: int,
+        bat_id: int,
+        size: int,
+        payload: Any,
+        from_ring: int,
+        to_ring: int,
+    ):
+        self.mig_id = mig_id
+        self.bat_id = bat_id
+        self.size = size
+        self.payload = payload
+        self.from_ring = from_ring
+        self.to_ring = to_ring
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MigrationShipment(mig={self.mig_id}, bat={self.bat_id}, "
+            f"{self.from_ring}->{self.to_ring})"
+        )

@@ -1,0 +1,96 @@
+"""Gateway-failure handling for the multi-ring federation.
+
+Gateways are ordinary ring nodes with an extra duty, so they die like
+ordinary ring nodes: an omniscient ``crash_node`` announces itself as
+:class:`~repro.events.types.NodeCrashed` on the ring's bus, while a
+silent ``fail_node`` is only acted upon once the ring's own failure
+detector publishes ``NodeConfirmedDead`` -- the guard never peeks at
+injector state (the same discipline as
+:class:`~repro.resilience.manager.ResilienceManager`).
+
+On a gateway death the guard:
+
+1. purges the ring's *outgoing* inter-ring endpoints (queued cross-ring
+   messages lived in the dead node's memory; requester-side fetch
+   timers re-dispatch the lost ones),
+2. aborts every in-flight migration touching the ring (the payload
+   never leaves the source before the cutover, so abort is a rollback
+   to a consistent state),
+3. elects replacement gateways from the ring's live members and
+   publishes ``GatewayFailed`` / ``GatewayElected`` on the federation
+   bus.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.events import types as ev
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.multiring.federation import RingFederation
+
+__all__ = ["GatewayGuard"]
+
+
+class GatewayGuard:
+    """Keeps every ring's inter-ring endpoints on live nodes."""
+
+    def __init__(self, fed: "RingFederation"):
+        self.fed = fed
+        self.bus = fed.bus
+        self.sim = fed.sim
+        for ring_id, ring in enumerate(fed.rings):
+            ring.bus.subscribe(
+                ev.NodeCrashed,
+                lambda e, _r=ring_id: self._on_down(_r, e.node),
+            )
+            ring.bus.subscribe(
+                ev.NodeConfirmedDead,
+                lambda e, _r=ring_id: self._on_down(_r, e.node),
+            )
+            ring.bus.subscribe(
+                ev.NodeRejoined,
+                lambda e, _r=ring_id: self._on_up(_r),
+            )
+
+    # ------------------------------------------------------------------
+    def _live_candidates(self, ring_id: int) -> List[int]:
+        ring = self.fed.rings[ring_id]
+        down = set()
+        if ring.resilience is not None:
+            down = set(ring.resilience.known_down)
+        return [
+            n for n in range(ring.config.n_nodes)
+            if ring.ring.is_alive(n) and n not in down and not ring.nodes[n].crashed
+        ]
+
+    def _on_down(self, ring_id: int, node: int) -> None:
+        router = self.fed.router
+        if router is None or node not in router.gateways.get(ring_id, []):
+            return
+        if self.bus.active:
+            self.bus.publish(ev.GatewayFailed(self.sim.now, ring_id, node))
+        router.purge_outgoing(ring_id)
+        self.fed.placement.abort_for_ring(ring_id, "gateway failed")
+        self._elect(ring_id)
+
+    def _on_up(self, ring_id: int) -> None:
+        """A node rejoined: re-seat the gateway set on the lowest ids."""
+        self._elect(ring_id)
+
+    def _elect(self, ring_id: int) -> None:
+        router = self.fed.router
+        want = min(self.fed.config.gateways_per_ring, self.fed.config.nodes_per_ring)
+        candidates = self._live_candidates(ring_id)
+        elected = candidates[:want]
+        if not elected:
+            return  # no live node left; fetches to this ring will time out
+        previous = router.gateways.get(ring_id, [])
+        if elected == previous:
+            return
+        router.set_gateways(ring_id, elected)
+        if self.bus.active:
+            for node in elected:
+                if node not in previous:
+                    self.bus.publish(ev.GatewayElected(self.sim.now, ring_id, node))

@@ -70,6 +70,10 @@ class BidScheduler:
         load_cost = self._outstanding[node] * self.load_weight
         data_cost = 0.0
         for bat_id in spec.bat_ids:
+            if not self.dc.has_bat(bat_id):
+                # a federated query quotes only the data homed on this
+                # ring; the cross-ring router fetches the rest either way
+                continue
             owner = self.dc.bat_owner(bat_id)
             if owner == node:
                 continue  # local disk access: no ring traffic
@@ -96,6 +100,19 @@ class BidScheduler:
         return replace(
             spec, node=best.node, arrival=spec.arrival + travel
         )
+
+    def place_at(self, spec: QuerySpec, node: int, extra_travel: float = 0.0) -> QuerySpec:
+        """Settle ``spec`` on a node chosen by an outside arbiter.
+
+        The multiring router uses this after shipping a query across an
+        inter-ring link: the target node was picked from this ring's own
+        bids, but the travel charge includes the inter-ring hop, which
+        only the federation knows.  Keeps the same load bookkeeping as
+        :meth:`place`.
+        """
+        self._outstanding[node] += 1
+        self.placements[spec.query_id] = node
+        return replace(spec, node=node, arrival=spec.arrival + extra_travel)
 
     def query_finished(self, spec_or_node) -> None:
         """Feed back completions so load costs stay current."""

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import MB, DataCyclotronConfig
 from repro.core.ring import DataCyclotron
+from repro.events import types as ev
 from repro.workloads.base import UniformDataset, populate_ring
 from repro.workloads.gaussian import GaussianWorkload
 
@@ -47,10 +48,19 @@ class PulsatingController:
         leave_threshold: float = 0.15,
         join_threshold: float = 0.90,
         patience: int = 3,
+        bus=None,
+        ring: int = 0,
+        clock=None,
     ):
         """A node volunteers to leave after ``patience`` consecutive
         observations of exploitation below ``leave_threshold``; a node
         observing load above ``join_threshold`` calls for reinforcement.
+
+        With a ``bus``, every decision is also published as a typed
+        event (``RingLeaveVolunteered`` / ``RingJoinCalled``) stamped
+        ``ring`` and timestamped by ``clock`` (a zero-argument callable,
+        typically ``lambda: sim.now``), so the multiring split/merge
+        controller and the tracer can subscribe.
         """
         if not 0 <= leave_threshold < join_threshold <= 1:
             raise ValueError("thresholds must satisfy 0 <= leave < join <= 1")
@@ -59,15 +69,23 @@ class PulsatingController:
         self.leave_threshold = leave_threshold
         self.join_threshold = join_threshold
         self.patience = patience
+        self.bus = bus
+        self.ring = ring
+        self.clock = clock if clock is not None else (lambda: 0.0)
         self._idle_streak: Dict[int, int] = {}
         self.leave_events: List[int] = []
         self.join_calls: int = 0
+
+    def _publish(self, event) -> None:
+        if self.bus is not None and self.bus.active:
+            self.bus.publish(event)
 
     def observe(self, node: int, exploitation: float) -> Optional[str]:
         """Feed one utilisation sample; returns "leave", "join" or None."""
         if exploitation > self.join_threshold:
             self._idle_streak[node] = 0
             self.join_calls += 1
+            self._publish(ev.RingJoinCalled(self.clock(), node, self.ring))
             return "join"
         if exploitation < self.leave_threshold:
             streak = self._idle_streak.get(node, 0) + 1
@@ -75,6 +93,7 @@ class PulsatingController:
             if streak >= self.patience:
                 self._idle_streak[node] = 0
                 self.leave_events.append(node)
+                self._publish(ev.RingLeaveVolunteered(self.clock(), node, self.ring))
                 return "leave"
             return None
         self._idle_streak[node] = 0

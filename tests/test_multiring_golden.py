@@ -1,0 +1,75 @@
+"""Degenerate-federation golden equivalence (docs/multiring.md).
+
+A :class:`RingFederation` collapsed to one ring and zero gateways must
+be *the same machine* as a classic :class:`DataCyclotron`: no extra
+simulator events, no extra bus traffic, and an event stream that
+reproduces the pre-federation golden snapshot byte for byte.  This is
+the guard that keeps the federation layer an overlay rather than a
+fork: any cost it imposes on the single-ring path shows up here as a
+diff against ``tests/data/golden_uniform.json`` (the same snapshot
+``tests/test_events_golden.py`` checks for the classic facade).
+"""
+
+import json
+
+from test_events_golden import GOLDEN, SEED, snapshot
+
+from repro.core import MB, DataCyclotronConfig
+from repro.multiring import MultiRingConfig, RingFederation
+from repro.workloads.base import UniformDataset
+from repro.workloads.uniform import UniformWorkload
+
+
+def run_degenerate_federation() -> RingFederation:
+    """The golden micro-benchmark, submitted through the federation."""
+    dataset = UniformDataset(n_bats=150, min_size=MB, max_size=2 * MB, seed=SEED)
+    base = DataCyclotronConfig(
+        n_nodes=4, bandwidth=40 * MB, bat_queue_capacity=15 * MB,
+        resend_timeout=5.0, seed=SEED,
+    )
+    fed = RingFederation(MultiRingConfig(
+        base=base, n_rings=1, nodes_per_ring=4, gateways_per_ring=0,
+        max_rings=1,
+    ))
+    assert not fed.federated
+    for bat_id, size in dataset.sizes.items():
+        fed.add_bat(bat_id, size)
+    workload = UniformWorkload(
+        dataset, n_nodes=4, queries_per_second=20.0, duration=10.0,
+        min_bats=1, max_bats=3, min_proc_time=0.05, max_proc_time=0.1,
+        seed=SEED,
+    )
+    workload.submit_to(fed)
+    assert fed.run_until_done(max_time=600.0)
+    return fed
+
+
+def test_degenerate_federation_matches_classic_golden_snapshot():
+    with open(GOLDEN) as fh:
+        golden = json.load(fh)
+    fed = run_degenerate_federation()
+    actual = snapshot(fed.rings[0])
+    # section by section for a readable failure
+    assert actual["counters"] == golden["counters"]
+    assert actual["bats"] == golden["bats"]
+    assert actual["queries"] == golden["queries"]
+    assert actual["ring_bytes_final"] == golden["ring_bytes_final"]
+    assert actual["now"] == golden["now"]
+    # the strongest claim: the federation scheduled ZERO extra events
+    assert actual["events_processed"] == golden["events_processed"]
+    assert actual == golden
+
+
+def test_degenerate_federation_spawns_no_federation_machinery():
+    base = DataCyclotronConfig(n_nodes=4, seed=SEED)
+    fed = RingFederation(MultiRingConfig(
+        base=base, n_rings=1, nodes_per_ring=4, gateways_per_ring=0,
+        max_rings=1,
+    ))
+    assert fed.router is None
+    assert fed.placement is None
+    assert fed.splitmerge is None
+    assert fed.guard is None
+    # accounting is delegated to the single ring, not duplicated
+    fed.add_bat(0, MB)
+    assert fed.completed_queries == 0
