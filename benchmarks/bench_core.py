@@ -1,0 +1,243 @@
+"""Core-engine performance trajectory: the rotation fast path, measured.
+
+Writes ``BENCH_core.json`` (repo root, or ``--out``) with events/sec and
+events/query for the discrete-event core, fast-forward on vs off in the
+same run:
+
+* ``single_sparse`` -- the headline scenario: a 64-node ring rotating a
+  tiny hot set with a light query stream, the regime where almost every
+  hop crosses a disinterested node and the fast path shines.  Measured
+  in the zero-observer configuration (``detach_metrics()``), the same
+  configuration the engine microbenchmarks use.
+* ``single_dense`` -- a saturated 32-node ring where most hops stop at
+  an interested node; guards against the fast path regressing the dense
+  regime (the debt backoff should keep it at ~1.0x).
+* ``federation`` -- a 4-ring federation under the section 5.3 Gaussian
+  workload, metrics attached, as a realistic end-to-end number.
+* ``equivalence`` -- re-runs the sparse scenario with metrics attached
+  and asserts ``summary()`` is bit-identical fast-forward on vs off.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_core.py [--quick] [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from bench_utils import build_federation, gaussian_workload
+from repro.core import MB, DataCyclotron, DataCyclotronConfig
+from repro.core.query import QuerySpec
+from repro.workloads.base import UniformDataset
+
+SEED = 1
+N_BATS = 8
+
+
+def rotation_scenario(
+    n_nodes: int,
+    hot_bats: int,
+    query_rate: float,
+    horizon: float,
+    fast_forward: bool,
+    seed: int = SEED,
+    observers: bool = False,
+) -> DataCyclotron:
+    """A ring rotating ``N_BATS`` fragments with queries touching only the
+    first ``hot_bats`` of them -- the smaller the hot set, the longer the
+    disinterested runs the fast path can coalesce."""
+    dc = DataCyclotron(DataCyclotronConfig(
+        n_nodes=n_nodes,
+        seed=seed,
+        fast_forward=fast_forward,
+        # frequent ticks keep the periodic machinery honest in the measurement
+        load_all_interval=0.2,
+        loit_adapt_interval=0.5,
+    ))
+    if not observers:
+        dc.detach_metrics()
+    for bat_id in range(N_BATS):
+        dc.add_bat(bat_id, MB)
+    rng = random.Random(seed)
+    t = 0.0
+    qid = 0
+    specs = []
+    while True:
+        t += rng.expovariate(query_rate)
+        if t >= horizon:
+            break
+        qid += 1
+        k = rng.randint(1, min(2, hot_bats))
+        bats = rng.sample(range(hot_bats), k)
+        node = rng.randrange(n_nodes)
+        specs.append(QuerySpec.simple(qid, node, t, bats, [0.002] * len(bats)))
+    dc.submit_all(specs)
+    return dc
+
+
+def run_rotation(
+    n_nodes: int,
+    hot_bats: int,
+    query_rate: float,
+    horizon: float,
+    fast_forward: bool,
+    repeats: int,
+) -> dict:
+    """Best-of-``repeats`` wall time for one rotation scenario."""
+    best_wall = None
+    events = queries = 0
+    ff_stats: dict = {}
+    for _ in range(repeats):
+        dc = rotation_scenario(n_nodes, hot_bats, query_rate, horizon, fast_forward)
+        start = time.perf_counter()
+        dc.run(until=horizon)
+        dc.ff.flush_all()
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+        events = dc.sim.processed
+        queries = dc.submitted_queries
+        ff_stats = dc.ff.stats()
+    return {
+        "events": events,
+        "queries": queries,
+        "wall_seconds": round(best_wall, 4),
+        "events_per_second": round(events / best_wall) if best_wall else None,
+        "events_per_query": round(events / queries, 2) if queries else None,
+        "ff": ff_stats,
+    }
+
+
+def run_federation(fast_forward: bool, quick: bool, repeats: int) -> dict:
+    total_nodes, n_rings = 32, 4
+    if quick:
+        n_bats, duration, total_rate = 60, 5.0, 40.0
+    else:
+        n_bats, duration, total_rate = 120, 10.0, 80.0
+    best_wall = None
+    events = total = 0
+    done = False
+    for _ in range(repeats):
+        dataset = UniformDataset(n_bats=n_bats, min_size=MB, max_size=2 * MB, seed=3)
+        fed = build_federation(
+            dataset, total_nodes, n_rings, 10 * MB, 3,
+            fast_forward=fast_forward, splitmerge_interval=0.0,
+        )
+        total = gaussian_workload(
+            dataset, total_nodes=total_nodes, total_rate=total_rate,
+            duration=duration, min_proc=0.05, max_proc=0.10, seed=3,
+        ).submit_to(fed)
+        start = time.perf_counter()
+        done = fed.run_until_done(max_time=600.0)
+        for ring in fed.rings:
+            ring.ff.flush_all()
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+        events = fed.sim.processed
+    return {
+        "completed": done,
+        "queries": total,
+        "events": events,
+        "wall_seconds": round(best_wall, 4),
+        "events_per_second": round(events / best_wall) if best_wall else None,
+        "events_per_query": round(events / total, 2) if total else None,
+    }
+
+
+def check_equivalence(n_nodes: int, hot_bats: int, query_rate: float,
+                      horizon: float) -> dict:
+    """Metrics-attached sparse run: ``summary()`` must match bit for bit."""
+    summaries = {}
+    for ff in (True, False):
+        dc = rotation_scenario(
+            n_nodes, hot_bats, query_rate, horizon, ff, observers=True,
+        )
+        dc.run(until=horizon)
+        summaries[ff] = dc.summary()
+    return {
+        "identical": summaries[True] == summaries[False],
+        "events": summaries[True].get("events_processed"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent.parent / "BENCH_core.json")
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke scale: short horizons, fewer repeats",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sparse = {"n_nodes": 64, "hot_bats": 1, "query_rate": 2.0, "horizon": 20.0}
+        dense = {"n_nodes": 32, "hot_bats": 2, "query_rate": 10.0, "horizon": 8.0}
+        repeats = 2
+    else:
+        sparse = {"n_nodes": 64, "hot_bats": 1, "query_rate": 2.0, "horizon": 60.0}
+        dense = {"n_nodes": 32, "hot_bats": 2, "query_rate": 10.0, "horizon": 20.0}
+        repeats = 5
+
+    report: dict = {"benchmark": "core", "quick": args.quick, "seed": SEED}
+    for name, scenario in (("single_sparse", sparse), ("single_dense", dense)):
+        on = run_rotation(fast_forward=True, repeats=repeats, **scenario)
+        off = run_rotation(fast_forward=False, repeats=repeats, **scenario)
+        speedup = (
+            round(off["wall_seconds"] / on["wall_seconds"], 2)
+            if on["wall_seconds"] else None
+        )
+        report[name] = {
+            "scenario": scenario,
+            "fast_forward_on": on,
+            "fast_forward_off": off,
+            "events_match": on["events"] == off["events"],
+            "speedup": speedup,
+        }
+        print(f"{name}: {speedup}x "
+              f"({off['wall_seconds']}s -> {on['wall_seconds']}s, "
+              f"events match: {on['events'] == off['events']})",
+              file=sys.stderr)
+
+    fed_on = run_federation(fast_forward=True, quick=args.quick, repeats=repeats)
+    fed_off = run_federation(fast_forward=False, quick=args.quick, repeats=repeats)
+    report["federation"] = {
+        "fast_forward_on": fed_on,
+        "fast_forward_off": fed_off,
+        "speedup": (
+            round(fed_off["wall_seconds"] / fed_on["wall_seconds"], 2)
+            if fed_on["wall_seconds"] else None
+        ),
+    }
+    print(f"federation: {report['federation']['speedup']}x", file=sys.stderr)
+
+    eq_horizon = 10.0 if args.quick else 30.0
+    report["equivalence"] = check_equivalence(
+        sparse["n_nodes"], sparse["hot_bats"], sparse["query_rate"], eq_horizon,
+    )
+    print(f"equivalence: {report['equivalence']}", file=sys.stderr)
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwritten: {args.out}", file=sys.stderr)
+
+    if not report["equivalence"]["identical"]:
+        print("FAIL: summary() differs fast-forward on vs off", file=sys.stderr)
+        return 1
+    for name in ("single_sparse", "single_dense"):
+        if not report[name]["events_match"]:
+            print(f"FAIL: {name} event counts differ on vs off", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

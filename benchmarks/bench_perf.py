@@ -25,8 +25,12 @@ import sys
 import time
 from pathlib import Path
 
+from bench_utils import (
+    build_federation,
+    federation_peak_request_latency,
+    gaussian_workload,
+)
 from repro.core import MB, DataCyclotron, DataCyclotronConfig
-from repro.multiring import MultiRingConfig, RingFederation
 from repro.workloads.base import UniformDataset, populate_ring
 from repro.workloads.gaussian import GaussianWorkload
 
@@ -44,11 +48,9 @@ def _dataset() -> UniformDataset:
 
 
 def _workload(dataset: UniformDataset) -> GaussianWorkload:
-    return GaussianWorkload(
-        dataset, n_nodes=TOTAL_NODES,
-        queries_per_second=TOTAL_RATE / TOTAL_NODES, duration=DURATION,
-        mean=N_BATS / 2, std=N_BATS / 20,
-        min_proc_time=0.05, max_proc_time=0.10, seed=SEED,
+    return gaussian_workload(
+        dataset, total_nodes=TOTAL_NODES, total_rate=TOTAL_RATE,
+        duration=DURATION, min_proc=0.05, max_proc=0.10, seed=SEED,
     )
 
 
@@ -80,27 +82,16 @@ def run_single() -> dict:
 def run_federation() -> dict:
     dataset = _dataset()
     nodes_per_ring = TOTAL_NODES // N_RINGS
-    fed = RingFederation(MultiRingConfig(
-        base=DataCyclotronConfig(
-            n_nodes=nodes_per_ring, bat_queue_capacity=QUEUE, seed=SEED,
-        ),
-        n_rings=N_RINGS, nodes_per_ring=nodes_per_ring,
-        splitmerge_interval=0.0,
-    ))
-    for bat_id, size in dataset.sizes.items():
-        fed.add_bat(bat_id, size)
+    fed = build_federation(
+        dataset, TOTAL_NODES, N_RINGS, QUEUE, SEED, splitmerge_interval=0.0,
+    )
     total = _workload(dataset).submit_to(fed)
     start = time.perf_counter()
     assert fed.run_until_done(max_time=600.0)
     wall = time.perf_counter() - start
     ring = fed.rings[0]
     per_hop = dataset.mean_size / ring.config.bandwidth + ring.config.link_delay
-    peak = 0.0
-    for r in fed.rings:
-        for s in r.metrics.bats.values():
-            peak = max(peak, s.max_request_latency)
-    for latency in fed.router.fetch_latency_max.values():
-        peak = max(peak, latency)
+    peak = federation_peak_request_latency(fed)
     stats = fed.router.stats()
     return {
         "queries": total,
@@ -129,15 +120,10 @@ def run_degenerate_overhead() -> dict:
             populate_ring(facade, dataset)
             sim = facade.sim
         else:
-            facade = RingFederation(MultiRingConfig(
-                base=DataCyclotronConfig(
-                    n_nodes=TOTAL_NODES, bat_queue_capacity=QUEUE, seed=SEED,
-                ),
-                n_rings=1, nodes_per_ring=TOTAL_NODES,
+            facade = build_federation(
+                dataset, TOTAL_NODES, 1, QUEUE, SEED,
                 gateways_per_ring=0, max_rings=1,
-            ))
-            for bat_id, size in dataset.sizes.items():
-                facade.add_bat(bat_id, size)
+            )
             sim = facade.sim
         _workload(dataset).submit_to(facade)
         assert facade.run_until_done(max_time=600.0)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core import DataCyclotron, DataCyclotronConfig, MB
 from repro.metrics.collector import MetricsCollector
+from repro.multiring import MultiRingConfig, RingFederation
 from repro.workloads.base import UniformDataset, populate_ring
 from repro.workloads.gaussian import GaussianWorkload
 from repro.workloads.uniform import UniformWorkload
@@ -101,16 +102,16 @@ def build_uniform_run(
     dc = DataCyclotron(config)
     populate_ring(dc, dataset)
     cls = GaussianWorkload if gaussian else UniformWorkload
-    kwargs = dict(
-        n_nodes=p["n_nodes"],
-        queries_per_second=p["queries_per_second"],
-        duration=p["duration"],
-        min_bats=p["min_bats"],
-        max_bats=p["max_bats"],
-        min_proc_time=p["min_proc"],
-        max_proc_time=p["max_proc"],
-        seed=seed,
-    )
+    kwargs = {
+        "n_nodes": p["n_nodes"],
+        "queries_per_second": p["queries_per_second"],
+        "duration": p["duration"],
+        "min_bats": p["min_bats"],
+        "max_bats": p["max_bats"],
+        "min_proc_time": p["min_proc"],
+        "max_proc_time": p["max_proc"],
+        "seed": seed,
+    }
     if gaussian:
         kwargs["mean"] = p["n_bats"] / 2
         kwargs["std"] = p["n_bats"] / 20
@@ -137,3 +138,69 @@ def run_loit_level(loit: float) -> MetricsCollector:
 
 def mean_or_zero(values: List[float]) -> float:
     return statistics.mean(values) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+# federation runs (shared by bench_perf, bench_core and the scaling test)
+# ----------------------------------------------------------------------
+def build_federation(
+    dataset: UniformDataset,
+    total_nodes: int,
+    n_rings: int,
+    queue_capacity: int,
+    seed: int,
+    fast_forward: bool = True,
+    **multiring_kwargs,
+) -> RingFederation:
+    """``total_nodes`` split evenly over ``n_rings``, dataset pre-loaded."""
+    assert total_nodes % n_rings == 0
+    nodes_per_ring = total_nodes // n_rings
+    fed = RingFederation(MultiRingConfig(
+        base=DataCyclotronConfig(
+            n_nodes=nodes_per_ring, bat_queue_capacity=queue_capacity, seed=seed,
+            fast_forward=fast_forward,
+        ),
+        n_rings=n_rings,
+        nodes_per_ring=nodes_per_ring,
+        **multiring_kwargs,
+    ))
+    for bat_id, size in dataset.sizes.items():
+        fed.add_bat(bat_id, size)
+    return fed
+
+
+def gaussian_workload(
+    dataset: UniformDataset,
+    total_nodes: int,
+    total_rate: float,
+    duration: float,
+    min_proc: float,
+    max_proc: float,
+    seed: int,
+) -> GaussianWorkload:
+    """The section 5.3 skew: queries normal around the dataset's middle."""
+    return GaussianWorkload(
+        dataset,
+        n_nodes=total_nodes,
+        queries_per_second=total_rate / total_nodes,
+        duration=duration,
+        mean=dataset.n_bats / 2,
+        std=dataset.n_bats / 20,
+        min_proc_time=min_proc,
+        max_proc_time=max_proc,
+        seed=seed,
+    )
+
+
+def federation_peak_request_latency(fed: RingFederation) -> float:
+    """Worst wait for any BAT anywhere: the slowest in-ring request or
+    the slowest cross-ring fetch (a remote pin waits for both paths)."""
+    peak = 0.0
+    for ring in fed.rings:
+        for s in ring.metrics.bats.values():
+            if s.max_request_latency > peak:
+                peak = s.max_request_latency
+    for latency in fed.router.fetch_latency_max.values():
+        if latency > peak:
+            peak = latency
+    return peak

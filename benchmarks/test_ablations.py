@@ -30,13 +30,13 @@ from repro.workloads.uniform import UniformWorkload
 
 def build(seed=21, **overrides):
     dataset = UniformDataset(n_bats=150, min_size=MB, max_size=2 * MB, seed=seed)
-    defaults = dict(
-        n_nodes=4,
-        bandwidth=40 * MB,
-        bat_queue_capacity=15 * MB,
-        resend_timeout=5.0,
-        seed=seed,
-    )
+    defaults = {
+        "n_nodes": 4,
+        "bandwidth": 40 * MB,
+        "bat_queue_capacity": 15 * MB,
+        "resend_timeout": 5.0,
+        "seed": seed,
+    }
     defaults.update(overrides)
     dc = DataCyclotron(DataCyclotronConfig(**defaults))
     populate_ring(dc, dataset)

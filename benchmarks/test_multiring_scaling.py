@@ -21,12 +21,16 @@ Written without the pytest-benchmark fixture so the quick version runs
 in the plain CI test matrix.
 """
 
-from bench_utils import FULL, write_result
-from repro.core import MB, DataCyclotronConfig
+from bench_utils import (
+    FULL,
+    build_federation,
+    federation_peak_request_latency,
+    gaussian_workload,
+    write_result,
+)
+from repro.core import MB
 from repro.metrics.report import render_table
-from repro.multiring import MultiRingConfig, RingFederation
 from repro.workloads.base import UniformDataset
-from repro.workloads.gaussian import GaussianWorkload
 from repro.xtn.pulsating import RingSizeSweep
 
 SEED = 3
@@ -34,19 +38,19 @@ N_RINGS = 4
 
 if FULL:
     SIZES = (8, 16, 20)
-    PARAMS = dict(
-        n_bats=1000, min_size=1 * MB, max_size=10 * MB, total_rate=800.0,
-        duration=60.0, min_proc_time=0.100, max_proc_time=0.200,
-        bat_queue_capacity=200 * MB,
-    )
+    PARAMS = {
+        "n_bats": 1000, "min_size": 1 * MB, "max_size": 10 * MB, "total_rate": 800.0,
+        "duration": 60.0, "min_proc_time": 0.100, "max_proc_time": 0.200,
+        "bat_queue_capacity": 200 * MB,
+    }
     MAX_TIME = 3600.0
 else:
     SIZES = (8, 16)
-    PARAMS = dict(
-        n_bats=120, min_size=MB, max_size=2 * MB, total_rate=80.0,
-        duration=10.0, min_proc_time=0.05, max_proc_time=0.10,
-        bat_queue_capacity=10 * MB,
-    )
+    PARAMS = {
+        "n_bats": 120, "min_size": MB, "max_size": 2 * MB, "total_rate": 80.0,
+        "duration": 10.0, "min_proc_time": 0.05, "max_proc_time": 0.10,
+        "bat_queue_capacity": 10 * MB,
+    }
     MAX_TIME = 600.0
 
 
@@ -58,50 +62,29 @@ def run_single_ring(n_nodes: int):
 
 def run_federation(total_nodes: int) -> dict:
     """The same workload over ``total_nodes`` split into N_RINGS rings."""
-    assert total_nodes % N_RINGS == 0
-    nodes_per_ring = total_nodes // N_RINGS
-    base = DataCyclotronConfig(
-        n_nodes=nodes_per_ring,
-        bat_queue_capacity=PARAMS["bat_queue_capacity"],
-        seed=SEED,
-    )
-    fed = RingFederation(MultiRingConfig(
-        base=base, n_rings=N_RINGS, nodes_per_ring=nodes_per_ring,
-        splitmerge_interval=0.0,  # fixed topology: measure routing, not resizing
-    ))
     dataset = UniformDataset(
         n_bats=PARAMS["n_bats"], min_size=PARAMS["min_size"],
         max_size=PARAMS["max_size"], seed=SEED,
     )
-    for bat_id, size in dataset.sizes.items():
-        fed.add_bat(bat_id, size)
-    workload = GaussianWorkload(
+    fed = build_federation(
+        dataset, total_nodes, N_RINGS, PARAMS["bat_queue_capacity"], SEED,
+        splitmerge_interval=0.0,  # fixed topology: measure routing, not resizing
+    )
+    workload = gaussian_workload(
         dataset,
-        n_nodes=total_nodes,
-        queries_per_second=PARAMS["total_rate"] / total_nodes,
+        total_nodes=total_nodes,
+        total_rate=PARAMS["total_rate"],
         duration=PARAMS["duration"],
-        mean=PARAMS["n_bats"] / 2,
-        std=PARAMS["n_bats"] / 20,
-        min_proc_time=PARAMS["min_proc_time"],
-        max_proc_time=PARAMS["max_proc_time"],
+        min_proc=PARAMS["min_proc_time"],
+        max_proc=PARAMS["max_proc_time"],
         seed=SEED,
     )
     workload.submit_to(fed)
     completed = fed.run_until_done(max_time=MAX_TIME)
-    # worst wait for any BAT anywhere: the slowest in-ring request plus
-    # the slowest cross-ring fetch (a remote pin waits for both paths)
-    per_bat: dict = {}
-    for ring in fed.rings:
-        for b, s in ring.metrics.bats.items():
-            if s.max_request_latency > per_bat.get(b, 0.0):
-                per_bat[b] = s.max_request_latency
-    for b, latency in fed.router.fetch_latency_max.items():
-        if latency > per_bat.get(b, 0.0):
-            per_bat[b] = latency
     return {
         "total_nodes": total_nodes,
         "completed": completed,
-        "peak_latency": max(per_bat.values(), default=0.0),
+        "peak_latency": federation_peak_request_latency(fed),
         "summary": fed.summary(),
     }
 
@@ -110,15 +93,16 @@ def test_federation_caps_the_figure10_latency_curve():
     single = {n: run_single_ring(n) for n in SIZES}
     fed = {n: run_federation(n) for n in SIZES}
 
-    rows = []
-    for n in SIZES:
-        rows.append((
+    rows = [
+        (
             n,
             round(single[n].peak_latency, 3),
             round(fed[n]["peak_latency"], 3),
             single[n].finished,
             fed[n]["summary"]["completed"],
-        ))
+        )
+        for n in SIZES
+    ]
     write_result(
         "multiring_scaling",
         render_table(

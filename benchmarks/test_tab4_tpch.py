@@ -34,10 +34,10 @@ def run():
     )
     results.append(experiment.monetdb_row(single))
     results.append(single)
-    for n in sizes[1:]:
-        results.append(
-            experiment.run(n, queries_per_node=queries_per_node, size_scale=size_scale)
-        )
+    results.extend(
+        experiment.run(n, queries_per_node=queries_per_node, size_scale=size_scale)
+        for n in sizes[1:]
+    )
     return results
 
 

@@ -23,13 +23,13 @@ from repro.workloads.uniform import UniformWorkload
 
 def run_scenario(label: str, **config_overrides) -> None:
     dataset = UniformDataset(n_bats=60, min_size=MB, max_size=2 * MB, seed=17)
-    settings = dict(
-        n_nodes=4,
-        bandwidth=40 * MB,
-        bat_queue_capacity=12 * MB,
-        resend_timeout=0.5,
-        seed=17,
-    )
+    settings = {
+        "n_nodes": 4,
+        "bandwidth": 40 * MB,
+        "bat_queue_capacity": 12 * MB,
+        "resend_timeout": 0.5,
+        "seed": 17,
+    }
     settings.update(config_overrides)
     config = DataCyclotronConfig(**settings)
     dc = DataCyclotron(config)

@@ -29,10 +29,10 @@ def main() -> None:
     single = experiment.run(1, queries_per_node=queries_per_node, size_scale=200.0)
     rows.append(experiment.monetdb_row(single))
     rows.append(single)
-    for n in (2, 3, 4, 6, 8):
-        rows.append(
-            experiment.run(n, queries_per_node=queries_per_node, size_scale=200.0)
-        )
+    rows.extend(
+        experiment.run(n, queries_per_node=queries_per_node, size_scale=200.0)
+        for n in (2, 3, 4, 6, 8)
+    )
 
     print("\n" + render_table(
         ["#nodes", "exec(sec)", "throughput", "throughP/node", "CPU%"],

@@ -10,6 +10,7 @@ Usage::
     python -m repro sweep [--sizes 5 10] # ring-size sweep (Figures 10-11)
     python -m repro fig1                 # the RDMA host cost model
     python -m repro chaos [--seeds 0 1]  # fault injection (docs/faults.md)
+    python -m repro profile [--top 15]   # cProfile + event-stream attribution
     python -m repro multiring [--rings 4]           # federation (docs/multiring.md)
     python -m repro multiring --chaos gateway       # federated chaos scenarios
 
@@ -42,22 +43,22 @@ __all__ = ["main"]
 def _uniform_setup(full: bool, seed: int):
     if full:
         dataset = UniformDataset(n_bats=1000, seed=seed)
-        config = dict(n_nodes=10, seed=seed)
-        workload = dict(
-            n_nodes=10, queries_per_second=80.0, duration=60.0,
-            min_bats=1, max_bats=5, min_proc_time=0.1, max_proc_time=0.2,
-        )
+        config = {"n_nodes": 10, "seed": seed}
+        workload = {
+            "n_nodes": 10, "queries_per_second": 80.0, "duration": 60.0,
+            "min_bats": 1, "max_bats": 5, "min_proc_time": 0.1, "max_proc_time": 0.2,
+        }
         max_time = 2000.0
     else:
         dataset = UniformDataset(n_bats=150, min_size=MB, max_size=2 * MB, seed=seed)
-        config = dict(
-            n_nodes=4, bandwidth=40 * MB, bat_queue_capacity=15 * MB,
-            resend_timeout=5.0, seed=seed,
-        )
-        workload = dict(
-            n_nodes=4, queries_per_second=20.0, duration=10.0,
-            min_bats=1, max_bats=3, min_proc_time=0.05, max_proc_time=0.1,
-        )
+        config = {
+            "n_nodes": 4, "bandwidth": 40 * MB, "bat_queue_capacity": 15 * MB,
+            "resend_timeout": 5.0, "seed": seed,
+        }
+        workload = {
+            "n_nodes": 4, "queries_per_second": 20.0, "duration": 10.0,
+            "min_bats": 1, "max_bats": 3, "min_proc_time": 0.05, "max_proc_time": 0.1,
+        }
         max_time = 600.0
     return dataset, config, workload, max_time
 
@@ -166,10 +167,10 @@ def cmd_tab4(args: argparse.Namespace) -> int:
     if args.nodes[0] == 1:
         rows.append(experiment.monetdb_row(single))
     rows.append(single)
-    for n in args.nodes[1:]:
-        rows.append(experiment.run(n, queries_per_node=queries,
-                                   size_scale=args.size_scale,
-                                   transfer_mode=args.transfer_mode))
+    rows.extend(experiment.run(n, queries_per_node=queries,
+                               size_scale=args.size_scale,
+                               transfer_mode=args.transfer_mode)
+                for n in args.nodes[1:])
     print(render_table(
         ["#nodes", "exec(sec)", "throughput", "throughP/node", "CPU%"],
         [r.row() for r in rows],
@@ -377,6 +378,76 @@ def cmd_multiring(args: argparse.Namespace) -> int:
     return 0 if done else 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run the section 5.1 workload under cProfile + bus attribution.
+
+    Two views of the same run: the cProfile table says where the *host*
+    CPU goes (engine dispatch, link maths, catalog probes), and the bus
+    attribution table says which *event streams* dominate -- each
+    published event is charged the wall time since the previous one, so
+    high-frequency per-hop streams surface even when every single
+    handler is cheap.  The wildcard observer pins the classic rotation
+    path (fast-forwarding disables lazy coalescing under full
+    observation), which is exactly what a per-hop profile needs.
+    """
+    import cProfile
+    import pstats
+    import time as _time
+
+    dataset, config, wl_kwargs, max_time = _uniform_setup(args.full, args.seed)
+    dc = DataCyclotron(DataCyclotronConfig(**config))
+
+    counts: dict = {}
+    walls: dict = {}
+    last = [0.0]
+
+    def observe(event) -> None:
+        now = _time.perf_counter()
+        name = type(event).__name__
+        counts[name] = counts.get(name, 0) + 1
+        walls[name] = walls.get(name, 0.0) + (now - last[0])
+        last[0] = now
+
+    dc.bus.subscribe_all(observe)
+    populate_ring(dc, dataset)
+    workload = UniformWorkload(dataset, seed=args.seed, **wl_kwargs)
+    total = workload.submit_to(dc)
+
+    profiler = cProfile.Profile()
+    last[0] = _time.perf_counter()
+    start = last[0]
+    profiler.enable()
+    dc.run_until_done(max_time=max_time)
+    profiler.disable()
+    wall = _time.perf_counter() - start
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+
+    attributed = sum(walls.values())
+    rows = [
+        (
+            name,
+            counts[name],
+            round(walls[name] * 1e3, 1),
+            round(100.0 * walls[name] / attributed, 1) if attributed else 0.0,
+        )
+        for name in sorted(counts, key=lambda k: walls[k], reverse=True)[:args.top]
+    ]
+    print(render_table(
+        ["event type", "count", "wall(ms)", "share%"],
+        rows,
+        title="Bus attribution: wall time charged to the publishing stream",
+    ))
+    print(
+        f"{total} queries, {dc.sim.processed} events in {wall:.2f}s wall "
+        f"({dc.sim.processed / wall:,.0f} events/sec under instrumentation); "
+        f"{sum(counts.values())} bus events "
+        f"({attributed / wall * 100:.0f}% of wall attributed)"
+    )
+    return 0
+
+
 def cmd_shell(args: argparse.Namespace) -> int:
     from repro.shell import run_shell
 
@@ -399,6 +470,8 @@ _COMMANDS = {
     "chaos": (cmd_chaos, "fault injection: crashes, rejoins, link faults"),
     "multiring": (cmd_multiring, "multi-ring federation (docs/multiring.md)"),
     "trace": (cmd_trace, "capture an event trace (JSONL / Chrome trace_event)"),
+    "profile": (cmd_profile, "cProfile + per-event-stream attribution "
+                             "(docs/performance.md)"),
     "shell": (cmd_shell, "interactive SQL over a simulated ring"),
     "list": (cmd_list, "list available experiments"),
 }
@@ -470,6 +543,12 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="FILE",
                            help="convert an existing JSONL capture instead "
                                 "of running a simulation")
+        if name == "profile":
+            p.add_argument("--top", type=int, default=15,
+                           help="rows per table")
+            p.add_argument("--sort", default="cumulative",
+                           choices=("cumulative", "tottime", "ncalls"),
+                           help="cProfile sort key")
         if name == "fig1":
             p.add_argument("--gbps", type=float, default=10.0)
             p.add_argument("--cpu-ghz", type=float, default=2.33 * 4,

@@ -124,6 +124,13 @@ class DataCyclotronConfig:
     load_priority: str = "age_size"         # loadAll order: "age_size" | "fifo"
     requests_clockwise: bool = False        # paper: requests go anti-clockwise
 
+    # --- performance (docs/performance.md) -----------------------------
+    # Coalesce runs of disinterested ring hops into one analytically
+    # computed arrival (repro.core.fastforward).  Externally observable
+    # behaviour is identical on or off; golden/event-count tests pin the
+    # classic path by turning it off.
+    fast_forward: bool = True
+
     # --- bookkeeping ---------------------------------------------------
     seed: int = 0
     metrics_time_bin: float = 1.0           # seconds per time-series bin

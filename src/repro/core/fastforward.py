@@ -1,0 +1,469 @@
+"""Rotation fast-forwarding: coalesce disinterested hops in closed form.
+
+A BAT "travels clockwise" (section 4.2.2) past nodes that, most of the
+time, neither own it nor hold a request for it -- each such hop costs
+two simulator events (serialisation end, delivery) plus a handler whose
+only effect is ``hops += 1`` and a re-send on the next channel.  A
+request forwarded anti-clockwise past disinterested nodes is the same
+story.  The :class:`FastForwarder` detects maximal runs of such hops at
+send time and replaces them with **one** analytically computed arrival:
+
+* the per-hop times are computed with the exact float operations the
+  link would have used (``serialise_end = enqueue + size/bandwidth``,
+  ``arrival = serialise_end + delay``), so the coalesced trajectory is
+  bit-identical to the classic one,
+* link statistics, ``BatForwarded`` / ``RequestForwarded`` bus events
+  (with their original per-hop timestamps) and the message's ``hops``
+  field are applied lazily when the flight lands, and the elided
+  simulator events are *credited* so ``Simulator.processed`` -- and
+  therefore ``DataCyclotron.summary()`` -- match a classic run,
+* the **last** hop into the first interested node is executed as a real
+  channel send at its exact classic time, so absorption, pin service,
+  loss injection and DropTail at the stop node run unmodified protocol
+  code.
+
+Safety is conservative: a hop is only coalesced when the intervening
+channel is pristine (no loss injection, nothing queued or serialising,
+capacity admits the message) and the next node is provably
+disinterested (not the owner/origin, no S2 entry).  Anything that could
+invalidate a flight mid-air *flushes* it back into real link state
+first: a competing send on a reserved channel, a new S2 registration
+for the flight's BAT, a topology fault, a link degradation, or a
+metrics snapshot.  Fault injection disables the fast path for the rest
+of the run -- chaos scenarios execute the classic event stream.
+
+The facade owns one forwarder per ring (``config.fast_forward``,
+default on) and injects it into every :class:`NodeRuntime` as
+``node._ff``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.events import types as ev
+from repro.events.types import (
+    LinkDelivered,
+    LinkTransmit,
+    RotationFastForwarded,
+    SimEventFired,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.messages import BATMessage, RequestMessage
+    from repro.core.ring import DataCyclotron
+    from repro.core.runtime import NodeRuntime
+
+__all__ = ["FastForwarder", "Flight"]
+
+
+class Flight:
+    """One coalesced multi-hop traversal, pending its arrival event.
+
+    ``hops`` holds one ``(link, enqueue, tx, serialise_end, arrival)``
+    tuple per analytic hop; ``skipped`` the disinterested runtimes the
+    message passes through.  The last skipped node performs the real
+    final send when the flight completes (or is flushed past it).
+    """
+
+    __slots__ = ("ff", "kind", "msg", "wire", "hops", "skipped", "event", "bat_id")
+
+    def __init__(self, ff: "FastForwarder", kind: str, msg, wire: int,
+                 hops: list, skipped: list):
+        self.ff = ff
+        self.kind = kind  # "bat" | "request"
+        self.msg = msg
+        self.wire = wire
+        self.hops = hops
+        self.skipped = skipped
+        self.event = None
+        self.bat_id = msg.bat_id
+
+    def flush(self) -> None:
+        self.ff._flush_flight(self)
+
+    def touch(self, link) -> None:
+        """A competing send reached ``link``: flush, unless the flight's
+        message has already left it (then the reservation just lapses)."""
+        if not self.ff._release_if_passed(self, link):
+            self.ff._flush_flight(self)
+
+
+class FastForwarder:
+    """Per-ring rotation fast-forwarding engine."""
+
+    def __init__(self, dc: "DataCyclotron"):
+        self.dc = dc
+        self.sim = dc.sim
+        self.bus = dc.bus
+        self.config = dc.config
+        self.nodes: List["NodeRuntime"] = dc.nodes
+        self.n = len(dc.nodes)
+        self.ring = dc.ring
+        # The fast path needs the closed form of a skipped forward to be
+        # *exactly* "hops += 1, publish, send": a non-zero network CPU
+        # overhead (non-RDMA transfer modes) adds per-hop core
+        # accounting, so those configurations stay classic.
+        self.active = (
+            self.config.fast_forward
+            and self.n >= 3
+            and self.config.network_cpu_factor() == 0.0
+        )
+        # Skipping request hops would starve the resilience detector's
+        # liveness monitors on the request channels; the facade clears
+        # this when a detector is attached.  BAT flights are unaffected.
+        self.request_enabled = True
+        self._pos: Dict[int, int] = {node.node_id: i for i, node in enumerate(dc.nodes)}
+        self._req_step = 1 if self.config.requests_clockwise else -1
+        # The scan runs on every forward, so its per-hop cost decides
+        # whether coalescing pays at all: flat arrays indexed by ring
+        # position replace the attribute chains (node.s2.get,
+        # ring.data[i].link, ...) of the classic path.  All of these
+        # objects live as long as the deployment; rewires only re-point
+        # channel receivers.  Node ids are ring positions by
+        # construction -- verified here, never assumed.
+        if any(node.node_id != i for i, node in enumerate(dc.nodes)):
+            self.active = False  # pragma: no cover - facade always ids in order
+        self._s2maps = [node.s2._requests for node in dc.nodes]
+        self._s1maps = [node.s1._bats for node in dc.nodes]
+        self._data_hw = [(ch, ch.link) for ch in dc.ring.data]
+        self._req_hw = [(ch, ch.link) for ch in dc.ring.request]
+        # Longest run of hops one flight may coalesce.  A flight longer
+        # than the gap to the next circulating BAT is guaranteed to be
+        # flushed by that BAT's next forward (it enters one of the
+        # reserved links before the flight lands), so unbounded flights
+        # churn in dense traffic.  The cap trades per-flight savings for
+        # a far lower flush rate; n-1 means uncapped.
+        self.scan_limit = self.n - 1
+        # Shortest run worth coalescing: a flight of k hops elides 2k-1
+        # events but pays launch + (on bad luck) flush; below this the
+        # classic path is cheaper even when the flight lands cleanly.
+        self.min_flight = 3
+        self._by_bat: Dict[int, List[Flight]] = {}
+        # Lazy accounting re-publishes per-hop events out of dispatch
+        # order; any observer of the per-hop stream (tracer, profiler)
+        # therefore pins the classic path.  Cached on the bus version.
+        self._bus_version = -1
+        self._lazy_ok = True
+        self._wants_ff = False
+        # Flush-churn backoff: every flush adds debt, every clean landing
+        # pays some back.  Above the threshold the scans refuse to launch
+        # (the classic path is always correct), decaying slowly so probe
+        # flights resume once traffic thins out.  In dense rings -- where
+        # nearly every flight would be flushed by a competing send -- the
+        # machinery would otherwise cost more than the elided events.
+        self._debt = 0
+        # observability
+        self.flights = 0
+        self.hops_coalesced = 0
+        self.flushes = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def disable(self) -> None:
+        """Flush everything and pin the classic path (fault injected)."""
+        self.flush_all()
+        self.active = False
+
+    def flush_all(self) -> None:
+        while self._by_bat:
+            _bat_id, flights = next(iter(self._by_bat.items()))
+            flights[0].flush()
+
+    def flush_bat(self, bat_id: int) -> None:
+        """Flush every flight carrying ``bat_id`` (S2/S1 state changed)."""
+        flights = self._by_bat.get(bat_id)
+        while flights:
+            flights[0].flush()
+            flights = self._by_bat.get(bat_id)
+
+    def _refresh_bus_caches(self) -> None:
+        bus = self.bus
+        self._bus_version = bus.version
+        self._lazy_ok = not (
+            bus._wildcard
+            or bus.wants(LinkTransmit)
+            or bus.wants(LinkDelivered)
+            or bus.wants(SimEventFired)
+        )
+        self._wants_ff = bus.wants(RotationFastForwarded)
+
+    # ------------------------------------------------------------------
+    # send-time interception
+    # ------------------------------------------------------------------
+    def send_bat(self, node: "NodeRuntime", msg: "BATMessage", wire: int) -> bool:
+        """Try to coalesce ``node``'s forward; False -> caller sends classically."""
+        if not self.active:
+            return False
+        if self._debt >= 16:
+            self._debt -= 1
+            return False
+        if self.bus.version != self._bus_version:
+            self._refresh_bus_caches()
+        if not self._lazy_ok:
+            return False
+        owner = msg.owner
+        bat_id = msg.bat_id
+        nodes = self.nodes
+        n = self.n
+        pos = node.node_id
+        s2maps = self._s2maps
+        hw = self._data_hw
+        hops: list = []
+        skipped: list = []
+        t = self.sim.now
+        limit = self.scan_limit
+        while len(skipped) < limit:
+            nxt = pos + 1
+            if nxt == n:
+                nxt = 0
+            if nxt == owner or s2maps[nxt].get(bat_id) is not None:
+                break
+            ch, link = hw[pos]
+            ft = link.ff_transit
+            if ft is not None and not self._release_if_passed(ft, link):
+                break
+            if (
+                ch.loss_rate != 0.0
+                or link._busy
+                or link._queue
+                or (link.queue_capacity is not None and wire > link.queue_capacity)
+            ):
+                break
+            tx = wire / link.bandwidth
+            s_end = t + tx
+            arrival = s_end + link.delay
+            hops.append((link, t, tx, s_end, arrival))
+            skipped.append(nodes[nxt])
+            t = arrival
+            pos = nxt
+        if len(skipped) < self.min_flight:
+            # a short flight saves a couple of net events but pays for
+            # the whole flight machinery; let the classic path handle it
+            return False
+        self._launch(Flight(self, "bat", msg, wire, hops, skipped), t)
+        return True
+
+    def send_request(self, node: "NodeRuntime", msg: "RequestMessage") -> bool:
+        """Try to coalesce a request forward; False -> classic send."""
+        if not (self.active and self.request_enabled):
+            return False
+        if self._debt >= 16:
+            self._debt -= 1
+            return False
+        if self.bus.version != self._bus_version:
+            self._refresh_bus_caches()
+        if not self._lazy_ok:
+            return False
+        origin = msg.origin
+        bat_id = msg.bat_id
+        wire = self.config.request_message_size
+        nodes = self.nodes
+        n = self.n
+        step = self._req_step
+        pos = node.node_id
+        s1maps = self._s1maps
+        s2maps = self._s2maps
+        hw = self._req_hw
+        hops: list = []
+        skipped: list = []
+        t = self.sim.now
+        limit = self.scan_limit
+        while len(skipped) < limit:
+            nxt = (pos + step) % n
+            if nxt == origin or s2maps[nxt].get(bat_id) is not None:
+                break
+            owned = s1maps[nxt].get(bat_id)
+            if owned is not None and not owned.deleted:  # s1.owns, inlined
+                break
+            ch, link = hw[pos]
+            ft = link.ff_transit
+            if ft is not None and not self._release_if_passed(ft, link):
+                break
+            if (
+                ch.loss_rate != 0.0
+                or link._busy
+                or link._queue
+                or (link.queue_capacity is not None and wire > link.queue_capacity)
+            ):
+                break
+            tx = wire / link.bandwidth
+            s_end = t + tx
+            arrival = s_end + link.delay
+            hops.append((link, t, tx, s_end, arrival))
+            skipped.append(nodes[nxt])
+            t = arrival
+            pos = nxt
+        if len(skipped) < self.min_flight:
+            return False
+        self._launch(Flight(self, "request", msg, wire, hops, skipped), t)
+        return True
+
+    # ------------------------------------------------------------------
+    # flight mechanics
+    # ------------------------------------------------------------------
+    def _launch(self, flight: Flight, arrival: float) -> None:
+        for hop in flight.hops:
+            hop[0].ff_transit = flight
+        self._by_bat.setdefault(flight.bat_id, []).append(flight)
+        flight.event = self.sim.schedule_at(arrival, self._complete, flight)
+        self.flights += 1
+        self.hops_coalesced += len(flight.hops)
+
+    def _release_if_passed(self, flight: Flight, link) -> bool:
+        """Release ``link``'s reservation if ``flight`` has analytically
+        left it already (its arrival over that hop is in the past).  The
+        hop's lazy accounting still lands with the flight; every counter
+        it touches is order-insensitive, so a later competing send sees
+        exactly the link state a classic run would show now."""
+        now = self.sim.now
+        for hop in flight.hops:
+            if hop[0] is link:
+                if hop[4] <= now:
+                    link.ff_transit = None
+                    return True
+                return False
+        return False  # pragma: no cover - defensive
+
+    def _unregister(self, flight: Flight) -> None:
+        # released links may have been re-claimed by a younger flight
+        for hop in flight.hops:
+            if hop[0].ff_transit is flight:
+                hop[0].ff_transit = None
+        flights = self._by_bat.get(flight.bat_id)
+        if flights is not None:
+            flights.remove(flight)
+            if not flights:
+                del self._by_bat[flight.bat_id]
+
+    def _account_hop(self, link, tx: float, wire: int) -> None:
+        """Closed form of one completed hop's link accounting."""
+        stats = link.stats
+        stats.messages_sent += 1
+        stats.messages_delivered += 1
+        stats.bytes_sent += wire
+        stats.bytes_delivered += wire
+        stats.busy_time += tx
+        if stats.max_queue_bytes < wire:
+            stats.max_queue_bytes = wire
+
+    def _publish_forward(self, flight: Flight, runtime, when: float) -> None:
+        bus = self.bus
+        if not bus.active:
+            return
+        if flight.kind == "bat":
+            bus.publish(ev.BatForwarded(when, flight.bat_id, runtime.node_id))
+        else:
+            bus.publish(ev.RequestForwarded(when, flight.bat_id, runtime.node_id))
+
+    def _final_send(self, flight: Flight) -> None:
+        """The real send into the stop node, by the last skipped runtime."""
+        last = flight.skipped[-1]
+        if flight.kind == "bat":
+            last.forward_bat(flight.msg)
+        else:
+            if self.bus.active:
+                self.bus.publish(
+                    ev.RequestForwarded(self.sim.now, flight.bat_id, last.node_id)
+                )
+            last._ship_request(flight.msg)
+
+    def _complete(self, flight: Flight) -> None:
+        """The flight's arrival event: apply the closed form, send on."""
+        if self._debt > 0:
+            self._debt -= 1
+        self._unregister(flight)
+        wire = flight.wire
+        hops = flight.hops
+        k = len(hops)
+        for hop in hops:  # _account_hop, inlined for the hot path
+            stats = hop[0].stats
+            stats.messages_sent += 1
+            stats.messages_delivered += 1
+            stats.bytes_sent += wire
+            stats.bytes_delivered += wire
+            stats.busy_time += hop[2]
+            if stats.max_queue_bytes < wire:
+                stats.max_queue_bytes = wire
+        flight.msg.hops += k
+        # forwards by every skipped node but the last, at their original
+        # per-hop timestamps; the last forwards live via _final_send
+        if self.bus.active:
+            for m in range(k - 1):
+                self._publish_forward(flight, flight.skipped[m], hops[m][4])
+        # k analytic hops cost 2k classic events; this callback was one
+        self.sim.credit(2 * k - 1)
+        if self._wants_ff:
+            self.bus.publish(
+                RotationFastForwarded(
+                    self.sim.now, flight.kind, flight.bat_id,
+                    flight.skipped[-1].node_id, k,
+                )
+            )
+        self._final_send(flight)
+
+    def _flush_flight(self, flight: Flight) -> None:
+        """Re-materialise a flight into real link state, bit-exactly.
+
+        Hops whose arrival has passed get their full closed-form
+        accounting; the hop the message is currently crossing is put
+        back onto its link (busy flag, in-flight list, a real
+        serialisation/delivery event at the precomputed instant) so
+        every subsequent interaction -- a competing send queueing behind
+        it, a degradation, a crash purge -- behaves exactly as if the
+        flight had never existed.
+        """
+        self._unregister(flight)
+        flight.event.cancel()
+        self.flushes += 1
+        if self._debt < 64:
+            self._debt += 4
+        now = self.sim.now
+        sim = self.sim
+        wire = flight.wire
+        msg = flight.msg
+        hops = flight.hops
+        k = len(hops)
+        done = 0
+        while done < k and hops[done][4] <= now:
+            done += 1
+        for m in range(done):
+            self._account_hop(hops[m][0], hops[m][2], wire)
+        msg.hops += done
+        if done == k:
+            # past every analytic hop: only the live final send remains,
+            # and _final_send publishes the last node's forward itself
+            for m in range(done - 1):
+                self._publish_forward(flight, flight.skipped[m], hops[m][4])
+            sim.credit(2 * k)
+            self._final_send(flight)
+            return
+        for m in range(done):
+            self._publish_forward(flight, flight.skipped[m], hops[m][4])
+        # the message is crossing hop ``done``: sender-side accounting
+        # happened at enqueue time in the classic run, delivery has not
+        link, _enq, tx, s_end, arrival = hops[done]
+        stats = link.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += wire
+        stats.busy_time += tx
+        if stats.max_queue_bytes < wire:
+            stats.max_queue_bytes = wire
+        link._in_flight.append((msg, wire))
+        if now < s_end:
+            link._busy = True
+            sim.post_at(s_end, link._serialised, msg, wire)
+            sim.credit(2 * done)
+        else:
+            sim.post_at(arrival, link._deliver, msg, wire)
+            sim.credit(2 * done + 1)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "flights": self.flights,
+            "hops_coalesced": self.hops_coalesced,
+            "flushes": self.flushes,
+            "events_credited": self.sim.credited,
+        }

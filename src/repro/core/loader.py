@@ -76,8 +76,7 @@ class DataLoader:
         return True
 
     def tag_pending(self, entry: OwnedBat) -> None:
-        if not entry.pending:
-            entry.pending = True
+        if self.runtime.s1.note_pending(entry):
             entry.pending_since = self.sim.now
             if self.runtime.bus.active:
                 self.runtime.bus.publish(
@@ -86,10 +85,10 @@ class DataLoader:
 
     def _start_fetch(self, entry: OwnedBat) -> None:
         entry.loading = True
-        entry.pending = False
+        self.runtime.s1.note_unpending(entry)
         size = self.wire_size(entry)
         self.reserved_bytes += size
-        self.sim.schedule(
+        self.sim.post(
             self.disk_fetch_time(entry.size),
             self._fetch_done,
             entry,
@@ -130,10 +129,13 @@ class DataLoader:
     # ------------------------------------------------------------------
     def load_all(self) -> int:
         """Start every pending load that currently fits; returns how many."""
+        s1 = self.runtime.s1
+        if s1.pending_count == 0:
+            return 0
         started = 0
-        for entry in self.runtime.s1.pending_oldest_first(self.config.load_priority):
+        for entry in s1.pending_oldest_first(self.config.load_priority):
             if entry.loaded or entry.loading:
-                entry.pending = False
+                s1.note_unpending(entry)
                 continue
             if self.fits_in_queue(entry):
                 self._start_fetch(entry)

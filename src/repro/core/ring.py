@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import DataCyclotronConfig
+from repro.core.fastforward import FastForwarder
 from repro.core.query import QuerySpec, query_process
 from repro.core.runtime import NodeRuntime
 from repro.events import types as ev
@@ -112,6 +113,18 @@ class DataCyclotron:
 
             self.resilience = ResilienceManager(self)
         self.ring.rewire(self.config.requests_clockwise)
+        # Rotation fast-forwarding (docs/performance.md): built after the
+        # wiring is final; decides per send whether a run of disinterested
+        # hops can be coalesced.  Any injected fault disables it for the
+        # rest of the run, so chaos scenarios execute the classic stream.
+        self.ff = FastForwarder(self)
+        if self.resilience is not None:
+            # the failure detector's liveness monitors count raw request
+            # arrivals per hop; skipping those hops would starve them
+            self.ff.request_enabled = False
+        if self.ff.active:
+            for node in self.nodes:
+                node._ff = self.ff
 
         self._bat_sizes: Dict[int, int] = {}
         self._bat_owner: Dict[int, int] = {}
@@ -149,6 +162,8 @@ class DataCyclotron:
             raise ValueError(f"BAT {bat_id} already registered")
         if size <= 0:
             raise ValueError("BAT size must be positive")
+        # a recycled id (multiring migration) may still be mid-flight
+        self.ff.flush_bat(bat_id)
         if owner is None:
             owner = self._next_owner
             self._next_owner = (self._next_owner + 1) % self.config.n_nodes
@@ -183,6 +198,7 @@ class DataCyclotron:
         circulating is retired at its (former) owner on the next pass --
         the regular swallow path of Hot Set Management.
         """
+        self.ff.flush_bat(bat_id)
         owner = self._bat_owner.pop(bat_id)
         self._bat_sizes.pop(bat_id)
         replicas = self._bat_replicas.pop(bat_id, [owner])
@@ -251,8 +267,8 @@ class DataCyclotron:
         timeout = self.config.derived_resend_timeout(mean_size)
         for node in self.nodes:
             node.loss_timeout = timeout
-        self.sim.schedule(self.config.load_all_interval, self._tick_load_all)
-        self.sim.schedule(self.config.loit_adapt_interval, self._tick_loit)
+        self.sim.post(self.config.load_all_interval, self._tick_load_all)
+        self.sim.post(self.config.loit_adapt_interval, self._tick_loit)
         if self.resilience is not None:
             self.resilience.start()
 
@@ -260,13 +276,13 @@ class DataCyclotron:
         for node in self.nodes:
             if not node.crashed:
                 node.tick_load_all()
-        self.sim.schedule(self.config.load_all_interval, self._tick_load_all)
+        self.sim.post(self.config.load_all_interval, self._tick_load_all)
 
     def _tick_loit(self) -> None:
         for node in self.nodes:
             if not node.crashed:
                 node.tick_loit()
-        self.sim.schedule(self.config.loit_adapt_interval, self._tick_loit)
+        self.sim.post(self.config.loit_adapt_interval, self._tick_loit)
 
     def run(self, until: float) -> None:
         """Advance the simulation to absolute time ``until``."""
@@ -283,8 +299,10 @@ class DataCyclotron:
         self._start_ticks()
         while self.sim.now < max_time:
             if self.completed_queries >= self._submitted:
+                self.ff.flush_all()
                 return True
             self.sim.run(until=min(self.sim.now + check_interval, max_time))
+        self.ff.flush_all()
         return self.completed_queries >= self._submitted
 
     def detach_metrics(self) -> None:
@@ -389,6 +407,7 @@ class DataCyclotron:
         requests for those BATs fail with DATA_UNAVAILABLE until rejoin.
         """
         self._validate_killable(node_id)
+        self.ff.disable()
         now = self.sim.now
 
         # repair the topology first: traffic in flight bypasses the corpse
@@ -410,6 +429,7 @@ class DataCyclotron:
         crash, where no oracle tells the survivors.
         """
         self._validate_killable(node_id)
+        self.ff.disable()
         now = self.sim.now
         self.ring.set_alive(node_id, False)
         self._kill_node(node_id)
@@ -430,6 +450,7 @@ class DataCyclotron:
             raise ValueError(f"node {node_id} is alive")
         if node_id not in self._unrepaired:
             raise ValueError(f"node {node_id} has no unrepaired failure")
+        self.ff.disable()
         self._unrepaired.discard(node_id)
         now = self.sim.now
         # remove only the *confirmed* node from the membership: another
@@ -467,6 +488,7 @@ class DataCyclotron:
             raise ValueError(f"node {node_id} out of range")
         if self.ring.is_alive(node_id):
             raise ValueError(f"node {node_id} is already up")
+        self.ff.disable()
         now = self.sim.now
         runtime = self.nodes[node_id]
         runtime.restart()
@@ -507,6 +529,7 @@ class DataCyclotron:
         ``duration`` seconds (None = permanent)."""
         if direction not in ("data", "request", "both"):
             raise ValueError("direction must be 'data', 'request' or 'both'")
+        self.ff.disable()
         channels = []
         if direction in ("data", "both"):
             channels.append(self.ring.data_channel(node_id))
@@ -518,7 +541,7 @@ class DataCyclotron:
         ]
         self.bus.publish(ev.LinkDegraded(self.sim.now, node_id, direction))
         if duration is not None:
-            self.sim.schedule(duration, self._restore_links, node_id, saved)
+            self.sim.post(duration, self._restore_links, node_id, saved)
 
     def _restore_links(self, node_id: int, saved) -> None:
         for ch, settings in saved:
@@ -555,6 +578,9 @@ class DataCyclotron:
 
     def summary(self) -> dict:
         """Headline counters of the run so far (for reports and shells)."""
+        # land any coalesced flights so link stats, forward counters and
+        # the processed-event count match a classic run at this instant
+        self.ff.flush_all()
         metrics = self.metrics
         lifetimes = metrics.lifetimes()
         base = {

@@ -132,6 +132,10 @@ class NodeRuntime:
         self.loss_timeout = 1.0  # overwritten by the ring facade
         self._resend_timers: Dict[int, Event] = {}
 
+        # rotation fast-forwarding (repro.core.fastforward), injected by
+        # the facade when config.fast_forward is on
+        self._ff = None
+
         # fault tolerance (docs/faults.md)
         self.crashed = False
         # bumped on every crash and restart; in-flight disk fetches from
@@ -159,11 +163,16 @@ class NodeRuntime:
         if self.crashed:
             return  # the DBMS instance is gone; pin() reports the failure
         now = self.sim.now
+        ff = self._ff
         for bat_id in bat_ids:
             if self.s1.owns(bat_id):
                 continue
             if bat_id in self.unavailable_bats:
                 continue  # fail fast at pin time, no ring traffic
+            if ff is not None:
+                # a new S2 entry makes this node a stop for in-flight
+                # fast-forwarded traffic: land it before registering
+                ff.flush_bat(bat_id)
             entry = self.s2.register(bat_id, query_id, now)
             if not entry.sent:
                 self._send_request(entry)
@@ -206,6 +215,8 @@ class NodeRuntime:
 
         # Remote BAT: make sure a request is outstanding (a pin without a
         # prior request() is legal, just slower) and block in S3.
+        if self._ff is not None:
+            self._ff.flush_bat(bat_id)
         entry = self.s2.register(bat_id, query_id, now)
         if not entry.sent:
             self._send_request(entry)
@@ -225,8 +236,8 @@ class NodeRuntime:
     def finish_query(self, query_id: int, failed: bool = False, error: str = "") -> None:
         """Last-unpin bookkeeping: drop the query from S2 and S3."""
         self.s3.drop_query(query_id)
-        self.s2.drop_query(query_id)
-        self._sweep_resend_timers()
+        for bat_id in self.s2.drop_query(query_id):
+            self._cancel_resend(bat_id)
         if failed:
             self.queries_failed += 1
             if self.bus.active:
@@ -252,9 +263,9 @@ class NodeRuntime:
         self.cpu_seconds += duration
         if self.config.cpu_constrained:
             _core, _start, end = self.cores.schedule(self.sim.now, duration)
-            self.sim.schedule_at(end, fut.resolve, None)
+            self.sim.post_at(end, fut.resolve, None)
         else:
-            self.sim.schedule(duration, fut.resolve, None)
+            self.sim.post(duration, fut.resolve, None)
         return fut
 
     # ==================================================================
@@ -315,7 +326,7 @@ class NodeRuntime:
         # Outcome 6: just forward it anti-clockwise.
         if self.bus.active:
             self.bus.publish(ev.RequestForwarded(now, msg.bat_id, self.node_id))
-        self.out_request.send(msg, self.config.request_message_size)
+        self._ship_request(msg)
 
     def on_bat_message(self, msg: BATMessage, _size: int) -> None:
         """Dispatch of section 4.3: owner -> Hot Set Management, else
@@ -482,6 +493,13 @@ class NodeRuntime:
         # via on_data_loss, DropTail via on_data_drop.  Inferring the
         # drop kind from the boolean here double-counted DropTail drops
         # as loss drops whenever both mechanisms were active.
+        ff = self._ff
+        if ff is not None and ff.send_bat(self, msg, wire):
+            # the flight's first hop is a pristine idle channel, so the
+            # classic send below would have succeeded
+            if self.bus.active:
+                self.bus.publish(ev.BatForwarded(self.sim.now, msg.bat_id, self.node_id))
+            return
         if self.out_data.send(msg, wire):
             if self.bus.active:
                 self.bus.publish(ev.BatForwarded(self.sim.now, msg.bat_id, self.node_id))
@@ -557,7 +575,7 @@ class NodeRuntime:
             return
         self._local_fetches[bat_id] = [fut]
         entry = self.s1.get(bat_id)
-        self.sim.schedule(
+        self.sim.post(
             self.loader.disk_fetch_time(entry.size),
             self._local_fetch_done,
             bat_id,
@@ -591,6 +609,13 @@ class NodeRuntime:
     # ==================================================================
     # requests: sending, resend timeouts, failure
     # ==================================================================
+    def _ship_request(self, msg: RequestMessage) -> None:
+        """Put a request on the ring, fast-forwarding disinterested hops."""
+        ff = self._ff
+        if ff is not None and ff.send_request(self, msg):
+            return
+        self.out_request.send(msg, self.config.request_message_size)
+
     def _send_request(self, entry: OutstandingRequest) -> None:
         now = self.sim.now
         entry.sent = True
@@ -598,7 +623,7 @@ class NodeRuntime:
         if self.bus.active:
             self.bus.publish(ev.RequestCreated(now, entry.bat_id, self.node_id))
         msg = RequestMessage(origin=self.node_id, bat_id=entry.bat_id)
-        self.out_request.send(msg, self.config.request_message_size)
+        self._ship_request(msg)
         self._arm_resend(entry)
 
     def _resend_interval(self, resends: int) -> float:
@@ -667,14 +692,8 @@ class NodeRuntime:
             self.bus.publish(ev.RequestResent(now, bat_id, self.node_id))
         entry.sent_at = now
         msg = RequestMessage(origin=self.node_id, bat_id=bat_id)
-        self.out_request.send(msg, self.config.request_message_size)
+        self._ship_request(msg)
         self._arm_resend(entry)
-
-    def _sweep_resend_timers(self) -> None:
-        """Cancel timers whose S2 entry disappeared with a finished query."""
-        stale = [bat_id for bat_id in self._resend_timers if not self.s2.has(bat_id)]
-        for bat_id in stale:
-            self._cancel_resend(bat_id)
 
     def _fail_request(self, bat_id: int, reason: str) -> None:
         self.s2.unregister(bat_id)
@@ -732,7 +751,7 @@ class NodeRuntime:
         for entry in self.s1:
             entry.loaded = False
             entry.loading = False
-            entry.pending = False
+            self.s1.note_unpending(entry)
 
     def on_peer_down(
         self, peer: int, unavailable_bats: List[int], rehomed_bats: List[int]

@@ -52,6 +52,9 @@ class OwnedCatalog:
 
     def __init__(self) -> None:
         self._bats: Dict[int, OwnedBat] = {}
+        # entries with the pending flag up; lets the loadAll tick skip
+        # the full catalog scan when nothing is waiting (the common case)
+        self.pending_count = 0
 
     def add(self, bat_id: int, size: int) -> OwnedBat:
         if bat_id in self._bats:
@@ -61,7 +64,23 @@ class OwnedCatalog:
         return entry
 
     def remove(self, bat_id: int) -> None:
-        self._bats.pop(bat_id, None)
+        entry = self._bats.pop(bat_id, None)
+        if entry is not None and entry.pending:
+            entry.pending = False
+            self.pending_count -= 1
+
+    def note_pending(self, entry: OwnedBat) -> bool:
+        """Raise the pending flag; returns False if it was already up."""
+        if entry.pending:
+            return False
+        entry.pending = True
+        self.pending_count += 1
+        return True
+
+    def note_unpending(self, entry: OwnedBat) -> None:
+        if entry.pending:
+            entry.pending = False
+            self.pending_count -= 1
 
     def owns(self, bat_id: int) -> bool:
         entry = self._bats.get(bat_id)
@@ -82,7 +101,16 @@ class OwnedCatalog:
         observed small-BAT bias of Fig. 7.  ``fifo`` ignores size -- the
         ablation baseline.
         """
-        pending = [b for b in self._bats.values() if b.pending and not b.deleted]
+        pending = []
+        for b in self._bats.values():
+            if not b.pending:
+                continue
+            if b.deleted:
+                # deletion does not clear the flag itself; repair lazily
+                b.pending = False
+                self.pending_count -= 1
+                continue
+            pending.append(b)
         if mode == "fifo":
             pending.sort(key=lambda b: (b.pending_since, b.bat_id))
         else:
@@ -159,8 +187,13 @@ class RequestTable:
     def bat_ids(self) -> List[int]:
         return list(self._requests)
 
-    def drop_query(self, query_id: int) -> None:
-        """Remove a finished/aborted query from every request it joined."""
+    def drop_query(self, query_id: int) -> List[int]:
+        """Remove a finished/aborted query from every request it joined.
+
+        Returns the BAT ids whose requests became empty and were dropped,
+        so the caller can cancel exactly those resend timers instead of
+        sweeping the whole timer table.
+        """
         empty = []
         for bat_id, entry in self._requests.items():
             entry.queries.pop(query_id, None)
@@ -168,6 +201,7 @@ class RequestTable:
                 empty.append(bat_id)
         for bat_id in empty:
             del self._requests[bat_id]
+        return empty
 
     def __len__(self) -> int:
         return len(self._requests)

@@ -252,7 +252,8 @@ def _group_multi(bats: list) -> Tuple[BAT, list]:
         keys[i] = tuple(c[i] for c in columns)
     values, inverse = np.unique(keys, return_inverse=True)
     groups = BAT(inverse.astype(np.int64), head=bats[0].head_array())
-    extents = []
-    for k in range(len(columns)):
-        extents.append(BAT(np.array([v[k] for v in values]), head=None))
+    extents = [
+        BAT(np.array([v[k] for v in values]), head=None)
+        for k in range(len(columns))
+    ]
     return groups, extents

@@ -97,10 +97,10 @@ class _Planner:
         expanded: List[SelectItem] = []
         for ref in self.select.tables:
             table = self.catalog.table(ref.schema, ref.name)
-            for column in table.columns:
-                expanded.append(
-                    SelectItem(expr=ColumnRef(column, table=ref.binding))
-                )
+            expanded.extend(
+                SelectItem(expr=ColumnRef(column, table=ref.binding))
+                for column in table.columns
+            )
         self.select.items = expanded
 
     # ==================================================================

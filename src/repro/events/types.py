@@ -87,6 +87,7 @@ __all__ = [
     "GatewayFailed",
     "GatewayElected",
     # simulation engine
+    "RotationFastForwarded",
     "SimEventFired",
 ]
 
@@ -677,6 +678,22 @@ class GatewayElected:
 # ----------------------------------------------------------------------
 # simulation engine
 # ----------------------------------------------------------------------
+@dataclass(slots=True)
+class RotationFastForwarded:
+    """A flight coalesced ``hops`` disinterested ring hops into one event.
+
+    Published when a rotation fast-forward flight lands (docs/performance.md);
+    ``node`` is the last skipped node, the one that performs the real
+    send into the stop node.
+    """
+
+    t: float
+    kind: str  # "bat" | "request"
+    bat_id: int
+    node: int
+    hops: int
+
+
 @dataclass(slots=True)
 class SimEventFired:
     """The discrete-event engine dispatched one callback."""

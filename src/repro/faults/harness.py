@@ -50,8 +50,8 @@ class ChaosResult:
             f"invariant checks: {self.invariant_checks}, "
             f"violations: {len(self.violations)}",
         ]
-        for key in sorted(self.summary):
-            lines.append(f"  {key}: {self.summary[key]!r}")
+        lines.extend(f"  {key}: {self.summary[key]!r}"
+                     for key in sorted(self.summary))
         lines.extend(f"fault: {entry}" for entry in self.fault_log)
         lines.extend(f"skipped: {entry}" for entry in self.skipped_faults)
         lines.extend(f"VIOLATION: {entry}" for entry in self.violations)
@@ -82,20 +82,20 @@ class ChaosHarness:
         self.duration = duration
         self.resilience = resilience
         self.trace_path = trace
-        config = dict(
-            n_nodes=n_nodes,
-            seed=seed,
-            bandwidth=40 * MB,
-            bat_queue_capacity=15 * MB,
-            resend_timeout=0.5,
+        config = {
+            "n_nodes": n_nodes,
+            "seed": seed,
+            "bandwidth": 40 * MB,
+            "bat_queue_capacity": 15 * MB,
+            "resend_timeout": 0.5,
             # escalation keeps chaos runs terminating: backed-off resends,
             # then DATA_UNAVAILABLE
-            resend_backoff_base=2.0,
-            max_resends=6,
-            rehome_policy=rehome_policy,
-            disk_latency=1e-4,
-            load_all_interval=0.02,
-        )
+            "resend_backoff_base": 2.0,
+            "max_resends": 6,
+            "rehome_policy": rehome_policy,
+            "disk_latency": 1e-4,
+            "load_all_interval": 0.02,
+        }
         if resilience:
             config.update(resilience=True, replication_k=replication)
         config.update(config_overrides)

@@ -48,7 +48,7 @@ class FaultInjector:
             raise RuntimeError("injector already armed")
         self._armed = True
         for event in self.scenario.events:
-            self.dc.sim.schedule_at(event.at, self._fire, event)
+            self.dc.sim.post_at(event.at, self._fire, event)
 
     # ------------------------------------------------------------------
     def _fire(self, event: FaultEvent) -> None:

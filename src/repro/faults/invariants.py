@@ -135,11 +135,10 @@ def check_pin_accounting(dc: DataCyclotron) -> List[str]:
                 f"node {node.node_id}: pinned_bytes={node.pinned_bytes} but "
                 f"cache holds {cached}"
             )
-        for bat_id, entry in node.cache.items():
-            if entry.refcount < 0:
-                violations.append(
-                    f"node {node.node_id}: BAT {bat_id} refcount {entry.refcount} < 0"
-                )
+        violations.extend(
+            f"node {node.node_id}: BAT {bat_id} refcount {entry.refcount} < 0"
+            for bat_id, entry in node.cache.items() if entry.refcount < 0
+        )
     return violations
 
 

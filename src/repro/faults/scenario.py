@@ -152,18 +152,18 @@ class ChaosScenario:
                 downtime = crash_rng.uniform(min_downtime, max(min_downtime, 0.3 * duration))
                 events.append(NodeRejoin(at=at + downtime, node=node))
 
-        for _ in range(degradations):
-            events.append(
-                LinkDegrade(
-                    at=degrade_rng.uniform(lo, hi),
-                    node=degrade_rng.randrange(n_nodes),
-                    direction="data",
-                    bandwidth_factor=degrade_rng.uniform(0.1, 0.5),
-                    extra_delay=degrade_rng.uniform(0.0, 5e-3),
-                    loss_rate=round(degrade_rng.uniform(0.0, 0.2), 3),
-                    duration=degrade_rng.uniform(0.5, 0.2 * duration + 0.5),
-                )
+        events.extend(
+            LinkDegrade(
+                at=degrade_rng.uniform(lo, hi),
+                node=degrade_rng.randrange(n_nodes),
+                direction="data",
+                bandwidth_factor=degrade_rng.uniform(0.1, 0.5),
+                extra_delay=degrade_rng.uniform(0.0, 5e-3),
+                loss_rate=round(degrade_rng.uniform(0.0, 0.2), 3),
+                duration=degrade_rng.uniform(0.5, 0.2 * duration + 0.5),
             )
+            for _ in range(degradations)
+        )
         scenario = cls(events=events, name=f"random-{seed}")
         scenario.validate(n_nodes)
         return scenario

@@ -27,8 +27,8 @@ def render_table(
         lines.append(title)
     lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
     lines.append("  ".join("-" * w for w in widths))
-    for row in cells[1:]:
-        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    lines.extend("  ".join(c.rjust(w) for c, w in zip(row, widths))
+                 for row in cells[1:])
     return "\n".join(lines)
 
 

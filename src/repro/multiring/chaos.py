@@ -142,14 +142,14 @@ class MultiRingChaosHarness:
     def _arm(self) -> None:
         sim = self.fed.sim
         if self.scenario == "gateway":
-            sim.schedule(1.0, self._crash_gateway, 1)
+            sim.post(1.0, self._crash_gateway, 1)
         else:
             # force the probe fragment to re-home ring 0 -> ring 1; the
             # placement tick at t=1.0 starts the shipment, and the
             # source gateway dies while it is on the link
-            sim.schedule(0.8, self.fed.placement.request_migration,
+            sim.post(0.8, self.fed.placement.request_migration,
                          self.probe_bat, 1)
-            sim.schedule(1.01, self._crash_gateway, 0)
+            sim.post(1.01, self._crash_gateway, 0)
 
     def _crash_gateway(self, ring_id: int) -> None:
         node = self.fed.router.gateway(ring_id)

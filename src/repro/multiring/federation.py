@@ -329,7 +329,7 @@ class RingFederation:
                 base.retry_backoff_cap,
                 base.retry_backoff_initial * base.retry_backoff_base ** (attempt - 1),
             )
-            self.sim.schedule(backoff, self._retry, spec.query_id, failed)
+            self.sim.post(backoff, self._retry, spec.query_id, failed)
             return
         self._outcomes[spec.query_id] = failed
         if base.resilience and self.bus.active:

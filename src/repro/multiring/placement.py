@@ -87,13 +87,13 @@ class PlacementManager:
         if self._started or self.config.placement_interval <= 0:
             return
         self._started = True
-        self.sim.schedule(self.config.placement_interval, self._tick)
+        self.sim.post(self.config.placement_interval, self._tick)
 
     def _tick(self) -> None:
         self._fold_interest()
         self._drive_forced()
         self._drive_interest()
-        self.sim.schedule(self.config.placement_interval, self._tick)
+        self.sim.post(self.config.placement_interval, self._tick)
 
     def _fold_interest(self) -> None:
         alpha = self.config.interest_decay

@@ -268,8 +268,8 @@ class CrossRingRouter:
             # manual teardown: a fetch service is not a query, so it must
             # not publish query-lifecycle events (finish_query would)
             runtime.s3.drop_query(service_id)
-            runtime.s2.drop_query(service_id)
-            runtime._sweep_resend_timers()
+            for bat_id in runtime.s2.drop_query(service_id):
+                runtime._cancel_resend(bat_id)
             if runtime.crashed and not result.ok:
                 return  # a dead gateway answers nobody
             reply = FetchReply(

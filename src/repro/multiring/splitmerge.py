@@ -57,12 +57,12 @@ class SplitMergeController:
         if self._started or self.config.splitmerge_interval <= 0:
             return
         self._started = True
-        self.sim.schedule(self.config.splitmerge_interval, self._tick)
+        self.sim.post(self.config.splitmerge_interval, self._tick)
 
     def _tick(self) -> None:
         for ring_id in list(self.fed.active_rings):
             self._observe_ring(ring_id)
-        self.sim.schedule(self.config.splitmerge_interval, self._tick)
+        self.sim.post(self.config.splitmerge_interval, self._tick)
 
     def _observe_ring(self, ring_id: int) -> None:
         ring = self.fed.rings[ring_id]

@@ -128,6 +128,9 @@ class Channel:
         """
         if bandwidth_factor <= 0:
             raise ValueError("bandwidth_factor must be positive")
+        if self.link.ff_transit is not None:
+            # freeze the pre-fault timing of anything fast-forwarded here
+            self.link.ff_transit.flush()
         before = {
             "bandwidth": self.link.bandwidth,
             "delay": self.link.delay,
@@ -145,6 +148,8 @@ class Channel:
 
     def restore(self, settings: dict) -> None:
         """Undo a :meth:`degrade`, restoring the saved settings."""
+        if self.link.ff_transit is not None:
+            self.link.ff_transit.flush()
         self.link.bandwidth = settings["bandwidth"]
         self.link.delay = settings["delay"]
         self.loss_rate = settings["loss_rate"]

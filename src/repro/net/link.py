@@ -104,6 +104,10 @@ class Link:
         self._queue: Deque[Tuple[Any, int]] = deque()
         self._queued_bytes = 0
         self._busy = False
+        # the rotation fast-forward flight currently crossing this link,
+        # if any (repro.core.fastforward); a competing send flushes it
+        # back into real link state before queueing behind it
+        self.ff_transit = None
         # messages serialising or propagating (popped from the queue but
         # not yet delivered); fault injection needs to see what is on the
         # wire to account for crash-time losses and ring-byte conservation
@@ -162,6 +166,9 @@ class Link:
     # ------------------------------------------------------------------
     def send(self, message: Any, size: int) -> bool:
         """Enqueue ``message`` of ``size`` bytes; False if DropTail dropped it."""
+        ft = self.ff_transit
+        if ft is not None:
+            ft.touch(self)
         if size < 0:
             raise ValueError("message size cannot be negative")
         if (
@@ -213,10 +220,10 @@ class Link:
                 )
         # Serialisation finishes after tx_time; the wire is then free for
         # the next message while this one propagates for ``delay`` more.
-        self.sim.schedule(tx_time, self._serialised, message, size)
+        self.sim.post(tx_time, self._serialised, message, size)
 
     def _serialised(self, message: Any, size: int) -> None:
-        self.sim.schedule(self.delay, self._deliver, message, size)
+        self.sim.post(self.delay, self._deliver, message, size)
         self._transmit_next()
 
     def _deliver(self, message: Any, size: int) -> None:

@@ -89,6 +89,9 @@ class Ring:
             for i in range(n_nodes)
         ]
         self.alive: List[bool] = [True] * n_nodes
+        # membership changes are rare; periodic ticks and invariant checks
+        # read the live set every call, so cache it until set_alive moves
+        self._live_cache: Optional[List[int]] = list(range(n_nodes))
         self._bat_receivers: List[Optional[Receiver]] = [None] * n_nodes
         self._request_receivers: List[Optional[Receiver]] = [None] * n_nodes
 
@@ -110,14 +113,20 @@ class Ring:
         self._request_receivers[node] = on_request
 
     def set_alive(self, node: int, alive: bool) -> None:
-        self.alive[node] = alive
+        if self.alive[node] != alive:
+            self.alive[node] = alive
+            self._live_cache = None
 
     def is_alive(self, node: int) -> bool:
         return self.alive[node]
 
     @property
     def live_nodes(self) -> List[int]:
-        return [i for i in range(self.n_nodes) if self.alive[i]]
+        cached = self._live_cache
+        if cached is None:
+            cached = [i for i in range(self.n_nodes) if self.alive[i]]
+            self._live_cache = cached
+        return list(cached)
 
     def live_successor(self, node: int) -> int:
         """Nearest live node clockwise of ``node`` (itself if sole survivor)."""

@@ -120,8 +120,8 @@ class ResilienceManager:
         interval = self.config.heartbeat_interval
         for i in range(self.config.n_nodes):
             self._retarget(self.monitors[i], now)
-            self.sim.schedule(interval, self._beacon, i)
-            self.sim.schedule(interval, self._check, i)
+            self.sim.post(interval, self._beacon, i)
+            self.sim.post(interval, self._check, i)
 
     def _beacon(self, node_id: int) -> None:
         node = self.dc.nodes[node_id]
@@ -129,7 +129,7 @@ class ResilienceManager:
             node.out_request.send(
                 HeartbeatMessage(node_id), self.config.request_message_size
             )
-        self.sim.schedule(self.config.heartbeat_interval, self._beacon, node_id)
+        self.sim.post(self.config.heartbeat_interval, self._beacon, node_id)
 
     def _retarget(self, monitor: SuccessorMonitor, now: float) -> None:
         """Point the monitor at the node's currently-wired successor."""
@@ -164,7 +164,7 @@ class ResilienceManager:
             elif phi >= self.config.phi_suspect and not monitor.suspected:
                 monitor.suspected = True
                 self.bus.publish(ev.NodeSuspected(now, target, node_id, phi))
-        self.sim.schedule(self.config.heartbeat_interval, self._check, node_id)
+        self.sim.post(self.config.heartbeat_interval, self._check, node_id)
 
     def _confirm(self, monitor: SuccessorMonitor, target: int, phi: float) -> None:
         now = self.sim.now

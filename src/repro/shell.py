@@ -98,9 +98,8 @@ class Shell:
             except Exception as error:  # parser/planner diagnostics
                 return f"error: {error}"
         if command == "\\nodes":
-            rows = []
-            for node in self.ring.dc.nodes:
-                rows.append((
+            rows = [
+                (
                     node.node_id,
                     len(node.s1),
                     sum(1 for b in node.s1 if b.loaded),
@@ -108,7 +107,9 @@ class Shell:
                     len(node.s3),
                     node.loit.threshold,
                     round(node.cpu_seconds, 4),
-                ))
+                )
+                for node in self.ring.dc.nodes
+            ]
             return render_table(
                 ["node", "owned", "in ring", "S2", "S3", "LOIT", "cpu(s)"],
                 rows,

@@ -6,9 +6,21 @@ were scheduled (FIFO), which keeps protocol traces deterministic -- the
 property the paper relies on when comparing LOIT levels across runs
 (section 5.1 repeats the identical workload eleven times).
 
+Two scheduling lanes share one heap:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`Event` handle that can later be cancelled -- the lane for
+  resend timers and anything else that may be revoked,
+* :meth:`Simulator.post` / :meth:`Simulator.post_at` are the fast lane
+  for never-cancelled one-shot callbacks (the overwhelming majority of
+  protocol traffic: link serialisation/delivery, process resumption,
+  periodic ticks).  They allocate no handle at all -- the heap entry is
+  a bare tuple -- and heap ordering compares plain ``(time, seq)``
+  tuple prefixes in C instead of calling ``Event.__lt__``.
+
 The engine can publish a :class:`~repro.events.types.SimEventFired`
 event onto an attached :class:`~repro.events.bus.Bus` for every callback
-it dispatches; the publish is skipped entirely (a single dict probe)
+it dispatches; the publish is skipped entirely (a single int compare)
 unless somebody subscribed, so attaching a bus costs nothing on the
 hot path.
 """
@@ -29,19 +41,24 @@ __all__ = ["Event", "Simulator", "SimulationError"]
 # A cancelled backlog below this size is never worth compacting.
 _COMPACT_MIN_CANCELLED = 16
 
+# Heap entry layout: (time, seq, fn, args, event_or_None).  The seq is
+# unique, so tuple comparison never reaches fn; entries with a live
+# Event handle carry it in slot 4 so cancellation can be honoured.
+_TIME, _SEQ, _FN, _ARGS, _EVENT = range(5)
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
 
 
 class Event:
-    """A scheduled callback.
+    """A scheduled callback handle (the cancellable lane).
 
     Events are created through :meth:`Simulator.schedule` /
     :meth:`Simulator.schedule_at` and can be cancelled with
-    :meth:`Simulator.cancel` (or :meth:`cancel`).  A cancelled event
-    stays in the heap until it is popped or the engine compacts -- which
-    it does lazily once cancelled entries outnumber live ones, so
+    :meth:`Simulator.cancel` (or :meth:`cancel`).  A cancelled event's
+    heap entry stays queued until it is popped or the engine compacts --
+    which it does lazily once cancelled entries outnumber live ones, so
     cancel-heavy workloads (resend timers re-armed on every data
     sighting) cannot grow the heap without bound.
     """
@@ -98,10 +115,11 @@ class Simulator:
     def __init__(self, bus: Optional["Bus"] = None) -> None:
         self.now: float = 0.0
         self.bus = bus
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._credited = 0  # events accounted for analytically, not dispatched
         self._cancelled = 0  # cancelled events still sitting in the heap
         # Cached verdict of bus.wants(SimEventFired), keyed on the bus
         # subscription version so the hot loop pays one int compare per
@@ -124,13 +142,44 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is t={self.now})"
             )
-        event = Event(time, next(self._seq), fn, args, self)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, seq, fn, args, self)
+        heapq.heappush(self._heap, (time, seq, fn, args, event))
         return event
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fast-lane :meth:`schedule` for a callback that is never cancelled.
+
+        No :class:`Event` handle is allocated; the entry cannot be
+        cancelled or introspected, only dispatched.
+        """
+        time = self.now + delay
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._heap, (time, next(self._seq), fn, args, None))
+
+    def post_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fast-lane :meth:`schedule_at` for a never-cancelled callback."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self.now})"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), fn, args, None))
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (idempotent)."""
         event.cancel()
+
+    def credit(self, n: int) -> None:
+        """Account for ``n`` events whose effects were computed in closed
+        form instead of being dispatched (rotation fast-forwarding).
+
+        Keeps :attr:`processed` identical to a classic run so reports
+        and golden snapshots stay bit-comparable; :attr:`dispatched`
+        still exposes the real dispatch count.
+        """
+        self._processed += n
+        self._credited += n
 
     # ------------------------------------------------------------------
     # cancelled-event hygiene
@@ -148,7 +197,10 @@ class Simulator:
         """Rebuild the heap without cancelled entries (stable: the
         (time, seq) order of live events is a total order, so heapify
         preserves FIFO semantics for simultaneous events)."""
-        self._heap = [e for e in self._heap if not e.cancelled]
+        self._heap = [
+            entry for entry in self._heap
+            if entry[_EVENT] is None or not entry[_EVENT].cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled = 0
 
@@ -160,8 +212,8 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _fire(self, event: Event) -> None:
-        self.now = event.time
+    def _fire(self, entry: tuple) -> None:
+        self.now = entry[_TIME]
         self._processed += 1
         bus = self.bus
         if bus is not None:
@@ -169,24 +221,26 @@ class Simulator:
                 self._bus_version = bus.version
                 self._fire_wanted = bus.wants(SimEventFired)
             if self._fire_wanted:
+                fn = entry[_FN]
                 bus.publish(
                     SimEventFired(
-                        event.time,
-                        event.seq,
-                        getattr(event.fn, "__qualname__", repr(event.fn)),
+                        entry[_TIME],
+                        entry[_SEQ],
+                        getattr(fn, "__qualname__", repr(fn)),
                     )
                 )
-        event.fn(*event.args)
+        entry[_FN](*entry[_ARGS])
 
     def step(self) -> bool:
         """Run the next pending event.  Returns ``False`` when none remain."""
         while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+            entry = heapq.heappop(self._heap)
+            ev = entry[_EVENT]
+            if ev is not None and ev.cancelled:
                 if self._cancelled > 0:
                     self._cancelled -= 1
                 continue
-            self._fire(event)
+            self._fire(entry)
             return True
         return False
 
@@ -202,34 +256,40 @@ class Simulator:
         self._running = True
         count = 0
         pop = heapq.heappop
+        heap = self._heap
         bus = self.bus
         try:
             # The body of ``_fire`` is inlined here: this loop dispatches
             # every simulation callback, so the per-event overhead budget
             # is a handful of attribute loads (no extra function call).
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
+            while heap:
+                entry = heap[0]
+                ev = entry[4]
+                if ev is not None and ev.cancelled:
                     self._pop_cancelled()
+                    heap = self._heap  # _pop_cancelled may have compacted
                     continue
-                if until is not None and event.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     break
-                pop(self._heap)
-                self.now = event.time
+                pop(heap)
+                self.now = time
                 self._processed += 1
                 if bus is not None:
                     if bus.version != self._bus_version:
                         self._bus_version = bus.version
                         self._fire_wanted = bus.wants(SimEventFired)
                     if self._fire_wanted:
+                        fn = entry[2]
                         bus.publish(
                             SimEventFired(
-                                event.time,
-                                event.seq,
-                                getattr(event.fn, "__qualname__", repr(event.fn)),
+                                time,
+                                entry[1],
+                                getattr(fn, "__qualname__", repr(fn)),
                             )
                         )
-                event.fn(*event.args)
+                entry[2](*entry[3])
+                heap = self._heap  # callbacks may cancel enough to compact
                 count += 1
                 if max_events is not None and count >= max_events:
                     break
@@ -245,11 +305,27 @@ class Simulator:
 
     @property
     def processed(self) -> int:
-        """Total number of events executed so far."""
+        """Total events accounted for (dispatched plus fast-forward credits)."""
         return self._processed
+
+    @property
+    def dispatched(self) -> int:
+        """Events actually dispatched by the loop (excludes credits)."""
+        return self._processed - self._credited
+
+    @property
+    def credited(self) -> int:
+        """Events accounted for in closed form by rotation fast-forwarding."""
+        return self._credited
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            self._pop_cancelled()
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            ev = heap[0][_EVENT]
+            if ev is not None and ev.cancelled:
+                self._pop_cancelled()
+                heap = self._heap
+                continue
+            return heap[0][_TIME]
+        return None

@@ -71,11 +71,11 @@ class Future:
         for cb in callbacks:
             # Schedule rather than call directly so waiters observe a
             # consistent world state and wake in FIFO order.
-            self.sim.schedule(0.0, cb, value)
+            self.sim.post(0.0, cb, value)
 
     def add_callback(self, cb: Callable[[Any], None]) -> None:
         if self._done:
-            self.sim.schedule(0.0, cb, self._value)
+            self.sim.post(0.0, cb, self._value)
         else:
             self._callbacks.append(cb)
 
@@ -108,7 +108,7 @@ class Process:
         self._result: Any = None
         self._waiters: list[Future] = []
         self._alive = True
-        sim.schedule(start_delay, self._resume, None)
+        sim.post(start_delay, self._resume, None)
 
     # ------------------------------------------------------------------
     @property
@@ -151,7 +151,7 @@ class Process:
             self._complete(stop.value)
             return
         if isinstance(yielded, Delay):
-            self.sim.schedule(yielded.duration, self._resume, None)
+            self.sim.post(yielded.duration, self._resume, None)
         elif isinstance(yielded, Future):
             yielded.add_callback(self._resume)
         elif isinstance(yielded, Process):

@@ -16,13 +16,13 @@ def build_dc(
     **config_overrides,
 ) -> DataCyclotron:
     """A small ring with fast defaults suitable for unit tests."""
-    defaults = dict(
-        n_nodes=n_nodes,
-        seed=1,
-        disk_latency=1e-4,
-        load_all_interval=0.01,
-        loit_adapt_interval=0.05,
-    )
+    defaults = {
+        "n_nodes": n_nodes,
+        "seed": 1,
+        "disk_latency": 1e-4,
+        "load_all_interval": 0.01,
+        "loit_adapt_interval": 0.05,
+    }
     defaults.update(config_overrides)
     dc = DataCyclotron(DataCyclotronConfig(**defaults))
     bats = bats if bats is not None else {i: MB for i in range(8)}

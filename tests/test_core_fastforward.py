@@ -1,0 +1,166 @@
+"""Rotation fast-forwarding: activation, flush paths, self-disable.
+
+The equivalence suite (``test_fastforward_equivalence.py``) proves the
+coalesced rotation is observationally identical to the classic one;
+these tests pin the machinery itself -- when the fast path engages, what
+flushes a flight back into real link state, and which conditions force
+it to stand down.
+"""
+
+from repro.core import MB, DataCyclotron, DataCyclotronConfig
+from repro.core.query import QuerySpec
+
+
+def sparse_ring(n_nodes=16, fast_forward=True, seed=1, observers=False,
+                queries=6, **config_kwargs) -> DataCyclotron:
+    """A quiet ring: one hot BAT rotating past mostly disinterested nodes."""
+    dc = DataCyclotron(DataCyclotronConfig(
+        n_nodes=n_nodes, seed=seed, fast_forward=fast_forward, **config_kwargs
+    ))
+    if not observers:
+        dc.detach_metrics()
+    for bat_id in range(4):
+        dc.add_bat(bat_id, MB)
+    for q in range(queries):
+        dc.submit(QuerySpec.simple(q + 1, q % n_nodes, 0.5 * q, [0], [0.002]))
+    return dc
+
+
+def launch_flight(dc: DataCyclotron):
+    """Step the simulation until the fast path has a flight in the air."""
+    dc._start_ticks()
+    for _ in range(200_000):
+        if dc.ff._by_bat:
+            flights = next(iter(dc.ff._by_bat.values()))
+            return flights[0]
+        if not dc.sim.step():
+            break
+    raise AssertionError("no flight launched in a sparse ring")
+
+
+# ----------------------------------------------------------------------
+# activation gates
+# ----------------------------------------------------------------------
+def test_config_flag_off_pins_classic_path():
+    dc = sparse_ring(fast_forward=False)
+    assert not dc.ff.active
+    dc.run(until=10.0)
+    assert dc.ff.stats()["flights"] == 0
+    assert dc.sim.credited == 0
+
+
+def test_tiny_ring_never_fast_forwards():
+    # with < 3 nodes there is no run of 2+ disinterested hops to skip
+    dc = sparse_ring(n_nodes=2)
+    assert not dc.ff.active
+
+
+def test_sparse_ring_coalesces_rotation():
+    dc = sparse_ring()
+    dc.run(until=10.0)
+    dc.ff.flush_all()
+    stats = dc.ff.stats()
+    assert stats["flights"] > 0
+    assert stats["hops_coalesced"] >= 2 * stats["flights"]
+    assert dc.sim.credited > 0
+    # processed = dispatched + credited, by construction
+    assert dc.sim.processed == dc.sim.dispatched + dc.sim.credited
+
+
+def test_wildcard_observer_pins_classic_path():
+    # a tracer/profiler subscribed to everything must see every per-hop
+    # event in dispatch order, so no flight may launch under it
+    dc = sparse_ring(observers=True)
+    dc.bus.subscribe_all(lambda event: None)
+    dc.run(until=5.0)
+    assert dc.ff.stats()["flights"] == 0
+
+
+# ----------------------------------------------------------------------
+# flush paths
+# ----------------------------------------------------------------------
+def test_summary_lands_open_flights():
+    dc = sparse_ring(observers=True)
+    launch_flight(dc)
+    assert dc.ff._by_bat
+    dc.summary()
+    assert not dc.ff._by_bat
+
+
+def test_flush_bat_rematerialises_the_flight():
+    dc = sparse_ring()
+    flight = launch_flight(dc)
+    before = dc.ff.flushes
+    dc.ff.flush_bat(flight.bat_id)
+    assert not dc.ff._by_bat
+    assert dc.ff.flushes == before + 1
+    # the re-materialised hops finish the journey on the classic path
+    assert dc.run_until_done(max_time=120.0)
+
+
+def test_passed_hop_release_keeps_the_flight_alive():
+    dc = sparse_ring()
+    flight = launch_flight(dc)
+    first_link, _enq, _tx, _s_end, first_arrival = flight.hops[0]
+    last_arrival = flight.hops[-1][4]
+    assert first_link.ff_transit is flight
+
+    checked = []
+
+    def probe():
+        # the message analytically left the first hop, but the flight is
+        # still in the air: a competing send on that link must release
+        # the lapsed reservation instead of flushing the whole flight
+        assert dc.sim.now > first_arrival
+        flight.touch(first_link)
+        checked.append(first_link.ff_transit is None)
+        checked.append(flight in dc.ff._by_bat.get(flight.bat_id, []))
+
+    mid = (first_arrival + last_arrival) / 2
+    assert mid > dc.sim.now
+    flushes_before = dc.ff.flushes
+    dc.sim.schedule_at(mid, probe)
+    dc.sim.run(until=mid)
+    assert checked == [True, True]
+    assert dc.ff.flushes == flushes_before  # released, never flushed
+    assert dc.run_until_done(max_time=120.0)
+
+
+def test_touch_on_future_hop_flushes():
+    dc = sparse_ring()
+    flight = launch_flight(dc)
+    last_link = flight.hops[-1][0]
+    before = dc.ff.flushes
+    # the message has not yet crossed the final reserved hop: competing
+    # traffic there must flush the flight back into real link state
+    flight.touch(last_link)
+    assert dc.ff.flushes == before + 1
+    assert not dc.ff._by_bat
+    assert dc.run_until_done(max_time=120.0)
+
+
+# ----------------------------------------------------------------------
+# self-disable under faults and resilience
+# ----------------------------------------------------------------------
+def test_crash_disables_the_fast_path():
+    dc = sparse_ring()
+    dc.run(until=2.0)
+    assert dc.ff.active
+    dc.crash_node(3)
+    assert not dc.ff.active
+    assert not dc.ff._by_bat  # disable() flushed everything first
+
+
+def test_degraded_link_disables_the_fast_path():
+    dc = sparse_ring()
+    dc.run(until=2.0)
+    dc.degrade_link(2, "data", loss_rate=0.5)
+    assert not dc.ff.active
+
+
+def test_resilience_disables_request_coalescing_only():
+    dc = sparse_ring(observers=True, resilience=True)
+    assert dc.ff.active
+    # liveness monitors count raw request arrivals per hop; coalescing
+    # them would starve the detector, so only BAT flights stay eligible
+    assert not dc.ff.request_enabled

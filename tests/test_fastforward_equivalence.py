@@ -1,0 +1,78 @@
+"""Fast-forward on vs off must be *bit-identical* in ``summary()``.
+
+The rotation fast path (repro.core.fastforward) coalesces runs of
+disinterested hops into one analytic arrival.  Its contract is total
+observational equivalence: every per-BAT statistic, every query record,
+every link counter and the processed-event count must match a classic
+run byte for byte -- floats included, because the closed-form per-hop
+times are computed with the same stepwise arithmetic the classic path
+uses.  This suite sweeps seeds, workload shapes and the resilience
+detector; any drift is a correctness bug in the fast path, never an
+acceptable approximation.
+"""
+
+import pytest
+
+from repro.core import MB, DataCyclotron, DataCyclotronConfig
+from repro.workloads.base import UniformDataset, populate_ring
+from repro.workloads.gaussian import GaussianWorkload
+from repro.workloads.uniform import UniformWorkload
+
+SEEDS = [1, 2, 3, 5, 8]
+
+
+def run_summary(seed: int, workload: str, fast_forward: bool,
+                resilience: bool = False) -> dict:
+    dataset = UniformDataset(n_bats=80, min_size=MB, max_size=2 * MB, seed=seed)
+    dc = DataCyclotron(DataCyclotronConfig(
+        n_nodes=6,
+        bandwidth=40 * MB,
+        bat_queue_capacity=15 * MB,
+        resend_timeout=5.0,
+        seed=seed,
+        fast_forward=fast_forward,
+        resilience=resilience,
+    ))
+    populate_ring(dc, dataset)
+    kwargs = {
+        "n_nodes": 6, "queries_per_second": 10.0, "duration": 5.0,
+        "min_bats": 1, "max_bats": 3, "min_proc_time": 0.02, "max_proc_time": 0.05,
+        "seed": seed,
+    }
+    if workload == "gaussian":
+        # the section 5.3 skew: a hot middle, long disinterested tails
+        wl = GaussianWorkload(
+            dataset, mean=dataset.n_bats / 2, std=dataset.n_bats / 20, **kwargs
+        )
+    else:
+        wl = UniformWorkload(dataset, **kwargs)
+    wl.submit_to(dc)
+    assert dc.run_until_done(max_time=300.0)
+    summary = dc.summary()
+    # stash non-summary observables that must also agree
+    summary["_processed"] = dc.sim.processed
+    summary["_link_stats"] = [
+        (ch.link.stats.messages_sent, ch.link.stats.bytes_sent,
+         ch.link.stats.messages_delivered, repr(ch.link.stats.busy_time),
+         ch.link.stats.max_queue_bytes)
+        for ch in (*dc.ring.data, *dc.ring.request)
+    ]
+    return summary
+
+
+@pytest.mark.parametrize("workload", ["uniform", "gaussian"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_summary_bit_identical(seed: int, workload: str):
+    on = run_summary(seed, workload, fast_forward=True)
+    off = run_summary(seed, workload, fast_forward=False)
+    assert on == off
+
+
+@pytest.mark.parametrize("workload", ["uniform", "gaussian"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_summary_bit_identical_with_resilience(seed: int, workload: str):
+    # the detector's heartbeat/monitor stream must interleave identically;
+    # request coalescing self-disables, BAT coalescing stays on
+    on = run_summary(seed, workload, fast_forward=True, resilience=True)
+    off = run_summary(seed, workload, fast_forward=False, resilience=True)
+    assert on == off

@@ -4,7 +4,7 @@ timer hygiene.
 Covers both drop mechanisms (DropTail on a full transmit queue, loss
 injection on the channel), checks that the two are never conflated in
 the metrics, and exercises the ``_arm_resend`` / ``_cancel_resend`` /
-``_sweep_resend_timers`` life cycle.
+timer-cancellation life cycle.
 """
 
 import pytest
@@ -140,22 +140,24 @@ def test_cancel_resend_is_idempotent():
     node._cancel_resend(999)  # unknown BAT likewise
 
 
-def test_sweep_cancels_only_orphaned_timers():
+def test_finish_query_cancels_only_its_own_timers():
     dc = build_dc(n_nodes=4, bats={5: MB, 6: MB}, owners={5: 2, 6: 2},
                   resend_timeout=5.0)
     node = dc.nodes[0]
     dc._start_ticks()
     node.request(1, [5])
-    node.request(2, [6])
+    node.request(2, [5, 6])
     assert set(node._resend_timers) == {5, 6}
-    # simulate a request that evaporated without going through unregister
-    node.s2.unregister(5)
-    node._sweep_resend_timers()
-    assert set(node._resend_timers) == {6}
-    live_timer = node._resend_timers[6]
-    node._sweep_resend_timers()  # idempotent: second sweep changes nothing
-    assert node._resend_timers == {6: live_timer}
-    assert not live_timer.cancelled
+    # query 1 leaving keeps BAT 5's request alive (query 2 still needs it)
+    assert node.s2.drop_query(1) == []
+    assert set(node._resend_timers) == {5, 6}
+    # query 2 leaving empties both requests; the caller cancels exactly those
+    emptied = node.s2.drop_query(2)
+    assert sorted(emptied) == [5, 6]
+    for bat_id in emptied:
+        node._cancel_resend(bat_id)
+    assert node._resend_timers == {}
+    assert not node.s2.has(5) and not node.s2.has(6)
 
 
 def test_resend_interval_backoff_and_cap():

@@ -27,10 +27,10 @@ def small_config(**overrides) -> MultiRingConfig:
         resend_timeout=0.5, max_resends=6, disk_latency=1e-4,
         load_all_interval=0.02, seed=SEED,
     )
-    defaults = dict(
-        base=base, n_rings=2, nodes_per_ring=3, gateways_per_ring=1,
-        placement_interval=0.0, splitmerge_interval=0.0,
-    )
+    defaults = {
+        "base": base, "n_rings": 2, "nodes_per_ring": 3, "gateways_per_ring": 1,
+        "placement_interval": 0.0, "splitmerge_interval": 0.0,
+    }
     defaults.update(overrides)
     return MultiRingConfig(**defaults)
 

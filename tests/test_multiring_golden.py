@@ -26,6 +26,8 @@ def run_degenerate_federation() -> RingFederation:
     base = DataCyclotronConfig(
         n_nodes=4, bandwidth=40 * MB, bat_queue_capacity=15 * MB,
         resend_timeout=5.0, seed=SEED,
+        # pin the classic rotation path, same as test_events_golden
+        fast_forward=False,
     )
     fed = RingFederation(MultiRingConfig(
         base=base, n_rings=1, nodes_per_ring=4, gateways_per_ring=0,

@@ -12,11 +12,11 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.dbms import Database
 
-SETTINGS = dict(
-    deadline=None,
-    max_examples=40,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+SETTINGS = {
+    "deadline": None,
+    "max_examples": 40,
+    "suppress_health_check": [HealthCheck.too_slow],
+}
 
 values = st.integers(min_value=0, max_value=9)
 rows = st.integers(min_value=1, max_value=25)

@@ -16,11 +16,11 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import DataCyclotron, DataCyclotronConfig, MB, QuerySpec
 
-SLOW = dict(
-    deadline=None,
-    max_examples=20,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+SLOW = {
+    "deadline": None,
+    "max_examples": 20,
+    "suppress_health_check": [HealthCheck.too_slow, HealthCheck.data_too_large],
+}
 
 
 def deployment(n_nodes, bat_sizes, loit_static, loss_rate=0.0, queue_mb=None):

@@ -176,8 +176,8 @@ def test_pulsating_ring_stays_under_moderate_load():
 
     ring = PulsatingRing(
         dataset, make_workload, controller=controller, initial_nodes=4,
-        config_overrides=dict(bandwidth=20 * MB, bat_queue_capacity=8 * MB,
-                              resend_timeout=5.0, seed=5),
+        config_overrides={"bandwidth": 20 * MB, "bat_queue_capacity": 8 * MB,
+                          "resend_timeout": 5.0, "seed": 5},
     )
     reports = ring.run(epochs=2, epoch_duration=3.0)
     assert all(r.action == "stay" for r in reports)

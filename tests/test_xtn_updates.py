@@ -10,7 +10,7 @@ from helpers import MB, build_dc
 
 
 def make_dc(**overrides):
-    defaults = dict(n_nodes=3, bats={i: MB for i in range(6)}, loit_static=0.0)
+    defaults = {"n_nodes": 3, "bats": {i: MB for i in range(6)}, "loit_static": 0.0}
     defaults.update(overrides)
     return build_dc(**defaults)
 
