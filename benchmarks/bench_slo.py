@@ -1,0 +1,101 @@
+"""SLO trajectory benchmark: the scenario suite as a JSON report.
+
+Writes ``BENCH_slo.json`` (repo root, or ``--out``) with one SLO
+verdict per scenario x seed -- p50/p99/p999 latency, failure rate,
+per-tenant fairness where the scenario has tenants -- plus a
+``handoff`` section comparing the gateway-chaos p999 tail with serve
+handoff enabled vs disabled.  The verdict schema is validated before
+anything is written, so schema drift fails the run even when every SLO
+is met.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_slo.py [--quick] [--seeds 0 1 2]``
+
+Exit codes: 0 on success, 1 when a verdict fails schema validation,
+when a run is nondeterministic, or when serve handoff fails to improve
+the gateway-chaos p999 on every seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.workloads.suite import run_scenario, scenario_names
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent.parent / "BENCH_slo.json")
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke scale: small datasets, short runs",
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    args = parser.parse_args(argv)
+
+    report: dict = {
+        "benchmark": "slo",
+        "quick": args.quick,
+        "seeds": args.seeds,
+        "scenarios": {},
+        "handoff": {},
+    }
+    failures = []
+    for name in scenario_names():
+        runs = []
+        for seed in args.seeds:
+            try:
+                result = run_scenario(name, seed, quick=args.quick)
+                repeat = run_scenario(name, seed, quick=args.quick)
+            except ValueError as exc:
+                failures.append(f"{name} seed {seed}: bad verdict: {exc}")
+                continue
+            if repeat != result:
+                failures.append(f"{name} seed {seed}: nondeterministic")
+            runs.append(result)
+            v = result["verdict"]
+            print(
+                f"{name} seed {seed}: p50 {v['latency']['p50']}s "
+                f"p99 {v['latency']['p99']}s p999 {v['latency']['p999']}s "
+                f"failed {v['failed']} slo {'ok' if v['ok'] else 'MISS'}",
+                file=sys.stderr,
+            )
+        report["scenarios"][name] = runs
+
+    chaos_runs = report["scenarios"].get("gateway-chaos", [])
+    for result in chaos_runs:
+        extras = result["extras"]
+        on, off = extras["p999_handoff_on"], extras["p999_handoff_off"]
+        report["handoff"][str(result["seed"])] = {
+            "p999_on": on,
+            "p999_off": off,
+            "serves_handed_off": extras["serves_handed_off"],
+            "improved": on < off,
+        }
+        print(
+            f"gateway-chaos seed {result['seed']}: p999 {on}s handoff on "
+            f"vs {off}s off ({'improved' if on < off else 'NO IMPROVEMENT'})",
+            file=sys.stderr,
+        )
+    if chaos_runs and not any(
+        entry["improved"] for entry in report["handoff"].values()
+    ):
+        failures.append("serve handoff improved the p999 tail on no seed")
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwritten: {args.out}", file=sys.stderr)
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Acceptance tests for the SLO scenario suite (docs/workloads.md).
+
+The headline claim of the serve-handoff tentpole is asserted here: in
+the gateway-chaos scenario the p999 latency with handoff enabled is
+strictly lower than with it disabled, on every seed the suite runs.
+The rest pins the report contract ``bench_slo.py`` ships to CI: at
+least four scenarios, a schema-valid verdict for each, and a
+deterministic payload.
+"""
+
+import json
+
+from repro.metrics.slo import validate_verdict
+from repro.workloads.suite import SCENARIOS, run_scenario, scenario_names
+
+import bench_slo
+
+SEEDS = (0, 1, 2)
+
+
+def test_suite_has_at_least_four_scenarios():
+    assert len(scenario_names()) >= 4
+    assert "gateway-chaos" in SCENARIOS
+
+
+def test_every_scenario_emits_a_schema_valid_verdict():
+    for name in scenario_names():
+        result = run_scenario(name, seed=0)
+        validate_verdict(result["verdict"])  # raises on drift
+        for key in ("p50", "p99", "p999"):
+            assert result["verdict"]["latency"][key] >= 0.0
+        assert result["verdict"]["queries"] > 0
+
+
+def test_serve_handoff_cuts_the_gateway_chaos_p999_tail():
+    for seed in SEEDS:
+        result = run_scenario("gateway-chaos", seed=seed)
+        extras = result["extras"]
+        assert extras["serves_handed_off"] >= 1, (
+            f"seed {seed}: the crash must strand at least one serve"
+        )
+        assert extras["p999_handoff_on"] < extras["p999_handoff_off"], (
+            f"seed {seed}: handoff p999 {extras['p999_handoff_on']}s must beat "
+            f"no-handoff p999 {extras['p999_handoff_off']}s"
+        )
+        # both variants still save every query -- the handoff moves the
+        # tail, resilience guarantees the completions
+        assert result["verdict"]["failed"] == 0
+        assert extras["handoff_off_verdict"]["failed"] == 0
+
+
+def test_bench_slo_writes_report_and_passes(tmp_path):
+    out = tmp_path / "BENCH_slo.json"
+    assert bench_slo.main(["--quick", "--out", str(out), "--seeds", "0"]) == 0
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "slo"
+    assert len(report["scenarios"]) >= 4
+    for runs in report["scenarios"].values():
+        for run in runs:
+            validate_verdict(run["verdict"])
+    assert report["handoff"]["0"]["improved"]
+
+
+def test_multi_tenant_verdict_reports_fairness():
+    result = run_scenario("multi-tenant", seed=0)
+    verdict = result["verdict"]
+    assert len(verdict["tenants"]) == 4
+    fairness = verdict["fairness"]
+    assert 0.0 < fairness["mean_latency_jain"] <= 1.0
+    assert 0.0 < fairness["p99_jain"] <= 1.0
+
+
+def test_locality_shift_triggers_organic_migrations():
+    result = run_scenario("locality-shift", seed=0)
+    extras = result["extras"]
+    assert extras["cross_ring_requests"] > 0
+    assert extras["migrations_started"] > 0
+    assert extras["fragments_migrated"] > 0

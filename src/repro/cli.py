@@ -13,6 +13,7 @@ Usage::
     python -m repro profile [--top 15]   # cProfile + event-stream attribution
     python -m repro multiring [--rings 4]           # federation (docs/multiring.md)
     python -m repro multiring --chaos gateway       # federated chaos scenarios
+    python -m repro scenarios --all                 # SLO scenario suite (docs/workloads.md)
 
 Each command prints the same rows/series the paper reports.  ``--full``
 switches to the paper's exact parameters (slow; see EXPERIMENTS.md).
@@ -448,6 +449,71 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workloads.suite import SCENARIOS, run_scenario, scenario_names
+
+    if args.list:
+        for name, spec in SCENARIOS.items():
+            print(f"  {name:<15} {spec.description}")
+        return 0
+    names = args.scenarios if args.scenarios and not args.all else scenario_names()
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(
+            f"repro scenarios: unknown scenario(s) {', '.join(unknown)}; "
+            f"pick from {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    quick = not args.full
+    payload = {"quick": quick, "seeds": args.seeds, "scenarios": {n: [] for n in names}}
+    rows = []
+    for name in names:
+        for seed in args.seeds:
+            try:
+                result = run_scenario(name, seed, quick=quick)
+                if args.check_determinism and run_scenario(name, seed, quick=quick) != result:
+                    print(
+                        f"repro scenarios: {name} seed {seed} is nondeterministic",
+                        file=sys.stderr,
+                    )
+                    return 1
+            except ValueError as exc:  # validate_verdict schema failure
+                print(f"repro scenarios: {name} seed {seed}: {exc}", file=sys.stderr)
+                return 1
+            payload["scenarios"][name].append(result)
+            v = result["verdict"]
+            rows.append((
+                name, seed,
+                v["latency"]["p50"], v["latency"]["p99"], v["latency"]["p999"],
+                v["failed"], "ok" if v["ok"] else "MISS",
+            ))
+            extras = result["extras"]
+            if "p999_handoff_off" in extras:
+                print(
+                    f"  {name} seed {seed}: p999 {extras['p999_handoff_on']}s with "
+                    f"serve handoff vs {extras['p999_handoff_off']}s without "
+                    f"({extras['serves_handed_off']} serve(s) handed off)"
+                )
+    print(render_table(
+        ["scenario", "seed", "p50(s)", "p99(s)", "p999(s)", "failed", "SLO"],
+        rows,
+        title=f"scenario suite ({'quick' if quick else 'full'} scale)",
+    ))
+    if args.out:
+        try:
+            with open(args.out, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"repro scenarios: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"written: {args.out}")
+    return 0
+
+
 def cmd_shell(args: argparse.Namespace) -> int:
     from repro.shell import run_shell
 
@@ -472,6 +538,8 @@ _COMMANDS = {
     "trace": (cmd_trace, "capture an event trace (JSONL / Chrome trace_event)"),
     "profile": (cmd_profile, "cProfile + per-event-stream attribution "
                              "(docs/performance.md)"),
+    "scenarios": (cmd_scenarios, "production-shaped SLO scenario suite "
+                                 "(docs/workloads.md)"),
     "shell": (cmd_shell, "interactive SQL over a simulated ring"),
     "list": (cmd_list, "list available experiments"),
 }
@@ -534,6 +602,19 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--resilience", action="store_true",
                            help="per-ring detector + federated retry "
                                 "(with --chaos)")
+        if name == "scenarios":
+            p.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                           help="scenario names (default: all)")
+            p.add_argument("--all", action="store_true",
+                           help="run every scenario")
+            p.add_argument("--list", action="store_true",
+                           help="list scenarios and exit")
+            p.add_argument("--seeds", type=int, nargs="+", default=[0])
+            p.add_argument("--check-determinism", action="store_true",
+                           dest="check_determinism",
+                           help="run each scenario twice, fail on drift")
+            p.add_argument("--out", default="BENCH_slo.json",
+                           help="JSON report path ('' disables)")
         if name == "trace":
             p.add_argument("--out", default="repro.trace.json",
                            help="Chrome trace_event output file")

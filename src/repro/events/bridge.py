@@ -116,6 +116,7 @@ def attach_metrics(bus: Bus, metrics: "MetricsCollector") -> Callable[[], None]:
     sub(ev.RingsMerged, _count("rings_merged"))
     sub(ev.GatewayFailed, _count("gateway_failures"))
     sub(ev.GatewayElected, _count("gateway_elections"))
+    sub(ev.ServeHandedOff, _count("serves_handed_off"))
 
     def detach():
         for event_type, handler in subscribed:

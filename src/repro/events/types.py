@@ -86,6 +86,7 @@ __all__ = [
     "RingsMerged",
     "GatewayFailed",
     "GatewayElected",
+    "ServeHandedOff",
     # simulation engine
     "RotationFastForwarded",
     "SimEventFired",
@@ -673,6 +674,24 @@ class GatewayElected:
     t: float
     ring: int
     node: int
+
+
+@dataclass(slots=True)
+class ServeHandedOff:
+    """An in-flight fetch serve moved off a dead gateway to ``to_node``.
+
+    Published when the gateway guard re-dispatches a pending
+    :class:`~repro.multiring.messages.FetchRequest` on the freshly
+    elected gateway instead of letting the requester wait out its
+    resend timeout -- the mechanism that cuts the failover tail out of
+    the gateway-chaos scenario's p999 (docs/workloads.md).
+    """
+
+    t: float
+    bat_id: int
+    ring: int
+    from_node: int
+    to_node: int
 
 
 # ----------------------------------------------------------------------

@@ -103,6 +103,7 @@ class MetricsCollector:
         self.rings_merged = 0           # underutilized rings drained
         self.gateway_failures = 0       # gateway nodes lost
         self.gateway_elections = 0      # replacement gateways designated
+        self.serves_handed_off = 0      # in-flight serves moved off dead gateways
         # per-node downtime intervals: node -> [(down_at, up_at | None)]
         self.downtime: Dict[int, List[List[Optional[float]]]] = {}
         # recovery latency: crash/rejoin -> first re-load of an affected BAT

@@ -42,6 +42,7 @@ _TRAFFIC_KEYS = (
     "rings_merged",
     "gateway_failures",
     "gateway_elections",
+    "serves_handed_off",
     "events_processed",
 )
 

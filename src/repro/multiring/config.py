@@ -40,6 +40,9 @@ class MultiRingConfig:
     inter_ring_delay: Optional[float] = None      # None -> base.link_delay
     fetch_timeout: Optional[float] = None  # None -> derived at start
     fetch_max_resends: int = 4
+    # hand a dead gateway's in-flight serves to the re-elected gateway
+    # instead of waiting out the requester's resend timers
+    serve_handoff: bool = True
     # ship the whole query when one remote ring holds at least this
     # fraction of its data bytes (the section 6.1 nomadic phase, lifted
     # to ring granularity); <= 0 or > 1 disables shipping

@@ -20,7 +20,7 @@ migration -- simply re-dispatches to the new home.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.runtime import PinResult
 from repro.events import types as ev
@@ -84,11 +84,16 @@ class CrossRingRouter:
         self._service_seq = SERVICE_ID_BASE
         # bats whose fetches wait for a migration to land
         self._held: Dict[int, List[Tuple[int, Future]]] = {}
+        # in-flight serves per home ring: req_id -> (request, gateway
+        # node, serve token); the gateway guard reads this to hand
+        # stranded serves to a freshly elected gateway
+        self._pending_serves: Dict[int, Dict[int, Tuple[FetchRequest, int, int]]] = {}
         self.fetch_timeout = 1.0  # overwritten by the federation at start
         # headline numbers (federation report)
         self.fetches_dispatched = 0
         self.fetches_served = 0
         self.fetches_failed = 0
+        self.serves_handed_off = 0
         self.fetch_latencies: List[float] = []
         self.fetch_latency_max: Dict[int, float] = {}
 
@@ -216,6 +221,8 @@ class CrossRingRouter:
         key = (fetch.requester_ring, fetch.bat_id)
         self._fetches.pop(key, None)
         self._by_req.pop(fetch.req_id, None)
+        for pending in self._pending_serves.values():
+            pending.pop(fetch.req_id, None)
         if fetch.timer is not None:
             fetch.timer.cancel()
             fetch.timer = None
@@ -247,18 +254,30 @@ class CrossRingRouter:
         elif isinstance(msg, MigrationShipment):
             self.fed.placement.on_shipment_arrived(msg)
 
-    def _serve(self, home_ring: int, req: FetchRequest) -> None:
-        """Run the classic request/pin protocol inside the home ring."""
+    def _serve(self, home_ring: int, req: FetchRequest) -> int:
+        """Run the classic request/pin protocol inside the home ring.
+
+        Returns the gateway node the serve was placed on.  The serve is
+        tracked in ``_pending_serves`` until it answers (or provably
+        cannot): a serve stranded on a gateway that dies mid-pin stays
+        pending, which is what lets :meth:`handoff_serves` re-dispatch
+        it instead of leaving the requester to its resend timeout.
+        """
         ring = self.fed.rings[home_ring]
         gateway = self.next_gateway(home_ring)
         runtime = ring.nodes[gateway]
         self._service_seq -= 1
         service_id = self._service_seq
         local = home_ring == req.from_ring
+        # a re-dispatch (resend or handoff) replaces the stale entry;
+        # the token keeps the superseded serve from popping it
+        self._pending_serves.setdefault(home_ring, {})[req.req_id] = (
+            req, gateway, service_id
+        )
 
         def serve():
             if runtime.crashed:
-                return  # the requester's timeout re-dispatches
+                return  # stays pending: handoff or requester timeout
             runtime.request(service_id, [req.bat_id])
             fut = runtime.pin(service_id, req.bat_id)
             yield fut
@@ -271,7 +290,8 @@ class CrossRingRouter:
             for bat_id in runtime.s2.drop_query(service_id):
                 runtime._cancel_resend(bat_id)
             if runtime.crashed and not result.ok:
-                return  # a dead gateway answers nobody
+                return  # stays pending: a dead gateway answers nobody
+            self._serve_done(home_ring, req.req_id, service_id)
             reply = FetchReply(
                 req.req_id, req.bat_id, ok=result.ok,
                 payload=result.payload, version=result.version,
@@ -289,6 +309,55 @@ class CrossRingRouter:
                 self.link(home_ring, req.from_ring).send(reply, wire)
 
         Process(self.sim, serve())
+        return gateway
+
+    def _serve_done(self, home_ring: int, req_id: int, service_id: int) -> None:
+        """Clear a pending-serve entry, unless a re-dispatch replaced it."""
+        pending = self._pending_serves.get(home_ring)
+        if pending is not None:
+            entry = pending.get(req_id)
+            if entry is not None and entry[2] == service_id:
+                del pending[req_id]
+
+    def pending_serve_count(self, ring_id: int, node: Optional[int] = None) -> int:
+        """Fetch serves currently in flight inside ``ring_id`` (optionally
+        only those running on ``node``) -- the chaos scenarios use this
+        to crash a gateway at a moment when the handoff has work to do."""
+        pending = self._pending_serves.get(ring_id)
+        if not pending:
+            return 0
+        if node is None:
+            return len(pending)
+        return sum(1 for entry in pending.values() if entry[1] == node)
+
+    def handoff_serves(self, ring_id: int, dead_node: int) -> int:
+        """Re-dispatch the serves stranded on ``ring_id``'s dead gateway.
+
+        Called by the gateway guard *after* it re-elected the ring's
+        gateway set (docs/workloads.md): every pending fetch serve that
+        was running on ``dead_node`` is re-run on a live gateway, so the
+        requester gets its reply a ring rotation later instead of a full
+        ``fetch_timeout`` later -- the difference is the gateway-chaos
+        scenario's p999 tail.  Returns the number of serves moved.
+        """
+        pending = self._pending_serves.get(ring_id)
+        if not pending:
+            return 0
+        if dead_node in self.gateways.get(ring_id, []):
+            return 0  # no live replacement was elected; nothing to move to
+        stranded = [
+            (req_id, entry[0], entry[1])
+            for req_id, entry in sorted(pending.items())
+            if entry[1] == dead_node
+        ]
+        for _req_id, req, from_node in stranded:
+            to_node = self._serve(ring_id, req)
+            self.serves_handed_off += 1
+            if self.bus.active:
+                self.bus.publish(ev.ServeHandedOff(
+                    self.sim.now, req.bat_id, ring_id, from_node, to_node
+                ))
+        return len(stranded)
 
     def _on_reply(self, _dst_ring: int, reply: FetchReply) -> None:
         fetch = self._by_req.get(reply.req_id)
@@ -334,4 +403,5 @@ class CrossRingRouter:
             "fetches_failed": self.fetches_failed,
             "fetch_mean_latency": round(mean, 6),
             "fetch_max_latency": round(max(latencies), 6) if latencies else 0.0,
+            "serves_handed_off": self.serves_handed_off,
         }

@@ -74,6 +74,8 @@ class GatewayGuard:
         router.purge_outgoing(ring_id)
         self.fed.placement.abort_for_ring(ring_id, "gateway failed")
         self._elect(ring_id)
+        if self.fed.config.serve_handoff:
+            router.handoff_serves(ring_id, node)
 
     def _on_up(self, ring_id: int) -> None:
         """A node rejoined: re-seat the gateway set on the lowest ids."""

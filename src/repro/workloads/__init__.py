@@ -8,20 +8,37 @@
 * :mod:`repro.workloads.gaussian` -- the section 5.3 Gaussian access
   pattern,
 * :mod:`repro.workloads.tpch` -- the section 5.4 TPC-H trace workload
-  with its calibration pass.
+  with its calibration pass,
+* :mod:`repro.workloads.scenarios` -- production-shaped generators
+  (diurnal, flash-crowd, multi-tenant, locality-shift) for the SLO
+  scenario suite (docs/workloads.md),
+* :mod:`repro.workloads.suite` -- the named scenario registry shared by
+  ``repro scenarios`` and ``benchmarks/bench_slo.py``.
 """
 
 from repro.workloads.base import UniformDataset, populate_ring
 from repro.workloads.gaussian import GaussianWorkload
+from repro.workloads.scenarios import (
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    LocalityShiftWorkload,
+    MultiTenantWorkload,
+    ZipfSampler,
+)
 from repro.workloads.skewed import SkewedPhase, SkewedWorkload, paper_phases
 from repro.workloads.uniform import UniformWorkload
 
 __all__ = [
+    "DiurnalWorkload",
+    "FlashCrowdWorkload",
     "GaussianWorkload",
+    "LocalityShiftWorkload",
+    "MultiTenantWorkload",
     "SkewedPhase",
     "SkewedWorkload",
     "UniformDataset",
     "UniformWorkload",
+    "ZipfSampler",
     "paper_phases",
     "populate_ring",
 ]

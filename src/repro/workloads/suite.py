@@ -1,0 +1,405 @@
+"""The named scenario suite behind ``repro scenarios`` (docs/workloads.md).
+
+Each scenario builds a deployment (classic ring or federation), attaches
+an :class:`~repro.metrics.slo.SloCollector` to the query lifecycle,
+drives one of the :mod:`repro.workloads.scenarios` generators through
+it, and returns an SLO verdict plus scenario-specific extras:
+
+* ``diurnal`` -- day/night load swing on a classic ring,
+* ``flash-crowd`` -- a step burst far above ring capacity,
+* ``multi-tenant`` -- Zipf tenants with per-tenant SLOs and fairness,
+* ``locality-shift`` -- drifting interest over block-placed federation
+  data, triggering organic cross-ring fetches and migrations,
+* ``gateway-chaos`` -- a gateway crash mid-workload, run twice (serve
+  handoff on and off) so the p999 tail the handoff removes is measured
+  in the same report.
+
+Everything is deterministic per seed: ``run_scenario(name, seed)``
+returns a bit-identical result dict on every call, which is what the
+CI ``scenario-smoke`` job and ``benchmarks/bench_slo.py`` rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import MB, DataCyclotronConfig
+from repro.core.ring import DataCyclotron
+from repro.metrics.slo import SloCollector, SloTarget, validate_verdict
+from repro.multiring.config import MultiRingConfig
+from repro.multiring.federation import RingFederation
+from repro.workloads.base import UniformDataset, Workload, populate_ring
+from repro.workloads.scenarios import (
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    LocalityShiftWorkload,
+    MultiTenantWorkload,
+)
+__all__ = [
+    "SCENARIOS",
+    "ScenarioSpec",
+    "run_scenario",
+    "run_suite",
+    "scenario_names",
+]
+
+MAX_TIME = 600.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named scenario: a runner plus its declared SLO target."""
+
+    name: str
+    description: str
+    target: SloTarget
+    runner: Callable[[int, bool, SloTarget], Tuple[Dict, Dict]]
+
+    def run(self, seed: int, quick: bool) -> Dict:
+        verdict, extras = self.runner(seed, quick, self.target)
+        validate_verdict(verdict)
+        return {
+            "name": self.name,
+            "seed": seed,
+            "quick": quick,
+            "verdict": verdict,
+            "extras": extras,
+        }
+
+
+# ----------------------------------------------------------------------
+# shared deployment builders
+# ----------------------------------------------------------------------
+def _classic_ring(dataset: UniformDataset, seed: int) -> DataCyclotron:
+    """A 4-node classic ring with the quick-benchmark speed knobs."""
+    dc = DataCyclotron(DataCyclotronConfig(
+        n_nodes=4,
+        seed=seed,
+        bandwidth=40 * MB,
+        bat_queue_capacity=15 * MB,
+        disk_latency=1e-4,
+        load_all_interval=0.02,
+    ))
+    populate_ring(dc, dataset)
+    return dc
+
+
+def _run_classic(
+    workload: Workload,
+    dataset: UniformDataset,
+    seed: int,
+    target: SloTarget,
+    scenario: str,
+) -> Tuple[Dict, Dict]:
+    dc = _classic_ring(dataset, seed)
+    slo = SloCollector().attach(dc.bus)
+    submitted = workload.submit_to(dc)
+    completed = dc.run_until_done(max_time=MAX_TIME)
+    verdict = slo.verdict(scenario, seed, target)
+    extras = {
+        "submitted": submitted,
+        "completed_in_time": completed,
+        "sim_time": round(dc.sim.now, 6),
+    }
+    return verdict, extras
+
+
+def _block_federation(
+    dataset: UniformDataset,
+    seed: int,
+    n_rings: int,
+    nodes_per_ring: int,
+    resilience: bool = False,
+    **multiring_kwargs,
+) -> RingFederation:
+    """A federation with *contiguous block* data placement: BAT ids map
+    to rings in order, so a drifting interest centre walks from one
+    ring's data into the next (the locality-shift premise)."""
+    base = DataCyclotronConfig(
+        n_nodes=nodes_per_ring,  # replaced per ring by MultiRingConfig
+        seed=seed,
+        bandwidth=40 * MB,
+        bat_queue_capacity=15 * MB,
+        disk_latency=1e-4,
+        load_all_interval=0.02,
+        resend_timeout=0.5,
+        resend_backoff_base=2.0,
+        max_resends=6,
+        resilience=resilience,
+        replication_k=2 if resilience else 1,
+    )
+    fed = RingFederation(MultiRingConfig(
+        base=base,
+        n_rings=n_rings,
+        nodes_per_ring=nodes_per_ring,
+        gateways_per_ring=1,
+        splitmerge_interval=0.0,  # fixed topology: measure the workload
+        **multiring_kwargs,
+    ))
+    n = dataset.n_bats
+    for bat_id, size in sorted(dataset.sizes.items()):
+        fed.add_bat(bat_id, size, ring=bat_id * n_rings // n)
+    return fed
+
+
+def _attach_federation(fed: RingFederation) -> SloCollector:
+    slo = SloCollector()
+    for ring in fed.rings:
+        slo.attach(ring.bus)
+    return slo
+
+
+# ----------------------------------------------------------------------
+# the scenarios
+# ----------------------------------------------------------------------
+def _dataset(seed: int, quick: bool) -> UniformDataset:
+    if quick:
+        return UniformDataset(n_bats=120, min_size=MB, max_size=2 * MB, seed=seed)
+    return UniformDataset(n_bats=1000, min_size=MB, max_size=10 * MB, seed=seed)
+
+
+def _run_diurnal(seed: int, quick: bool, target: SloTarget) -> Tuple[Dict, Dict]:
+    dataset = _dataset(seed, quick)
+    workload = DiurnalWorkload(
+        dataset,
+        n_nodes=4,
+        base_rate=40.0 if quick else 80.0,
+        amplitude=0.8,
+        period=4.0 if quick else 16.0,
+        duration=8.0 if quick else 32.0,
+        seed=seed,
+    )
+    verdict, extras = _run_classic(workload, dataset, seed, target, "diurnal")
+    extras["peak_rate"] = workload.rate_at(workload.period / 2)
+    extras["trough_rate"] = workload.rate_at(0.0)
+    return verdict, extras
+
+
+def _run_flash_crowd(seed: int, quick: bool, target: SloTarget) -> Tuple[Dict, Dict]:
+    dataset = _dataset(seed, quick)
+    workload = FlashCrowdWorkload(
+        dataset,
+        n_nodes=4,
+        base_rate=25.0 if quick else 60.0,
+        burst_factor=8.0,
+        burst_start=3.0,
+        burst_duration=1.5 if quick else 4.0,
+        hot_set_size=8,
+        duration=8.0 if quick else 20.0,
+        seed=seed,
+    )
+    verdict, extras = _run_classic(workload, dataset, seed, target, "flash-crowd")
+    extras["burst_rate"] = workload.rate_at(workload.burst_start)
+    return verdict, extras
+
+
+def _run_multi_tenant(seed: int, quick: bool, target: SloTarget) -> Tuple[Dict, Dict]:
+    dataset = _dataset(seed, quick)
+    workload = MultiTenantWorkload(
+        dataset,
+        n_nodes=4,
+        n_tenants=4,
+        total_rate=50.0 if quick else 120.0,
+        duration=7.0 if quick else 20.0,
+        seed=seed,
+    )
+    verdict, extras = _run_classic(workload, dataset, seed, target, "multi-tenant")
+    extras["tenant_shares"] = {
+        f"tenant{i}": round(workload.tenant_share(i), 6)
+        for i in range(workload.n_tenants)
+    }
+    return verdict, extras
+
+
+def _run_locality_shift(seed: int, quick: bool, target: SloTarget) -> Tuple[Dict, Dict]:
+    dataset = _dataset(seed, quick)
+    fed = _block_federation(
+        dataset, seed,
+        n_rings=3, nodes_per_ring=3,
+        placement_interval=0.25,
+        migration_patience=2,
+        ship_threshold=0.0,  # fetch, don't ship: migrations must carry the load
+    )
+    slo = _attach_federation(fed)
+    # every query arrives at ring 0 (the clients live in one region);
+    # the interest centre drifts out of ring 0's block into rings 1 and
+    # 2, so the foreign-fetch pressure re-homes the hot set to ring 0
+    workload = LocalityShiftWorkload(
+        dataset,
+        n_nodes=fed.config.total_nodes,
+        nodes=list(range(fed.config.nodes_per_ring)),
+        rate=40.0 if quick else 100.0,
+        duration=8.0 if quick else 24.0,
+        seed=seed,
+    )
+    submitted = workload.submit_to(fed)
+    completed = fed.run_until_done(max_time=MAX_TIME)
+    summary = fed.summary()
+    verdict = slo.verdict("locality-shift", seed, target)
+    extras = {
+        "submitted": submitted,
+        "completed_in_time": completed,
+        "sim_time": round(fed.sim.now, 6),
+        "cross_ring_requests": summary["cross_ring_requests"],
+        "fetches_served": summary["fetches_served"],
+        "migrations_started": summary["migrations_started"],
+        "fragments_migrated": summary["fragments_migrated"],
+    }
+    return verdict, extras
+
+
+def _gateway_chaos_once(
+    seed: int, quick: bool, target: SloTarget, serve_handoff: bool
+) -> Tuple[Dict, Dict]:
+    """One gateway-crash run; the scenario runs this twice (handoff
+    on/off) and reports both tails."""
+    dataset = (
+        UniformDataset(n_bats=96, min_size=MB, max_size=2 * MB, seed=seed)
+        if quick
+        else UniformDataset(n_bats=300, min_size=MB, max_size=4 * MB, seed=seed)
+    )
+    fed = _block_federation(
+        dataset, seed,
+        n_rings=3, nodes_per_ring=3,
+        resilience=True,
+        serve_handoff=serve_handoff,
+        fetch_timeout=2.5,
+        placement_interval=60.0,  # topology and placement stay fixed
+    )
+    slo = _attach_federation(fed)
+    # arrivals only on rings 0 and 2, interest drifting through ring
+    # 1's block: a steady stream of first-touch fetches keeps serves in
+    # flight on ring 1's (doomed) gateway for the whole run
+    npr = fed.config.nodes_per_ring
+    edge_nodes = list(range(npr)) + list(range(2 * npr, 3 * npr))
+    n = dataset.n_bats
+    duration = 4.0 if quick else 10.0
+    workload = LocalityShiftWorkload(
+        dataset,
+        n_nodes=fed.config.total_nodes,
+        nodes=edge_nodes,
+        rate=60.0 if quick else 150.0,
+        center_start=n / 3 + 4,
+        center_end=2 * n / 3 - 4,
+        std=n / 24,
+        shift_duration=duration,
+        duration=duration,
+        min_proc_time=0.02,
+        max_proc_time=0.05,
+        seed=seed,
+        tag="chaos",
+    )
+    submitted = workload.submit_to(fed)
+
+    # the fault: ring 1's gateway dies *mid-serve*.  A fixed crash time
+    # would mostly miss the few-millisecond serve windows, so a sim-time
+    # watchdog (deterministic: it polls the simulation clock, nothing
+    # wall-clock) fires the crash at the first instant after t=1.0 at
+    # which the gateway actually has a fetch serve in flight.
+    crashed_at = [0.0]
+
+    def watch() -> None:
+        ring_id = 1
+        node = fed.router.gateway(ring_id)
+        ring = fed.rings[ring_id]
+        if not ring.ring.is_alive(node) or fed.sim.now > duration:
+            return
+        if fed.router.pending_serve_count(ring_id, node) > 0:
+            ring.crash_node(node)
+            crashed_at[0] = fed.sim.now
+            return
+        fed.sim.post(0.005, watch)
+
+    fed.sim.post(1.0, watch)
+    completed = fed.run_until_done(max_time=MAX_TIME)
+    summary = fed.summary()
+    verdict = slo.verdict("gateway-chaos", seed, target)
+    extras = {
+        "submitted": submitted,
+        "completed_in_time": completed,
+        "sim_time": round(fed.sim.now, 6),
+        "serve_handoff": serve_handoff,
+        "crashed_at": round(crashed_at[0], 6),
+        "serves_handed_off": summary["serves_handed_off"],
+        "gateway_failures": summary["gateway_failures"],
+        "gateway_elections": summary["gateway_elections"],
+    }
+    return verdict, extras
+
+
+def _run_gateway_chaos(seed: int, quick: bool, target: SloTarget) -> Tuple[Dict, Dict]:
+    verdict_on, extras_on = _gateway_chaos_once(seed, quick, target, True)
+    verdict_off, extras_off = _gateway_chaos_once(seed, quick, target, False)
+    extras = dict(extras_on)
+    extras["p999_handoff_on"] = verdict_on["latency"]["p999"]
+    extras["p999_handoff_off"] = verdict_off["latency"]["p999"]
+    extras["handoff_off_verdict"] = verdict_off
+    return verdict_on, extras
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            "diurnal",
+            "day/night arrival-rate cycle over a Gaussian hot set",
+            SloTarget(p50=1.0, p99=12.0, p999=18.0),
+            _run_diurnal,
+        ),
+        ScenarioSpec(
+            "flash-crowd",
+            "step burst far above ring capacity on a small hot set",
+            SloTarget(p50=6.0, p99=20.0, p999=36.0),
+            _run_flash_crowd,
+        ),
+        ScenarioSpec(
+            "multi-tenant",
+            "Zipf tenant mix with per-tenant SLOs and fairness",
+            SloTarget(p50=2.0, p99=18.0, p999=24.0),
+            _run_multi_tenant,
+        ),
+        ScenarioSpec(
+            "locality-shift",
+            "drifting interest over block-placed federation data",
+            SloTarget(p50=1.0, p99=3.0, p999=4.0),
+            _run_locality_shift,
+        ),
+        ScenarioSpec(
+            "gateway-chaos",
+            "gateway crash mid-workload, serve handoff on vs off",
+            SloTarget(p50=1.0, p99=2.5, p999=4.5),
+            _run_gateway_chaos,
+        ),
+    )
+}
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def run_scenario(name: str, seed: int = 0, quick: bool = True) -> Dict:
+    """Run one named scenario; raises ``KeyError`` on unknown names."""
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; pick from {', '.join(SCENARIOS)}"
+        )
+    return SCENARIOS[name].run(seed, quick)
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    seeds: Iterable[int] = (0,),
+    quick: bool = True,
+) -> Dict:
+    """Run scenarios x seeds; returns the ``BENCH_slo.json`` payload."""
+    names = list(names) if names is not None else scenario_names()
+    runs = [run_scenario(name, seed, quick) for name in names for seed in seeds]
+    return {
+        "quick": quick,
+        "seeds": list(seeds),
+        "scenarios": {
+            name: [r for r in runs if r["name"] == name] for name in names
+        },
+    }

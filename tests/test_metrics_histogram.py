@@ -1,9 +1,12 @@
 """Unit tests for the streaming histogram."""
 
+import random
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.metrics.histogram import Histogram
+from repro.metrics.slo import PERCENTILES, exact_quantile
 
 
 def test_basic_binning():
@@ -78,3 +81,54 @@ def test_property_count_and_bounds(samples):
     assert h.min == min(samples)
     assert h.max == max(samples)
     assert h.quantile(1.0) >= h.max
+
+
+# ----------------------------------------------------------------------
+# quantile contract: binned vs exact (docs/workloads.md)
+# ----------------------------------------------------------------------
+def test_quantile_q0_is_first_nonempty_bin_upper_edge():
+    h = Histogram(bin_width=2.0)
+    h.extend([5.0, 9.0])
+    assert h.quantile(0.0) == 6.0  # 5.0 lands in [4, 6)
+
+
+def test_quantile_q1_is_last_nonempty_bin_upper_edge():
+    h = Histogram(bin_width=2.0)
+    h.extend([5.0, 9.0])
+    assert h.quantile(1.0) == 10.0  # 9.0 lands in [8, 10)
+
+
+def test_quantile_empty_histogram_is_zero_at_every_q():
+    h = Histogram(bin_width=2.0)
+    for q in (0.0, 0.5, 0.999, 1.0):
+        assert h.quantile(q) == 0.0
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_percentiles_within_one_bin_width_of_exact(seed):
+    """p50/p99/p999 from the histogram sit in (exact, exact + width]."""
+    rng = random.Random(seed)
+    samples = [rng.uniform(0.0, 120.0) for _ in range(1500)]
+    width = 5.0
+    h = Histogram(bin_width=width)
+    h.extend(samples)
+    ordered = sorted(samples)
+    for _name, q in PERCENTILES:
+        exact = exact_quantile(ordered, q)
+        binned = h.quantile(q)
+        assert binned >= exact
+        assert binned - exact <= width + 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), min_size=1),
+    st.sampled_from([0.5, 0.99, 0.999]),
+)
+def test_property_quantile_within_one_bin_width(samples, q):
+    width = 7.0
+    h = Histogram(bin_width=width)
+    h.extend(samples)
+    exact = exact_quantile(sorted(samples), q)
+    binned = h.quantile(q)
+    assert binned >= exact
+    assert binned - exact <= width + 1e-6

@@ -1,0 +1,227 @@
+"""Unit tests for the SLO layer (repro.metrics.slo).
+
+Covers the exact nearest-rank quantiles the verdicts gate on, Jain's
+fairness index, the target validation, the collector's
+first-registration retry semantics, and the verdict schema validator
+the scenario-smoke CI job relies on.
+"""
+
+import copy
+
+import pytest
+
+from repro.events import types as ev
+from repro.events.bus import Bus
+from repro.metrics.slo import (
+    PERCENTILES,
+    SloCollector,
+    SloTarget,
+    exact_quantile,
+    jain_fairness,
+    latency_percentiles,
+    validate_verdict,
+)
+
+
+# ----------------------------------------------------------------------
+# exact_quantile / latency_percentiles
+# ----------------------------------------------------------------------
+def test_exact_quantile_nearest_rank():
+    samples = sorted([10.0, 20.0, 30.0, 40.0])
+    assert exact_quantile(samples, 0.0) == 10.0
+    assert exact_quantile(samples, 0.25) == 10.0
+    assert exact_quantile(samples, 0.5) == 20.0
+    assert exact_quantile(samples, 0.75) == 30.0
+    assert exact_quantile(samples, 1.0) == 40.0
+
+
+def test_exact_quantile_edge_cases():
+    assert exact_quantile([], 0.5) == 0.0
+    assert exact_quantile([7.0], 0.999) == 7.0
+    with pytest.raises(ValueError):
+        exact_quantile([1.0], 1.5)
+    with pytest.raises(ValueError):
+        exact_quantile([1.0], -0.1)
+
+
+def test_latency_percentiles_reports_the_standard_set():
+    samples = [float(i) for i in range(1, 1001)]
+    stats = latency_percentiles(samples)
+    assert set(stats) == {name for name, _q in PERCENTILES}
+    assert stats["p50"] == 500.0
+    assert stats["p99"] == 990.0
+    assert stats["p999"] == 999.0
+
+
+# ----------------------------------------------------------------------
+# jain_fairness
+# ----------------------------------------------------------------------
+def test_jain_fairness_perfect_when_equal():
+    assert jain_fairness([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+
+def test_jain_fairness_degrades_with_skew():
+    # one tenant hogging everything: index tends to 1/n
+    assert jain_fairness([100.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+def test_jain_fairness_degenerate_inputs():
+    assert jain_fairness([]) == 1.0
+    assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+# ----------------------------------------------------------------------
+# SloTarget
+# ----------------------------------------------------------------------
+def test_slo_target_requires_ordered_percentiles():
+    with pytest.raises(ValueError):
+        SloTarget(p50=2.0, p99=1.0, p999=3.0)
+    with pytest.raises(ValueError):
+        SloTarget(p50=0.0, p99=1.0, p999=2.0)
+    with pytest.raises(ValueError):
+        SloTarget(p50=1.0, p99=2.0, p999=3.0, max_failure_rate=1.5)
+
+
+def test_slo_target_as_dict_round_trip():
+    target = SloTarget(p50=1.0, p99=2.0, p999=3.0, max_failure_rate=0.01)
+    assert target.as_dict() == {
+        "p50": 1.0, "p99": 2.0, "p999": 3.0, "max_failure_rate": 0.01,
+    }
+
+
+# ----------------------------------------------------------------------
+# SloCollector
+# ----------------------------------------------------------------------
+def finish(bus, query_id, start, end, tag="", node=0):
+    bus.publish(ev.QueryRegistered(t=start, query_id=query_id, node=node, tag=tag))
+    bus.publish(ev.QueryFinished(t=end, query_id=query_id, node=node))
+
+
+def test_collector_latency_is_finish_minus_registration():
+    bus = Bus()
+    collector = SloCollector().attach(bus)
+    finish(bus, 1, start=0.0, end=2.5)
+    finish(bus, 2, start=1.0, end=1.5)
+    assert sorted(collector.latencies()) == [0.5, 2.5]
+    assert collector.query_count == 2
+    assert collector.failed_count() == 0
+
+
+def test_collector_keeps_first_registration_on_retry():
+    """A retried query reports submission-to-final-success latency."""
+    bus = Bus()
+    collector = SloCollector().attach(bus)
+    bus.publish(ev.QueryRegistered(t=0.0, query_id=9, node=0, tag="chaos"))
+    bus.publish(ev.QueryFailed(t=1.0, query_id=9, error="node down", node=0))
+    # retry re-registers the SAME id later, then succeeds
+    bus.publish(ev.QueryRegistered(t=1.5, query_id=9, node=1, tag="chaos"))
+    bus.publish(ev.QueryFinished(t=3.0, query_id=9, node=1))
+    assert collector.latencies() == [3.0]  # not 1.5
+    # a failure followed by a retried success is a success
+    assert collector.failed_count() == 0
+
+
+def test_collector_counts_never_finished_queries_as_failed():
+    bus = Bus()
+    collector = SloCollector().attach(bus)
+    bus.publish(ev.QueryRegistered(t=0.0, query_id=1, node=0))
+    bus.publish(ev.QueryFailed(t=1.0, query_id=1, error="boom", node=0))
+    finish(bus, 2, start=0.0, end=1.0)
+    assert collector.failed_count() == 1
+    assert collector.query_count == 2
+    assert len(collector.latencies()) == 1
+
+
+def test_collector_tracks_shed_queries():
+    bus = Bus()
+    collector = SloCollector().attach(bus)
+    bus.publish(ev.QueryRegistered(t=0.0, query_id=1, node=0))
+    bus.publish(ev.QueryShed(t=0.1, query_id=1, node=0))
+    assert collector.shed_count() == 1
+
+
+def test_collector_per_tag_accounting_and_fairness():
+    bus = Bus()
+    collector = SloCollector().attach(bus)
+    finish(bus, 1, start=0.0, end=1.0, tag="tenant0")
+    finish(bus, 2, start=0.0, end=1.0, tag="tenant0")
+    finish(bus, 3, start=0.0, end=3.0, tag="tenant1")
+    assert collector.tags() == ["tenant0", "tenant1"]
+    stats = collector.tenant_stats()
+    assert stats["tenant0"]["queries"] == 2.0
+    assert stats["tenant0"]["mean"] == pytest.approx(1.0)
+    assert stats["tenant1"]["p99"] == pytest.approx(3.0)
+    fairness = collector.fairness()
+    assert fairness["tenants"] == 2.0
+    assert 0.0 < fairness["mean_latency_jain"] < 1.0
+
+
+def test_collector_detach_stops_listening():
+    bus = Bus()
+    collector = SloCollector().attach(bus)
+    finish(bus, 1, start=0.0, end=1.0)
+    collector.detach()
+    finish(bus, 2, start=0.0, end=1.0)
+    assert collector.query_count == 1
+
+
+# ----------------------------------------------------------------------
+# verdict + schema validation
+# ----------------------------------------------------------------------
+def make_verdict(**latency_overrides):
+    bus = Bus()
+    collector = SloCollector().attach(bus)
+    finish(bus, 1, start=0.0, end=0.5, tag="tenant0")
+    finish(bus, 2, start=0.0, end=1.5, tag="tenant1")
+    target = SloTarget(p50=1.0, p99=2.0, p999=3.0)
+    verdict = collector.verdict("unit", seed=0, target=target)
+    verdict["latency"].update(latency_overrides)
+    return verdict
+
+
+def test_verdict_passes_and_validates():
+    verdict = make_verdict()
+    assert verdict["ok"] is True
+    assert verdict["queries"] == 2
+    assert verdict["latency"]["p50"] == pytest.approx(0.5)
+    assert "tenants" in verdict and "fairness" in verdict
+    validate_verdict(verdict)  # must not raise
+
+
+def test_verdict_fails_when_a_percentile_misses():
+    bus = Bus()
+    collector = SloCollector().attach(bus)
+    finish(bus, 1, start=0.0, end=5.0)
+    verdict = collector.verdict("unit", 0, SloTarget(p50=1.0, p99=2.0, p999=3.0))
+    assert verdict["passed"]["p50"] is False
+    assert verdict["ok"] is False
+    validate_verdict(verdict)  # failing an SLO is still schema-valid
+
+
+def test_verdict_failure_rate_gate():
+    bus = Bus()
+    collector = SloCollector().attach(bus)
+    finish(bus, 1, start=0.0, end=0.1)
+    bus.publish(ev.QueryRegistered(t=0.0, query_id=2, node=0))
+    bus.publish(ev.QueryFailed(t=1.0, query_id=2, error="x", node=0))
+    verdict = collector.verdict("unit", 0, SloTarget(p50=1.0, p99=1.0, p999=1.0))
+    assert verdict["failure_rate"] == pytest.approx(0.5)
+    assert verdict["passed"]["failure_rate"] is False
+    assert verdict["ok"] is False
+
+
+@pytest.mark.parametrize("mutate, match", [
+    (lambda v: v.pop("scenario"), "missing field"),
+    (lambda v: v.update(seed="zero"), "must be int"),
+    (lambda v: v["latency"].pop("p999"), "missing 'p999'"),
+    (lambda v: v["latency"].update(p50=-1.0), "negative"),
+    (lambda v: v["passed"].pop("failure_rate"), "missing 'failure_rate'"),
+    (lambda v: v["passed"].update(p99="yes"), "must be a bool"),
+    (lambda v: v.update(ok=False), "contradicts"),
+    (lambda v: v.update(queries=5), "do not add up"),
+])
+def test_validate_verdict_rejects_schema_drift(mutate, match):
+    verdict = copy.deepcopy(make_verdict())
+    mutate(verdict)
+    with pytest.raises(ValueError, match=match):
+        validate_verdict(verdict)

@@ -1,0 +1,112 @@
+"""Tests for the section 5.3 Gaussian access workload.
+
+Pins the three behaviours the figure reproduction depends on: the hot
+set centres on the configured mean, draws clip to the BAT id range by
+re-drawing (never by saturating at the edges), and the touch counts
+fall off from the centre the way a bell curve must.
+"""
+
+import random
+import statistics
+from collections import Counter
+
+from repro.core.config import MB
+from repro.workloads.base import UniformDataset
+from repro.workloads.gaussian import GaussianWorkload
+
+
+def make_workload(**overrides):
+    defaults = dict(
+        n_nodes=4,
+        queries_per_second=50.0,
+        duration=4.0,
+        mean=60.0,
+        std=10.0,
+        min_bats=1,
+        max_bats=3,
+        min_proc_time=0.05,
+        max_proc_time=0.10,
+        seed=0,
+    )
+    defaults.update(overrides)
+    dataset = UniformDataset(n_bats=120, min_size=MB, max_size=2 * MB, seed=0)
+    return GaussianWorkload(dataset, **defaults)
+
+
+def touch_counts(workload) -> Counter:
+    counts = Counter()
+    for spec in workload.queries():
+        counts.update(step.bat_id for step in spec.steps)
+    return counts
+
+
+def test_hot_set_centers_on_the_mean():
+    workload = make_workload()
+    counts = touch_counts(workload)
+    touches = [bat_id for bat_id, c in counts.items() for _ in range(c)]
+    centre = statistics.mean(touches)
+    assert abs(centre - workload.mean) < workload.std / 2
+    # roughly two thirds of all touches inside one standard deviation
+    near = sum(
+        c for bat_id, c in counts.items()
+        if abs(bat_id - workload.mean) <= workload.std
+    )
+    assert 0.5 < near / sum(counts.values()) < 0.85
+
+
+def test_draws_clip_to_the_id_range_by_redrawing():
+    # mean sits AT the ring edge: half the bell is out of range, every
+    # draw must still land inside [0, n_bats)
+    workload = make_workload(mean=0.0, std=15.0)
+    counts = touch_counts(workload)
+    assert min(counts) >= 0
+    assert max(counts) < workload.dataset.n_bats
+    # re-draw, not saturation: the edge BAT is popular but must not
+    # swallow the out-of-range half of the distribution
+    total = sum(counts.values())
+    assert counts[0] / total < 0.25
+
+
+def test_draw_bat_respects_remote_only():
+    workload = make_workload(remote_only=True)
+    rng = random.Random(1)
+    for node in range(workload.n_nodes):
+        for _ in range(50):
+            bat_id = workload.draw_bat(rng, node)
+            assert bat_id % workload.n_nodes != node
+
+
+def test_remote_only_off_allows_owned_bats():
+    workload = make_workload(remote_only=False, min_bats=2, max_bats=4)
+    owned = 0
+    for spec in workload.queries():
+        owned += sum(
+            1 for step in spec.steps
+            if step.bat_id % workload.n_nodes == spec.node
+        )
+    assert owned > 0
+
+
+def test_distribution_falls_off_from_the_centre():
+    workload = make_workload(std=8.0)
+    counts = touch_counts(workload)
+    mean = workload.mean
+
+    def band(lo_sigmas, hi_sigmas):
+        return sum(
+            c for bat_id, c in counts.items()
+            if lo_sigmas <= abs(bat_id - mean) / workload.std < hi_sigmas
+        )
+
+    in_vogue = band(0.0, 1.0)
+    standard = band(1.0, 2.0)
+    unpopular = band(2.0, 100.0)
+    assert in_vogue > standard > unpopular
+
+
+def test_total_queries_matches_the_stream():
+    workload = make_workload()
+    specs = list(workload.queries())
+    assert len(specs) == workload.total_queries
+    # arrivals restart per node, ids are globally unique and dense
+    assert sorted(s.query_id for s in specs) == list(range(len(specs)))

@@ -1,0 +1,209 @@
+"""Unit tests for the production-shaped scenario generators."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.config import MB
+from repro.workloads.base import UniformDataset
+from repro.workloads.scenarios import (
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    LocalityShiftWorkload,
+    MultiTenantWorkload,
+    ZipfSampler,
+)
+
+DATASET = UniformDataset(n_bats=120, min_size=MB, max_size=2 * MB, seed=0)
+
+
+# ----------------------------------------------------------------------
+# ZipfSampler
+# ----------------------------------------------------------------------
+def test_zipf_weights_sum_to_one_and_decrease():
+    sampler = ZipfSampler(8, s=1.1)
+    weights = [sampler.weight(r) for r in range(8)]
+    assert sum(weights) == pytest.approx(1.0)
+    assert weights == sorted(weights, reverse=True)
+
+
+def test_zipf_draws_match_weights():
+    sampler = ZipfSampler(5, s=1.0)
+    rng = random.Random(0)
+    counts = Counter(sampler.draw(rng) for _ in range(20_000))
+    assert set(counts) <= set(range(5))
+    for rank in range(5):
+        assert counts[rank] / 20_000 == pytest.approx(sampler.weight(rank), abs=0.02)
+
+
+def test_zipf_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(4, s=0.0)
+
+
+# ----------------------------------------------------------------------
+# DiurnalWorkload
+# ----------------------------------------------------------------------
+def test_diurnal_rate_swings_trough_to_peak():
+    w = DiurnalWorkload(DATASET, n_nodes=4, base_rate=40.0, amplitude=0.5,
+                        period=8.0, duration=8.0, seed=0)
+    assert w.rate_at(0.0) == pytest.approx(20.0)            # trough
+    assert w.rate_at(4.0) == pytest.approx(60.0)            # peak
+    assert w.rate_at(8.0) == pytest.approx(20.0)            # next trough
+    assert min(w.rate_at(t / 10) for t in range(81)) > 0.0
+
+
+def test_diurnal_arrivals_are_denser_at_the_peak():
+    w = DiurnalWorkload(DATASET, n_nodes=4, base_rate=40.0, amplitude=0.8,
+                        period=8.0, duration=8.0, seed=0)
+    times = w.arrival_times()
+    assert times == sorted(times)
+    trough = sum(1 for t in times if t < 2.0)
+    peak = sum(1 for t in times if 3.0 <= t < 5.0)
+    assert peak > 2 * trough
+
+
+def test_diurnal_amplitude_must_keep_rate_positive():
+    with pytest.raises(ValueError):
+        DiurnalWorkload(DATASET, n_nodes=4, amplitude=1.0, seed=0)
+
+
+# ----------------------------------------------------------------------
+# FlashCrowdWorkload
+# ----------------------------------------------------------------------
+def test_flash_crowd_burst_multiplies_the_rate():
+    w = FlashCrowdWorkload(DATASET, n_nodes=4, base_rate=20.0, burst_factor=5.0,
+                           burst_start=2.0, burst_duration=1.0, duration=6.0, seed=0)
+    assert w.rate_at(1.0) == 20.0
+    assert w.rate_at(2.5) == 100.0
+    assert w.rate_at(3.0) == 20.0  # burst window is half-open
+
+
+def test_flash_crowd_burst_draws_from_the_hot_window_and_is_tagged():
+    w = FlashCrowdWorkload(DATASET, n_nodes=4, base_rate=20.0, burst_factor=6.0,
+                           burst_start=2.0, burst_duration=2.0, hot_set_size=8,
+                           duration=6.0, seed=0)
+    hot = range(w.hot_low, w.hot_low + w.hot_set_size)
+    burst_bats, baseline_bats = set(), set()
+    for spec in w.queries():
+        bats = {s.bat_id for s in spec.steps}
+        if spec.tag == "flash-burst":
+            assert w.in_burst(spec.arrival)
+            burst_bats |= bats
+        else:
+            assert spec.tag == "flash"
+            baseline_bats |= bats
+    assert burst_bats <= set(hot)
+    assert not baseline_bats <= set(hot)  # the baseline roams the dataset
+
+
+def test_flash_crowd_hot_set_cannot_exceed_dataset():
+    with pytest.raises(ValueError):
+        FlashCrowdWorkload(DATASET, n_nodes=4, hot_set_size=DATASET.n_bats + 1, seed=0)
+
+
+# ----------------------------------------------------------------------
+# MultiTenantWorkload
+# ----------------------------------------------------------------------
+def test_multi_tenant_tags_and_slices_line_up():
+    w = MultiTenantWorkload(DATASET, n_nodes=4, n_tenants=4, total_rate=50.0,
+                            duration=5.0, seed=0)
+    seen = Counter()
+    for spec in w.queries():
+        assert spec.tag.startswith("tenant")
+        tenant = int(spec.tag[len("tenant"):])
+        seen[tenant] += 1
+        allowed = w.tenant_slice(tenant)
+        assert all(s.bat_id in allowed for s in spec.steps)
+    # the Zipf whale dominates and every tenant appears
+    assert seen[0] == max(seen.values())
+    assert set(seen) == set(range(4))
+
+
+def test_multi_tenant_shares_sum_to_one():
+    w = MultiTenantWorkload(DATASET, n_nodes=4, n_tenants=5, seed=0)
+    assert sum(w.tenant_share(i) for i in range(5)) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# LocalityShiftWorkload
+# ----------------------------------------------------------------------
+def test_locality_shift_centre_drifts_then_holds():
+    w = LocalityShiftWorkload(DATASET, n_nodes=4, rate=40.0, center_start=20.0,
+                              center_end=100.0, shift_duration=8.0,
+                              duration=10.0, seed=0)
+    assert w.center_at(0.0) == 20.0
+    assert w.center_at(4.0) == 60.0
+    assert w.center_at(8.0) == 100.0
+    assert w.center_at(9.5) == 100.0  # holds after the shift
+
+
+def test_locality_shift_interest_follows_the_centre():
+    w = LocalityShiftWorkload(DATASET, n_nodes=4, rate=60.0, center_start=20.0,
+                              center_end=100.0, std=6.0, shift_duration=8.0,
+                              duration=8.0, seed=0)
+    early, late = [], []
+    for spec in w.queries():
+        bucket = early if spec.arrival < 2.0 else late if spec.arrival > 6.0 else None
+        if bucket is not None:
+            bucket.extend(s.bat_id for s in spec.steps)
+    assert sum(early) / len(early) < 45.0
+    assert sum(late) / len(late) > 75.0
+
+
+# ----------------------------------------------------------------------
+# shared plumbing
+# ----------------------------------------------------------------------
+def test_arrival_grid_respects_duration_and_rate():
+    w = DiurnalWorkload(DATASET, n_nodes=4, base_rate=10.0, amplitude=0.0,
+                        period=1.0, duration=3.0, seed=0)
+    times = w.arrival_times()
+    assert len(times) == 30
+    assert times[0] == 0.0
+    assert all(b - a == pytest.approx(0.1) for a, b in zip(times, times[1:]))
+    assert w.total_queries == len(times)
+
+
+def test_queries_round_robin_over_the_node_list():
+    w = DiurnalWorkload(DATASET, n_nodes=6, nodes=[1, 4], base_rate=10.0,
+                        amplitude=0.0, period=1.0, duration=1.0, seed=0)
+    nodes = [spec.node for spec in w.queries()]
+    assert set(nodes) == {1, 4}
+    assert nodes[:4] == [1, 4, 1, 4]
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        DiurnalWorkload(DATASET, n_nodes=0, seed=0)
+    with pytest.raises(ValueError):
+        DiurnalWorkload(DATASET, n_nodes=4, duration=0.0, seed=0)
+    with pytest.raises(ValueError):
+        DiurnalWorkload(DATASET, n_nodes=4, min_bats=3, max_bats=2, seed=0)
+    with pytest.raises(ValueError):
+        DiurnalWorkload(DATASET, n_nodes=4, nodes=[], seed=0)
+    with pytest.raises(ValueError):
+        MultiTenantWorkload(DATASET, n_nodes=4, total_rate=0.0, seed=0)
+    with pytest.raises(ValueError):
+        LocalityShiftWorkload(DATASET, n_nodes=4, rate=-1.0, seed=0)
+
+
+def test_distinct_bats_per_query():
+    w = MultiTenantWorkload(DATASET, n_nodes=4, n_tenants=4, total_rate=50.0,
+                            duration=5.0, min_bats=2, max_bats=3, seed=0)
+    for spec in w.queries():
+        bats = [s.bat_id for s in spec.steps]
+        assert len(bats) == len(set(bats))
+        assert 2 <= len(bats) <= 3
+
+
+def test_processing_times_inside_the_configured_band():
+    w = FlashCrowdWorkload(DATASET, n_nodes=4, base_rate=20.0, duration=4.0,
+                           min_proc_time=0.04, max_proc_time=0.08, seed=0)
+    for spec in w.queries():
+        for step in spec.steps[1:]:  # first op_time is the pre-pin burst
+            assert 0.0 <= step.op_time <= 0.08
+    assert math.isfinite(w.total_queries)
