@@ -497,6 +497,16 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
                     f"serve handoff vs {extras['p999_handoff_off']}s without "
                     f"({extras['serves_handed_off']} serve(s) handed off)"
                 )
+            for engine, section in v.get("engine_classes", {}).items():
+                gates = ", ".join(
+                    f"{gate}={'ok' if passed else 'MISS'}"
+                    for gate, passed in section["passed"].items()
+                )
+                print(
+                    f"  {name} seed {seed} [{engine}]: p99 {section['p99']}s, "
+                    f"{section['throughput']}/s over {section['queries']} "
+                    f"queries ({gates})"
+                )
     print(render_table(
         ["scenario", "seed", "p50(s)", "p99(s)", "p999(s)", "failed", "SLO"],
         rows,

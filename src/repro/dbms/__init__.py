@@ -10,16 +10,24 @@ describes:
 * :mod:`repro.dbms.optimizer` -- the targeted DC optimizer injecting
   request/pin/unpin (section 4.1),
 * :mod:`repro.dbms.sql` -- the SQL front-end compiling to MAL,
+* :mod:`repro.dbms.cost` -- the canonical operator cost model,
 * :mod:`repro.dbms.database` -- an embedded single-node database,
-* :mod:`repro.dbms.executor` -- distributed execution over the ring.
+* :mod:`repro.dbms.qpu` -- pluggable query processing units
+  (MAL / KV / streaming) sharing one ring economy (docs/qpu.md),
+* :mod:`repro.dbms.executor` -- the ring dispatcher routing requests
+  to their QPU.
 """
 
 from repro.dbms.bat import BAT
 from repro.dbms.catalog import Catalog, ColumnHandle, Table
+from repro.dbms.cost import OperatorCostModel, default_cost_model
 from repro.dbms.database import Database
+from repro.dbms.executor import QueryHandle, RingDatabase
 from repro.dbms.interpreter import Interpreter, ResultSet, local_registry
 from repro.dbms.mal import Instruction, Plan, Var
 from repro.dbms.optimizer import dc_optimize
+from repro.dbms.qpu import KvLookup, MalQuery, QueryProcessingUnit, StreamAggregate
+from repro.dbms.sql import SqlError, parse, plan_select
 
 __all__ = [
     "BAT",
@@ -28,10 +36,21 @@ __all__ = [
     "Database",
     "Instruction",
     "Interpreter",
+    "KvLookup",
+    "MalQuery",
+    "OperatorCostModel",
     "Plan",
+    "QueryHandle",
+    "QueryProcessingUnit",
     "ResultSet",
+    "RingDatabase",
+    "SqlError",
+    "StreamAggregate",
     "Table",
     "Var",
     "dc_optimize",
+    "default_cost_model",
     "local_registry",
+    "parse",
+    "plan_select",
 ]

@@ -1,0 +1,52 @@
+"""The canonical operator cost model (paper section 3.2).
+
+One source of truth for simulated CPU cost: the distributed executor,
+the TPC-H calibration/replay pair and every query processing unit
+(:mod:`repro.dbms.qpu`) charge time through the same model, so their
+timings are comparable.  Construct instances through
+:func:`default_cost_model` rather than scattering literal parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.dbms.bat import BAT
+
+__all__ = ["OperatorCostModel", "default_cost_model"]
+
+
+class OperatorCostModel:
+    """Simulated CPU seconds per relational operator.
+
+    The paper keeps interpreter overhead "well below one usec per
+    instruction" (section 3.2); operator cost itself scales with the
+    data touched.  We charge ``fixed + bytes/throughput`` where bytes
+    sums the BAT operands and the result.
+    """
+
+    def __init__(self, throughput: float = 2e9, fixed: float = 1e-6):
+        if throughput <= 0:
+            raise ValueError("throughput must be positive")
+        self.throughput = throughput
+        self.fixed = fixed
+
+    def cost(self, args: Sequence[Any], result: Any) -> float:
+        nbytes = 0
+        for arg in args:
+            if isinstance(arg, BAT):
+                nbytes += arg.nbytes
+        if isinstance(result, BAT):
+            nbytes += result.nbytes
+        elif isinstance(result, tuple):
+            nbytes += sum(r.nbytes for r in result if isinstance(r, BAT))
+        return self.fixed + nbytes / self.throughput
+
+    def bytes_cost(self, nbytes: int) -> float:
+        """Cost of one operator pass over ``nbytes`` of column data."""
+        return self.fixed + nbytes / self.throughput
+
+
+def default_cost_model() -> OperatorCostModel:
+    """The calibrated defaults every layer shares (2 GB/s, 1 usec)."""
+    return OperatorCostModel()

@@ -1,13 +1,25 @@
 """Distributed query execution over the storage ring (functional mode).
 
-This module closes the loop of the paper's architecture (Figure 2): SQL
-compiles to a MAL plan (section 3.2), the DC optimizer injects
-request/pin/unpin (section 4.1, Table 2), and the plan is interpreted on
-a ring node -- pins blocking until the BAT, *with its actual column
-payload*, flows in from the predecessor.  Operator results are computed
-for real by the numpy kernel while simulated time is charged through an
-:class:`OperatorCostModel`, so a :class:`RingDatabase` answers queries
-both *correctly* and with *faithful timing*.
+This module closes the loop of the paper's architecture (Figure 2), but
+since the QPU refactor (docs/qpu.md) it owns only the *ring side* of
+query processing: admission, query-id assignment, registration,
+completion and the intermediate-result cache.  The processing itself
+lives behind the :class:`~repro.dbms.qpu.QueryProcessingUnit` protocol
+-- :class:`RingDatabase` is a thin dispatcher that routes each submitted
+request to the first accepting engine:
+
+* SQL text / :class:`MalQuery` -> the MAL engine (compile to a plan,
+  DC-optimize, interpret on a ring node -- the paper's own model);
+* :class:`KvLookup` -> the KV engine (single-BAT point probe);
+* :class:`StreamAggregate` -> the streaming engine (fold partitions in
+  ring-cycle order).
+
+All engines move data exclusively through request/pin/unpin, so they
+share one hot-set economy: a KV tenant hammering two partitions raises
+their LOI against an analytic tenant's scan footprint.
+
+The MAL path is event-bit-identical to the pre-refactor executor
+(``tests/test_qpu_golden.py`` pins it, 5 seeds x 3 workloads).
 """
 
 from __future__ import annotations
@@ -15,49 +27,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Sequence
 
+import repro.events.types as ev
 from repro.core.config import DataCyclotronConfig
 from repro.core.ring import DataCyclotron
-from repro.core.runtime import NodeRuntime
-from repro.dbms.bat import BAT
 from repro.dbms.catalog import Catalog
-from repro.dbms.interpreter import Interpreter, ResultSet, local_registry
-from repro.dbms.optimizer import dc_optimize
-from repro.dbms.sql import parse, plan_select
+from repro.dbms.cost import OperatorCostModel, default_cost_model
+from repro.dbms.interpreter import ResultSet, local_registry
+from repro.dbms.qpu import (
+    CompiledQuery,
+    KvQpu,
+    MalQpu,
+    QpuContext,
+    QueryAbort,
+    QueryProcessingUnit,
+    StreamingAggQpu,
+)
 from repro.dbms.sql.planner import PlannedQuery
 from repro.sim.process import Process
 
-__all__ = ["OperatorCostModel", "QueryHandle", "RingDatabase", "QueryAbort"]
-
-
-class QueryAbort(RuntimeError):
-    """A pin failed (e.g. the BAT no longer exists): the query aborts."""
-
-
-class OperatorCostModel:
-    """Simulated CPU seconds per relational operator.
-
-    The paper keeps interpreter overhead "well below one usec per
-    instruction" (section 3.2); operator cost itself scales with the
-    data touched.  We charge ``fixed + bytes/throughput`` where bytes
-    sums the BAT operands and the result.
-    """
-
-    def __init__(self, throughput: float = 2e9, fixed: float = 1e-6):
-        if throughput <= 0:
-            raise ValueError("throughput must be positive")
-        self.throughput = throughput
-        self.fixed = fixed
-
-    def cost(self, args: Sequence[Any], result: Any) -> float:
-        nbytes = 0
-        for arg in args:
-            if isinstance(arg, BAT):
-                nbytes += arg.nbytes
-        if isinstance(result, BAT):
-            nbytes += result.nbytes
-        elif isinstance(result, tuple):
-            nbytes += sum(r.nbytes for r in result if isinstance(r, BAT))
-        return self.fixed + nbytes / self.throughput
+__all__ = [
+    "OperatorCostModel",
+    "QueryHandle",
+    "RingDatabase",
+    "QueryAbort",
+    "default_cost_model",
+]
 
 
 @dataclass
@@ -68,6 +62,9 @@ class QueryHandle:
     node: int
     sql: str
     process: Process
+    engine: str = "mal"
+    request: Any = None
+    estimated_cost: float = 0.0
 
     @property
     def done(self) -> bool:
@@ -75,64 +72,14 @@ class QueryHandle:
 
     @property
     def result(self) -> Optional[ResultSet]:
-        """The ResultSet, or None if the query failed / is still running."""
+        """The result, or None if the query failed / is still running.
+
+        MAL queries resolve to a :class:`ResultSet`; KV lookups to a
+        scalar; streaming aggregates to a scalar or ``{group: value}``.
+        """
         if not self.process.finished:
             return None
         return self.process.result
-
-
-def _dc_registry(
-    base: Dict[str, Any],
-    runtime: NodeRuntime,
-    query_id: int,
-    catalog: Catalog,
-    cost_model: OperatorCostModel,
-) -> Dict[str, Any]:
-    """Wrap the local registry for ring execution.
-
-    Local operators become generators that charge simulated CPU time;
-    the three datacyclotron calls talk to the node's DC runtime.
-    """
-    pinned_ids: Dict[int, int] = {}  # id(payload BAT) -> bat_id
-
-    def wrap(fn):
-        def runner(*args) -> Generator:
-            result = fn(*args)
-            cost = cost_model.cost(args, result)
-            if cost > 0:
-                yield runtime.exec_op(cost)
-            return result
-
-        return runner
-
-    registry: Dict[str, Any] = {name: wrap(fn) for name, fn in base.items()}
-
-    def dc_request(schema: str, table: str, column: str, partition: int) -> int:
-        handle = catalog.handle(schema, table, column, partition)
-        runtime.request(query_id, [handle.bat_id])
-        return handle.bat_id
-
-    def dc_pin(bat_id: int) -> Generator:
-        fut = runtime.pin(query_id, bat_id)
-        yield fut
-        result = fut.value
-        if not result.ok:
-            raise QueryAbort(result.error or f"pin of BAT {bat_id} failed")
-        payload = result.payload
-        if payload is None:
-            raise QueryAbort(f"BAT {bat_id} carries no payload (performance mode?)")
-        pinned_ids[id(payload)] = bat_id
-        return payload
-
-    def dc_unpin(payload: BAT) -> None:
-        bat_id = pinned_ids.pop(id(payload), None)
-        if bat_id is not None:
-            runtime.unpin(query_id, bat_id)
-
-    registry["datacyclotron.request"] = dc_request
-    registry["datacyclotron.pin"] = dc_pin
-    registry["datacyclotron.unpin"] = dc_unpin
-    return registry
 
 
 class RingDatabase:
@@ -146,6 +93,16 @@ class RingDatabase:
     True
     >>> handle.result.rows()
     [(2.0,), (3.0,)]
+
+    Point lookups and streaming aggregates ride the same ring:
+
+    >>> from repro.dbms.qpu import KvLookup, StreamAggregate
+    >>> kv = rdb.submit_request(KvLookup(table="t", key=1, column="v"))
+    >>> agg = rdb.submit_request(StreamAggregate(table="t", value_column="v"))
+    >>> rdb.run_until_done()
+    True
+    >>> kv.result, agg.result
+    (2.0, 6.0)
     """
 
     def __init__(
@@ -156,24 +113,34 @@ class RingDatabase:
         cache_intermediates: bool = False,
         cache_min_bytes: int = 64 * 1024,
         dataflow: bool = False,
+        lifecycle_events: bool = False,
     ):
-        """``dataflow=True`` executes plans with instruction-level
+        """``dataflow=True`` executes MAL plans with instruction-level
         concurrency (the paper's "concurrent interpreter threads"),
         letting several pins block at once; mutually exclusive with
-        ``cache_intermediates``."""
+        ``cache_intermediates``.
+
+        ``lifecycle_events=True`` publishes typed registration events
+        (:class:`~repro.events.types.QpuQueryRouted` and a
+        :class:`~repro.events.types.QueryRegistered` tagged with the
+        engine class) for *every* engine, MAL included.  The default
+        keeps the MAL path's legacy direct metrics call, preserving
+        event-bit-identical streams with the pre-refactor executor.
+        """
         if dataflow and cache_intermediates:
             raise ValueError(
                 "dataflow execution and intermediate caching are mutually exclusive"
             )
         self.dataflow = dataflow
         self.schema = schema
+        self.lifecycle_events = lifecycle_events
         self.catalog = Catalog()
         self.dc = DataCyclotron(config)
-        self.cost_model = cost_model if cost_model is not None else OperatorCostModel()
+        self.cost_model = cost_model if cost_model is not None else default_cost_model()
         self._local_registry = local_registry(self.catalog)
         self._next_query_id = 0
-        self._plan_counter = 0
         self.handles: List[QueryHandle] = []
+        self.max_inflight: Optional[int] = None  # admission valve (None: off)
         # section 6.2: intermediates circulate as first-class ring data
         self.result_cache = None
         self.cache_min_bytes = cache_min_bytes
@@ -181,6 +148,33 @@ class RingDatabase:
             from repro.xtn.result_cache import ResultCache
 
             self.result_cache = ResultCache(self.dc)
+        self.qpus: List[QueryProcessingUnit] = []
+        self._mal = MalQpu(
+            self.catalog,
+            self._local_registry,
+            self.cost_model,
+            dataflow=dataflow,
+            result_cache=self.result_cache,
+            cache_min_bytes=cache_min_bytes,
+        )
+        self.register_qpu(self._mal)
+        self.register_qpu(KvQpu(self.catalog, self.cost_model, schema=schema))
+        self.register_qpu(StreamingAggQpu(self.catalog, self.cost_model, schema=schema))
+
+    # ------------------------------------------------------------------
+    # engine registry
+    # ------------------------------------------------------------------
+    def register_qpu(self, qpu: QueryProcessingUnit) -> QueryProcessingUnit:
+        """Plug in an engine; earlier registrations win routing ties."""
+        self.qpus.append(qpu)
+        return qpu
+
+    def route(self, request: Any) -> QueryProcessingUnit:
+        """The first registered QPU that accepts ``request``."""
+        for qpu in self.qpus:
+            if qpu.accepts(request):
+                return qpu
+        raise TypeError(f"no registered QPU accepts {request!r}")
 
     # ------------------------------------------------------------------
     # data loading
@@ -232,67 +226,142 @@ class RingDatabase:
     # querying
     # ------------------------------------------------------------------
     def compile(self, sql: str) -> PlannedQuery:
-        self._plan_counter += 1
-        ast = parse(sql)
-        planned = plan_select(
-            ast, self.catalog, name=f"user.s{self._plan_counter}_1"
-        )
-        return PlannedQuery(
-            plan=dc_optimize(planned.plan),
-            result_var=planned.result_var,
-            column_names=planned.column_names,
-        )
+        return self._mal.compile_sql(sql)
 
-    def submit(self, sql: str, node: int = 0, arrival: float = 0.0) -> QueryHandle:
-        """Compile and schedule a query on ``node`` at ``arrival``."""
+    def submit(
+        self, sql: str, node: int = 0, arrival: Optional[float] = None
+    ) -> QueryHandle:
+        """Compile and schedule a SQL query on ``node`` at ``arrival``."""
+        return self.submit_request(sql, node=node, arrival=arrival)
+
+    def submit_request(
+        self, request: Any, node: int = 0, arrival: Optional[float] = None
+    ) -> QueryHandle:
+        """Route any engine request to its QPU and schedule it.
+
+        ``arrival`` defaults to the current simulated time.
+        """
+        if arrival is None:
+            arrival = self.dc.sim.now
         if not 0 <= node < self.dc.config.n_nodes:
             raise ValueError(f"node {node} out of range")
-        planned = self.compile(sql)
+        qpu = self.route(request)
+        compiled = qpu.compile(request)
         query_id = self._next_query_id
         self._next_query_id += 1
         runtime = self.dc.nodes[node]
-        registry = _dc_registry(
-            self._local_registry, runtime, query_id, self.catalog, self.cost_model
+        estimated = qpu.estimate_cost(compiled)
+        if self._shed(query_id, node):
+            return self._shed_handle(request, compiled, query_id, node, estimated)
+        ctx = QpuContext(
+            runtime=runtime,
+            query_id=query_id,
+            catalog=self.catalog,
+            cost_model=self.cost_model,
         )
-        if self.result_cache is not None:
-            from repro.dbms.caching import CachingInterpreter
-
-            interpreter: Interpreter = CachingInterpreter(
-                registry,
-                cache=self.result_cache,
-                runtime=runtime,
-                query_id=query_id,
-                min_publish_bytes=self.cache_min_bytes,
-            )
-        else:
-            interpreter = Interpreter(registry)
+        # the default MAL path keeps the pre-refactor direct metrics
+        # call (no bus event), pinned by the golden bit-identity suite
+        legacy = qpu is self._mal and not self.lifecycle_events
 
         def process() -> Generator:
-            self.dc.metrics.query_registered(
-                runtime.sim.now, query_id, node, tag="sql"
-            )
+            now = runtime.sim.now
+            if legacy:
+                self.dc.metrics.query_registered(now, query_id, node, tag="sql")
+            else:
+                self._register(now, query_id, node, qpu.engine_class,
+                               compiled, estimated)
             try:
-                if self.dataflow:
-                    from repro.dbms.dataflow import DataflowExecutor
-
-                    executor = DataflowExecutor(registry, runtime.sim)
-                    env = yield from executor.run(planned.plan)
-                else:
-                    env = yield from interpreter.run_gen(planned.plan)
+                result = yield from qpu.execute(compiled, ctx)
             except QueryAbort as abort:
+                self._release_pins(ctx, runtime, query_id)
                 runtime.finish_query(query_id, failed=True, error=str(abort))
                 return None
             runtime.finish_query(query_id)
-            return env[planned.result_var]
+            return result
 
         delay = arrival - self.dc.sim.now
         if delay < 0:
             raise ValueError("arrival is in the past")
         self.dc._submitted += 1
         proc = Process(self.dc.sim, process(), start_delay=delay)
-        handle = QueryHandle(query_id=query_id, node=node, sql=sql, process=proc)
+        handle = QueryHandle(
+            query_id=query_id,
+            node=node,
+            sql=compiled.description,
+            process=proc,
+            engine=qpu.engine_class,
+            request=request,
+            estimated_cost=estimated,
+        )
         self.handles.append(handle)
         return handle
+
+    # ------------------------------------------------------------------
+    # dispatcher-owned lifecycle pieces
+    # ------------------------------------------------------------------
+    def _register(
+        self,
+        now: float,
+        query_id: int,
+        node: int,
+        engine: str,
+        compiled: CompiledQuery,
+        estimated: float,
+    ) -> None:
+        bus = self.dc.bus
+        if bus.active:
+            bus.publish(
+                ev.QpuQueryRouted(
+                    t=now,
+                    query_id=query_id,
+                    engine=engine,
+                    node=node,
+                    footprint=len(compiled.footprint),
+                    cost=estimated,
+                )
+            )
+            bus.publish(ev.QueryRegistered(now, query_id, node, tag=engine))
+        else:
+            # zero-observer runs still keep query records for reports
+            self.dc.metrics.query_registered(now, query_id, node, tag=engine)
+
+    def _shed(self, query_id: int, node: int) -> bool:
+        """Admission valve: shed when too many queries are in flight."""
+        if self.max_inflight is None:
+            return False
+        inflight = sum(1 for h in self.handles if not h.done)
+        if inflight < self.max_inflight:
+            return False
+        bus = self.dc.bus
+        if bus.active:
+            bus.publish(ev.QueryShed(self.dc.sim.now, query_id, node))
+        return True
+
+    def _shed_handle(
+        self, request, compiled, query_id: int, node: int, estimated: float
+    ) -> QueryHandle:
+        def refused() -> Generator:
+            return None
+            yield  # pragma: no cover - makes this a generator
+
+        handle = QueryHandle(
+            query_id=query_id,
+            node=node,
+            sql=compiled.description,
+            process=Process(self.dc.sim, refused()),
+            engine=compiled.engine,
+            request=request,
+            estimated_cost=estimated,
+        )
+        self.handles.append(handle)
+        return handle
+
+    @staticmethod
+    def _release_pins(ctx: QpuContext, runtime, query_id: int) -> None:
+        """On abort, free whatever the engine still holds pinned."""
+        for bat_id in list(ctx.pinned):
+            runtime.unpin(query_id, bat_id)
+        ctx.pinned.clear()
 
     # ------------------------------------------------------------------
     def run_until_done(self, max_time: float = 600.0) -> bool:

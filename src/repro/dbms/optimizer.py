@@ -56,14 +56,20 @@ def dc_optimize(plan: Plan, bind_ops=BIND_OPS) -> Plan:
         else:
             replaced.append(instr)
 
-    # Pass 2: find first and last uses of each bound variable.
+    # Pass 2: find first and last uses of each bound variable.  Walk the
+    # arguments in positional order, not ``instr.uses()`` (a set): when
+    # one instruction first-uses several bound variables, the pins must
+    # be injected in a deterministic order, independent of string-hash
+    # randomization.
     first_use: Dict[str, int] = {}
     last_use: Dict[str, int] = {}
     for i, instr in enumerate(replaced):
-        for name in instr.uses():
-            if name in token_of:
-                first_use.setdefault(name, i)
-                last_use[name] = i
+        for arg in instr.args:
+            if isinstance(arg, Var):
+                name = arg.name
+                if name in token_of:
+                    first_use.setdefault(name, i)
+                    last_use[name] = i
 
     # Pass 3: emit, injecting pins before first use and unpins after last.
     pins_at: Dict[int, List[str]] = {}

@@ -1,0 +1,44 @@
+"""Query processing units: pluggable engines sharing one ring economy.
+
+See docs/qpu.md.  The protocol lives in :mod:`repro.dbms.qpu.base`; the
+three stock engines are:
+
+* :class:`MalQpu` -- the paper's own model: SQL -> MAL plan ->
+  DC-optimized interpretation (linear, caching or dataflow);
+* :class:`KvQpu` -- planless single-BAT point probes, latency-bound;
+* :class:`StreamingAggQpu` -- incremental aggregates folded in
+  ring-cycle order, never holding a working set.
+
+``RingDatabase`` registers all three by default and routes each
+submitted request (:class:`MalQuery` / :class:`KvLookup` /
+:class:`StreamAggregate`) to the first accepting unit.
+"""
+
+from repro.dbms.qpu.base import (
+    CompiledQuery,
+    KvLookup,
+    MalQuery,
+    QpuContext,
+    QueryAbort,
+    QueryProcessingUnit,
+    StreamAggregate,
+    as_resolved,
+)
+from repro.dbms.qpu.kv import KvQpu
+from repro.dbms.qpu.mal import MalQpu, dc_registry
+from repro.dbms.qpu.streaming import StreamingAggQpu
+
+__all__ = [
+    "CompiledQuery",
+    "KvLookup",
+    "KvQpu",
+    "MalQpu",
+    "MalQuery",
+    "QpuContext",
+    "QueryAbort",
+    "QueryProcessingUnit",
+    "StreamAggregate",
+    "StreamingAggQpu",
+    "as_resolved",
+    "dc_registry",
+]

@@ -1,0 +1,181 @@
+"""The MAL engine as a QueryProcessingUnit.
+
+This is the original `repro.dbms` stack -- SQL parser, column-at-a-time
+planner, DC optimizer (Table 2) and the linear/caching/dataflow
+interpreters -- rehosted behind the QPU protocol.  The execution path is
+byte-for-byte the pre-refactor one (the golden suite in
+``tests/test_qpu_golden.py`` pins the event streams): the engine wraps
+the local operator registry with cost-charging generators, and the three
+``datacyclotron.*`` plan calls talk to the node runtime exactly as
+before.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from repro.core.runtime import NodeRuntime
+from repro.dbms.bat import BAT
+from repro.dbms.catalog import Catalog
+from repro.dbms.cost import OperatorCostModel
+from repro.dbms.interpreter import Interpreter
+from repro.dbms.optimizer import dc_optimize, requested_binds
+from repro.dbms.qpu.base import (
+    CompiledQuery,
+    MalQuery,
+    QpuContext,
+    QueryAbort,
+    QueryProcessingUnit,
+)
+from repro.dbms.sql import parse, plan_select
+from repro.dbms.sql.planner import PlannedQuery
+
+__all__ = ["MalQpu", "dc_registry"]
+
+
+def dc_registry(
+    base: Dict[str, Any],
+    runtime: NodeRuntime,
+    query_id: int,
+    catalog: Catalog,
+    cost_model: OperatorCostModel,
+) -> Dict[str, Any]:
+    """Wrap the local registry for ring execution.
+
+    Local operators become generators that charge simulated CPU time;
+    the three datacyclotron calls talk to the node's DC runtime.
+    """
+    pinned_ids: Dict[int, int] = {}  # id(payload BAT) -> bat_id
+
+    def wrap(fn):
+        def runner(*args) -> Generator:
+            result = fn(*args)
+            cost = cost_model.cost(args, result)
+            if cost > 0:
+                yield runtime.exec_op(cost)
+            return result
+
+        return runner
+
+    registry: Dict[str, Any] = {name: wrap(fn) for name, fn in base.items()}
+
+    def dc_request(schema: str, table: str, column: str, partition: int) -> int:
+        handle = catalog.handle(schema, table, column, partition)
+        runtime.request(query_id, [handle.bat_id])
+        return handle.bat_id
+
+    def dc_pin(bat_id: int) -> Generator:
+        fut = runtime.pin(query_id, bat_id)
+        yield fut
+        result = fut.value
+        if not result.ok:
+            raise QueryAbort(result.error or f"pin of BAT {bat_id} failed")
+        payload = result.payload
+        if payload is None:
+            raise QueryAbort(f"BAT {bat_id} carries no payload (performance mode?)")
+        pinned_ids[id(payload)] = bat_id
+        return payload
+
+    def dc_unpin(payload: BAT) -> None:
+        bat_id = pinned_ids.pop(id(payload), None)
+        if bat_id is not None:
+            runtime.unpin(query_id, bat_id)
+
+    registry["datacyclotron.request"] = dc_request
+    registry["datacyclotron.pin"] = dc_pin
+    registry["datacyclotron.unpin"] = dc_unpin
+    return registry
+
+
+class MalQpu(QueryProcessingUnit):
+    """Full SQL over the ring: the paper's own processing model."""
+
+    engine_class = "mal"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        local_registry: Dict[str, Any],
+        cost_model: OperatorCostModel,
+        dataflow: bool = False,
+        result_cache=None,
+        cache_min_bytes: int = 64 * 1024,
+    ):
+        self.catalog = catalog
+        self.local_registry = local_registry
+        self.cost_model = cost_model
+        self.dataflow = dataflow
+        self.result_cache = result_cache
+        self.cache_min_bytes = cache_min_bytes
+        self._plan_counter = 0
+
+    # ------------------------------------------------------------------
+    def accepts(self, request: Any) -> bool:
+        return isinstance(request, (MalQuery, str))
+
+    def compile_sql(self, sql: str) -> PlannedQuery:
+        """SQL -> DC-optimized MAL plan (Table 1 -> Table 2)."""
+        self._plan_counter += 1
+        ast = parse(sql)
+        planned = plan_select(
+            ast, self.catalog, name=f"user.s{self._plan_counter}_1"
+        )
+        return PlannedQuery(
+            plan=dc_optimize(planned.plan),
+            result_var=planned.result_var,
+            column_names=planned.column_names,
+        )
+
+    def compile(self, request: Any) -> CompiledQuery:
+        sql = request.sql if isinstance(request, MalQuery) else request
+        planned = self.compile_sql(sql)
+        bat_ids = tuple(
+            self.catalog.handle(*args).bat_id
+            for args in requested_binds(planned.plan)
+        )
+        nbytes = sum(
+            self.catalog.handle_by_id(b).bat.nbytes for b in bat_ids
+        )
+        return CompiledQuery(
+            engine=self.engine_class,
+            footprint=bat_ids,
+            footprint_bytes=nbytes,
+            payload=planned,
+            description=sql,
+        )
+
+    def estimate_cost(self, compiled: CompiledQuery) -> float:
+        # one interpreter pass over the persistent footprint: a lower
+        # bound (intermediates add to it), good enough for admission
+        return self.cost_model.bytes_cost(compiled.footprint_bytes)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, compiled: CompiledQuery, ctx: QpuContext
+    ) -> Generator[Any, Any, Any]:
+        planned: PlannedQuery = compiled.payload
+        registry = dc_registry(
+            self.local_registry, ctx.runtime, ctx.query_id,
+            self.catalog, self.cost_model,
+        )
+        if self.dataflow:
+            from repro.dbms.dataflow import DataflowExecutor
+
+            executor = DataflowExecutor(registry, ctx.runtime.sim)
+            env = yield from executor.run(planned.plan)
+        else:
+            env = yield from self._interpreter(registry, ctx).run_gen(planned.plan)
+        return env[planned.result_var]
+
+    def _interpreter(self, registry: Dict[str, Any], ctx: QpuContext) -> Interpreter:
+        if self.result_cache is not None:
+            from repro.dbms.caching import CachingInterpreter
+
+            return CachingInterpreter(
+                registry,
+                cache=self.result_cache,
+                runtime=ctx.runtime,
+                query_id=ctx.query_id,
+                min_publish_bytes=self.cache_min_bytes,
+            )
+        return Interpreter(registry)

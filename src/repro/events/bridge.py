@@ -118,6 +118,11 @@ def attach_metrics(bus: Bus, metrics: "MetricsCollector") -> Callable[[], None]:
     sub(ev.GatewayElected, _count("gateway_elections"))
     sub(ev.ServeHandedOff, _count("serves_handed_off"))
 
+    # --- query processing units (docs/qpu.md) --------------------------
+    sub(ev.QpuQueryRouted, lambda e: metrics.qpu_routed(e.engine))
+    sub(ev.KvProbeServed, lambda e: metrics.kv_probe(e.hit))
+    sub(ev.StreamBatConsumed, lambda e: metrics.stream_bat_consumed(e.rows))
+
     def detach():
         for event_type, handler in subscribed:
             bus.unsubscribe(event_type, handler)

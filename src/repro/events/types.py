@@ -87,6 +87,10 @@ __all__ = [
     "GatewayFailed",
     "GatewayElected",
     "ServeHandedOff",
+    # query processing units (docs/qpu.md)
+    "QpuQueryRouted",
+    "KvProbeServed",
+    "StreamBatConsumed",
     # simulation engine
     "RotationFastForwarded",
     "SimEventFired",
@@ -692,6 +696,47 @@ class ServeHandedOff:
     ring: int
     from_node: int
     to_node: int
+
+
+# ----------------------------------------------------------------------
+# query processing units (docs/qpu.md)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class QpuQueryRouted:
+    """The dispatcher handed a query to the ``engine`` QPU on ``node``.
+
+    ``footprint`` is the number of BATs the compiled query declared it
+    will touch; ``cost`` the engine's pre-execution cost estimate.
+    """
+
+    t: float
+    query_id: int
+    engine: str
+    node: int
+    footprint: int
+    cost: float
+
+
+@dataclass(slots=True)
+class KvProbeServed:
+    """The KV engine answered a point lookup (``hit=False``: unknown key)."""
+
+    t: float
+    query_id: int
+    bat_id: int
+    node: int
+    hit: bool
+
+
+@dataclass(slots=True)
+class StreamBatConsumed:
+    """The streaming engine folded one partition as it rotated past."""
+
+    t: float
+    query_id: int
+    bat_id: int
+    node: int
+    rows: int
 
 
 # ----------------------------------------------------------------------

@@ -104,6 +104,12 @@ class MetricsCollector:
         self.gateway_failures = 0       # gateway nodes lost
         self.gateway_elections = 0      # replacement gateways designated
         self.serves_handed_off = 0      # in-flight serves moved off dead gateways
+
+        self.queries_by_engine: Dict[str, int] = {}  # QPU routing counts
+        self.kv_probes = 0              # KV point lookups served
+        self.kv_misses = 0              # lookups for unknown keys
+        self.stream_bats_consumed = 0   # partitions folded in cycle order
+        self.stream_rows_consumed = 0   # rows behind those folds
         # per-node downtime intervals: node -> [(down_at, up_at | None)]
         self.downtime: Dict[int, List[List[Optional[float]]]] = {}
         # recovery latency: crash/rejoin -> first re-load of an affected BAT
@@ -126,6 +132,21 @@ class MetricsCollector:
         rec.finished_at = t
         rec.failed = True
         rec.error = error
+
+    # ------------------------------------------------------------------
+    # query processing units (docs/qpu.md)
+    # ------------------------------------------------------------------
+    def qpu_routed(self, engine: str) -> None:
+        self.queries_by_engine[engine] = self.queries_by_engine.get(engine, 0) + 1
+
+    def kv_probe(self, hit: bool) -> None:
+        self.kv_probes += 1
+        if not hit:
+            self.kv_misses += 1
+
+    def stream_bat_consumed(self, rows: int) -> None:
+        self.stream_bats_consumed += 1
+        self.stream_rows_consumed += rows
 
     def query_degraded(self, query_id: int) -> None:
         """The query needed fault recovery (resend / re-home / orphan serve)."""

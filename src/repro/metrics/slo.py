@@ -29,6 +29,7 @@ from repro.events.bus import Bus
 
 __all__ = [
     "PERCENTILES",
+    "EngineSloTarget",
     "SloCollector",
     "SloTarget",
     "exact_quantile",
@@ -102,6 +103,37 @@ class SloTarget:
             "p50": self.p50,
             "p99": self.p99,
             "p999": self.p999,
+            "max_failure_rate": self.max_failure_rate,
+        }
+
+
+@dataclass(frozen=True)
+class EngineSloTarget:
+    """Declared objectives for one engine class in a mixed workload.
+
+    Different engines gate on different numbers: a KV tenant cares
+    about tail latency (``p99``), a streaming aggregate about sustained
+    ``min_throughput`` (successful queries per simulated second).  Any
+    field left ``None`` is simply not gated, so one schema covers all
+    three engine classes without dummy targets.
+    """
+
+    p99: Optional[float] = None
+    min_throughput: Optional[float] = None
+    max_failure_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.p99 is not None and self.p99 <= 0:
+            raise ValueError("p99 target must be positive")
+        if self.min_throughput is not None and self.min_throughput <= 0:
+            raise ValueError("min_throughput target must be positive")
+        if not 0.0 <= self.max_failure_rate <= 1.0:
+            raise ValueError("max_failure_rate must be in [0, 1]")
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {
+            "p99": self.p99,
+            "min_throughput": self.min_throughput,
             "max_failure_rate": self.max_failure_rate,
         }
 
@@ -279,6 +311,49 @@ class SloCollector:
             verdict["fairness"] = self.fairness()
         return verdict
 
+    def engine_verdicts(
+        self, targets: Dict[str, EngineSloTarget], duration: float
+    ) -> Dict[str, Dict]:
+        """Per-engine-class verdicts for a mixed-engine run.
+
+        With ``RingDatabase(lifecycle_events=True)`` each query's
+        registration tag *is* its engine class (``mal`` / ``kv`` /
+        ``stream``), so this reuses the tenant machinery: for every
+        engine in ``targets`` it gates the declared objectives --
+        ``p99`` for point lookups, ``min_throughput`` (successes per
+        simulated second over ``duration``) for streaming folds -- and
+        returns a dict ready to embed as ``verdict["engine_classes"]``
+        (``validate_verdict`` checks it when present).
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        out: Dict[str, Dict] = {}
+        for engine, target in sorted(targets.items()):
+            samples = sorted(self.latencies(engine))
+            failed = self.failed_count(engine)
+            total = len(samples) + failed
+            p99 = exact_quantile(samples, 0.99)
+            throughput = len(samples) / duration
+            failure_rate = failed / total if total else 0.0
+            passed: Dict[str, bool] = {}
+            if target.p99 is not None:
+                passed["p99"] = p99 <= target.p99
+            if target.min_throughput is not None:
+                passed["throughput"] = throughput >= target.min_throughput
+            passed["failure_rate"] = failure_rate <= target.max_failure_rate
+            out[engine] = {
+                "queries": total,
+                "succeeded": len(samples),
+                "failed": failed,
+                "p99": round(p99, 6),
+                "throughput": round(throughput, 6),
+                "failure_rate": round(failure_rate, 6),
+                "target": target.as_dict(),
+                "passed": passed,
+                "ok": all(passed.values()),
+            }
+        return out
+
 
 # ----------------------------------------------------------------------
 # verdict schema
@@ -334,3 +409,21 @@ def validate_verdict(verdict: Dict) -> None:
         raise ValueError("verdict 'ok' contradicts its 'passed' map")
     if verdict["queries"] != verdict["succeeded"] + verdict["failed"]:
         raise ValueError("verdict counts do not add up")
+    # mixed-engine scenarios attach per-engine-class verdicts (docs/qpu.md)
+    for engine, section in verdict.get("engine_classes", {}).items():
+        if not isinstance(section, dict):
+            raise ValueError(f"engine_classes[{engine!r}] must be a dict")
+        for key in ("queries", "succeeded", "failed", "target", "passed", "ok"):
+            if key not in section:
+                raise ValueError(f"engine_classes[{engine!r}] missing {key!r}")
+        for key, value in section["passed"].items():
+            if not isinstance(value, bool):
+                raise ValueError(
+                    f"engine_classes[{engine!r}] 'passed'[{key!r}] must be a bool"
+                )
+        if section["ok"] != all(section["passed"].values()):
+            raise ValueError(
+                f"engine_classes[{engine!r}] 'ok' contradicts its 'passed' map"
+            )
+        if section["queries"] != section["succeeded"] + section["failed"]:
+            raise ValueError(f"engine_classes[{engine!r}] counts do not add up")

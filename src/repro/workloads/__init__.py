@@ -12,12 +12,15 @@
 * :mod:`repro.workloads.scenarios` -- production-shaped generators
   (diurnal, flash-crowd, multi-tenant, locality-shift) for the SLO
   scenario suite (docs/workloads.md),
+* :mod:`repro.workloads.mixed` -- the mixed-engine workload driving all
+  three QPU classes through one ring economy (docs/qpu.md),
 * :mod:`repro.workloads.suite` -- the named scenario registry shared by
   ``repro scenarios`` and ``benchmarks/bench_slo.py``.
 """
 
 from repro.workloads.base import UniformDataset, populate_ring
 from repro.workloads.gaussian import GaussianWorkload
+from repro.workloads.mixed import MixedEngineWorkload
 from repro.workloads.scenarios import (
     DiurnalWorkload,
     FlashCrowdWorkload,
@@ -33,6 +36,7 @@ __all__ = [
     "FlashCrowdWorkload",
     "GaussianWorkload",
     "LocalityShiftWorkload",
+    "MixedEngineWorkload",
     "MultiTenantWorkload",
     "SkewedPhase",
     "SkewedWorkload",

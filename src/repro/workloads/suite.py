@@ -12,7 +12,10 @@ it, and returns an SLO verdict plus scenario-specific extras:
   data, triggering organic cross-ring fetches and migrations,
 * ``gateway-chaos`` -- a gateway crash mid-workload, run twice (serve
   handoff on and off) so the p999 tail the handoff removes is measured
-  in the same report.
+  in the same report,
+* ``mixed-engine`` -- KV probes, MAL scans and streaming folds sharing
+  one ring economy, graded per engine class (docs/qpu.md): p99 for the
+  point lookups, sustained throughput for the streaming aggregates.
 
 Everything is deterministic per seed: ``run_scenario(name, seed)``
 returns a bit-identical result dict on every call, which is what the
@@ -26,10 +29,17 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import MB, DataCyclotronConfig
 from repro.core.ring import DataCyclotron
-from repro.metrics.slo import SloCollector, SloTarget, validate_verdict
+from repro.dbms.executor import RingDatabase
+from repro.metrics.slo import (
+    EngineSloTarget,
+    SloCollector,
+    SloTarget,
+    validate_verdict,
+)
 from repro.multiring.config import MultiRingConfig
 from repro.multiring.federation import RingFederation
 from repro.workloads.base import UniformDataset, Workload, populate_ring
+from repro.workloads.mixed import MixedEngineWorkload
 from repro.workloads.scenarios import (
     DiurnalWorkload,
     FlashCrowdWorkload,
@@ -37,6 +47,7 @@ from repro.workloads.scenarios import (
     MultiTenantWorkload,
 )
 __all__ = [
+    "MIXED_ENGINE_TARGETS",
     "SCENARIOS",
     "ScenarioSpec",
     "run_scenario",
@@ -338,6 +349,61 @@ def _run_gateway_chaos(seed: int, quick: bool, target: SloTarget) -> Tuple[Dict,
     return verdict_on, extras
 
 
+# per-engine-class objectives for the mixed-engine scenario: each QPU
+# class is graded on the number its tenants actually care about
+MIXED_ENGINE_TARGETS: Dict[str, EngineSloTarget] = {
+    "kv": EngineSloTarget(p99=0.3),
+    "mal": EngineSloTarget(p99=4.0),
+    "stream": EngineSloTarget(min_throughput=0.5),
+}
+
+
+def _run_mixed_engine(seed: int, quick: bool, target: SloTarget) -> Tuple[Dict, Dict]:
+    if quick:
+        workload = MixedEngineWorkload(
+            n_rows=6000, rows_per_partition=500,
+            kv_rate=30.0, mal_rate=5.0, stream_rate=1.0,
+            duration=5.0, seed=seed,
+        )
+    else:
+        workload = MixedEngineWorkload(
+            n_rows=24000, rows_per_partition=1000,
+            kv_rate=60.0, mal_rate=8.0, stream_rate=2.0,
+            duration=12.0, seed=seed,
+        )
+    rdb = RingDatabase(
+        DataCyclotronConfig(
+            n_nodes=4,
+            seed=seed,
+            bandwidth=40 * MB,
+            bat_queue_capacity=15 * MB,
+            disk_latency=1e-4,
+            load_all_interval=0.02,
+        ),
+        lifecycle_events=True,  # tags queries with their engine class
+    )
+    slo = SloCollector().attach(rdb.dc.bus)
+    submitted = workload.submit_to(rdb)
+    completed = rdb.run_until_done(max_time=MAX_TIME)
+    verdict = slo.verdict("mixed-engine", seed, target)
+    verdict["engine_classes"] = slo.engine_verdicts(
+        MIXED_ENGINE_TARGETS, duration=rdb.dc.sim.now
+    )
+    metrics = rdb.metrics
+    extras = {
+        "submitted": submitted,
+        "submitted_by_engine": dict(workload.counts),
+        "completed_in_time": completed,
+        "sim_time": round(rdb.dc.sim.now, 6),
+        "queries_by_engine": dict(metrics.queries_by_engine),
+        "kv_probes": metrics.kv_probes,
+        "kv_misses": metrics.kv_misses,
+        "stream_bats_consumed": metrics.stream_bats_consumed,
+        "stream_rows_consumed": metrics.stream_rows_consumed,
+    }
+    return verdict, extras
+
+
 SCENARIOS: Dict[str, ScenarioSpec] = {
     spec.name: spec
     for spec in (
@@ -370,6 +436,12 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             "gateway crash mid-workload, serve handoff on vs off",
             SloTarget(p50=1.0, p99=2.5, p999=4.5),
             _run_gateway_chaos,
+        ),
+        ScenarioSpec(
+            "mixed-engine",
+            "KV probes, MAL scans and streaming folds on one ring",
+            SloTarget(p50=0.5, p99=3.0, p999=5.0),
+            _run_mixed_engine,
         ),
     )
 }

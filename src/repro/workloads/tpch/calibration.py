@@ -12,8 +12,8 @@ the last pin call."
 :func:`calibrate` executes each DC-optimized plan against the local
 engine with an instrumented registry: every kernel operator runs for
 real (so intermediate sizes are the true ones) and its cost -- from the
-same :class:`~repro.dbms.executor.OperatorCostModel` the distributed
-executor charges -- accumulates into the OpT of the next pin call.
+same :class:`~repro.dbms.cost.OperatorCostModel` the distributed
+executor charges (one canonical factory: :func:`~repro.dbms.cost.default_cost_model`) -- accumulates into the OpT of the next pin call.
 """
 
 from __future__ import annotations
@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.dbms.database import Database
-from repro.dbms.executor import OperatorCostModel
+from repro.dbms.cost import OperatorCostModel, default_cost_model
 from repro.dbms.interpreter import Interpreter
 from repro.workloads.tpch.queries import TPCH_QUERIES, TpchQuery
 
@@ -179,6 +179,6 @@ def calibrate(
 ) -> List[QueryTrace]:
     """Produce one trace per query against an already-loaded database."""
     queries = queries if queries is not None else TPCH_QUERIES
-    cost_model = cost_model if cost_model is not None else OperatorCostModel()
+    cost_model = cost_model if cost_model is not None else default_cost_model()
     tracer = _Tracer(db, cost_model)
     return [tracer.trace(q) for q in queries]

@@ -18,7 +18,7 @@ from repro.core.config import DataCyclotronConfig
 from repro.core.query import PinStep, QuerySpec
 from repro.core.ring import DataCyclotron
 from repro.dbms.database import Database
-from repro.dbms.executor import OperatorCostModel
+from repro.dbms.cost import OperatorCostModel, default_cost_model
 from repro.workloads.tpch.calibration import QueryTrace, calibrate
 from repro.workloads.tpch.queries import TPCH_QUERIES
 from repro.workloads.tpch.schema import generate_tpch
@@ -73,7 +73,7 @@ class TpchExperiment:
         data = generate_tpch(scale_factor=scale_factor, seed=seed)
         for table, columns in data.items():
             self.db.load_table(table, columns, rows_per_partition=rows_per_partition)
-        cost_model = cost_model if cost_model is not None else OperatorCostModel()
+        cost_model = cost_model if cost_model is not None else default_cost_model()
         raw = sorted(
             calibrate(self.db, TPCH_QUERIES, cost_model), key=lambda t: t.net_time
         )

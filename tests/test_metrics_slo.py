@@ -14,6 +14,7 @@ from repro.events import types as ev
 from repro.events.bus import Bus
 from repro.metrics.slo import (
     PERCENTILES,
+    EngineSloTarget,
     SloCollector,
     SloTarget,
     exact_quantile,
@@ -225,3 +226,78 @@ def test_validate_verdict_rejects_schema_drift(mutate, match):
     mutate(verdict)
     with pytest.raises(ValueError, match=match):
         validate_verdict(verdict)
+
+
+# ----------------------------------------------------------------------
+# per-engine-class verdicts (docs/qpu.md)
+# ----------------------------------------------------------------------
+def test_engine_slo_target_validates_fields():
+    with pytest.raises(ValueError, match="p99"):
+        EngineSloTarget(p99=0.0)
+    with pytest.raises(ValueError, match="min_throughput"):
+        EngineSloTarget(min_throughput=-1.0)
+    with pytest.raises(ValueError, match="max_failure_rate"):
+        EngineSloTarget(max_failure_rate=1.5)
+    assert EngineSloTarget(p99=1.0).as_dict() == {
+        "p99": 1.0, "min_throughput": None, "max_failure_rate": 0.0,
+    }
+
+
+def make_engine_collector():
+    """Two KV probes (one slow), four streaming folds, one of them failed."""
+    bus = Bus()
+    collector = SloCollector().attach(bus)
+    finish(bus, 1, start=0.0, end=0.05, tag="kv")
+    finish(bus, 2, start=0.0, end=2.0, tag="kv")
+    for qid in (3, 4, 5):
+        finish(bus, qid, start=0.0, end=0.5, tag="stream")
+    bus.publish(ev.QueryRegistered(t=0.0, query_id=6, node=0, tag="stream"))
+    bus.publish(ev.QueryFailed(t=1.0, query_id=6, error="x", node=0))
+    return collector
+
+
+def test_engine_verdicts_gate_each_class_on_its_own_number():
+    collector = make_engine_collector()
+    targets = {
+        "kv": EngineSloTarget(p99=1.0),
+        "stream": EngineSloTarget(min_throughput=0.5, max_failure_rate=0.5),
+    }
+    out = collector.engine_verdicts(targets, duration=2.0)
+    assert sorted(out) == ["kv", "stream"]
+    kv, stream = out["kv"], out["stream"]
+    # the slow probe blows the p99 gate; throughput is not gated for kv
+    assert kv["p99"] == pytest.approx(2.0)
+    assert kv["passed"] == {"p99": False, "failure_rate": True}
+    assert kv["ok"] is False
+    # 3 successes over 2 simulated seconds beats the 0.5/s floor, and
+    # the one failure stays inside the declared budget
+    assert stream["throughput"] == pytest.approx(1.5)
+    assert stream["failure_rate"] == pytest.approx(0.25)
+    assert stream["passed"] == {"throughput": True, "failure_rate": True}
+    assert stream["ok"] is True
+
+
+def test_engine_verdicts_require_positive_duration():
+    with pytest.raises(ValueError, match="duration"):
+        make_engine_collector().engine_verdicts({}, duration=0.0)
+
+
+def test_validate_verdict_checks_engine_classes_section():
+    collector = make_engine_collector()
+    verdict = make_verdict()
+    verdict["engine_classes"] = collector.engine_verdicts(
+        {"kv": EngineSloTarget(p99=5.0)}, duration=2.0
+    )
+    validate_verdict(verdict)  # must not raise
+    bad = copy.deepcopy(verdict)
+    bad["engine_classes"]["kv"]["ok"] = False
+    with pytest.raises(ValueError, match="contradicts"):
+        validate_verdict(bad)
+    bad = copy.deepcopy(verdict)
+    bad["engine_classes"]["kv"].pop("passed")
+    with pytest.raises(ValueError, match="missing 'passed'"):
+        validate_verdict(bad)
+    bad = copy.deepcopy(verdict)
+    bad["engine_classes"]["kv"]["queries"] += 1
+    with pytest.raises(ValueError, match="counts do not add up"):
+        validate_verdict(bad)

@@ -1,0 +1,46 @@
+"""QPU refactor golden suite: the MAL path is event-bit-identical.
+
+``tests/data/golden_qpu_streams.json`` fingerprints the full typed
+event stream (every event except ``SimEventFired``, in publish order,
+repr-exact) of three SQL workloads x five seeds, captured against the
+pre-refactor executor.  Replaying the same workloads through the QPU
+dispatcher must reproduce each stream byte for byte: same event count,
+same per-type census, same sha256 over the reprs, same final clock and
+same number of simulator events processed.
+
+Any diff here means the dispatcher is not a pure re-layering of the old
+``RingDatabase`` -- an extra bus publish, a reordered pin, a shifted
+timestamp -- and is a bug even if results stay correct.
+"""
+
+import json
+
+import pytest
+
+from qpu_harness import GOLDEN_PATH, SEEDS, WORKLOADS, capture
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_mal_event_stream_matches_pre_refactor_golden(golden, workload, seed):
+    expected = golden[workload][str(seed)]
+    actual = capture(workload, seed)
+    # cheap, readable checks first; the sha256 is the strong claim
+    assert actual["n_events"] == expected["n_events"]
+    assert actual["by_type"] == expected["by_type"]
+    assert actual["now"] == expected["now"]
+    assert actual["events_processed"] == expected["events_processed"]
+    assert actual["finished"] == expected["finished"]
+    assert actual["sha256"] == expected["sha256"]
+
+
+def test_golden_covers_the_full_matrix(golden):
+    assert sorted(golden) == sorted(WORKLOADS)
+    for workload in WORKLOADS:
+        assert sorted(golden[workload]) == sorted(str(s) for s in SEEDS)
