@@ -4,15 +4,22 @@ Writes ``BENCH_slo.json`` (repo root, or ``--out``) with one SLO
 verdict per scenario x seed -- p50/p99/p999 latency, failure rate,
 per-tenant fairness where the scenario has tenants -- plus a
 ``handoff`` section comparing the gateway-chaos p999 tail with serve
-handoff enabled vs disabled.  The verdict schema is validated before
-anything is written, so schema drift fails the run even when every SLO
-is met.
+handoff enabled vs disabled, and a ``controller`` section comparing the
+overload scenarios with the closed-loop controller on vs off.  The
+verdict schema is validated before anything is written, so schema
+drift fails the run even when every SLO is met.
 
 Run: ``PYTHONPATH=src python benchmarks/bench_slo.py [--quick] [--seeds 0 1 2]``
 
 Exit codes: 0 on success, 1 when a verdict fails schema validation,
-when a run is nondeterministic, or when serve handoff fails to improve
-the gateway-chaos p999 on every seed.
+when a run is nondeterministic, when serve handoff fails to improve
+the gateway-chaos p999 on every seed, or when the overload controller
+misses a gate: on ``overload`` it must beat controller-off on both the
+admitted p999 and the protected-tier goodput on every seed; on
+``split-under-load`` it must trigger at least one ring split while
+staying within no-harm bounds (p999 <= 1.15x off, goodput >= 0.9x
+off); on both, the protected tier's shed fraction must stay below the
+best-effort tier's.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ def main(argv=None) -> int:
         "seeds": args.seeds,
         "scenarios": {},
         "handoff": {},
+        "controller": {},
     }
     failures = []
     for name in scenario_names():
@@ -85,6 +93,71 @@ def main(argv=None) -> int:
         entry["improved"] for entry in report["handoff"].values()
     ):
         failures.append("serve handoff improved the p999 tail on no seed")
+
+    for name in ("overload", "split-under-load"):
+        for result in report["scenarios"].get(name, []):
+            extras = result["extras"]
+            seed = result["seed"]
+            on, off = extras["p999_controller_on"], extras["p999_controller_off"]
+            gp_on, gp_off = extras["goodput_on"], extras["goodput_off"]
+            shed = extras["shed_fraction_by_tier"]
+            tiers = sorted(shed)
+            entry = {
+                "p999_on": on,
+                "p999_off": off,
+                "goodput_on": gp_on,
+                "goodput_off": gp_off,
+                "shed_fraction_by_tier": shed,
+                "max_shed_level": extras["max_shed_level"],
+                "final_level": extras["final_level_on"],
+            }
+            if name == "overload":
+                entry["improved"] = on < off and gp_on > gp_off
+                if not (on < off):
+                    failures.append(
+                        f"{name} seed {seed}: controller-on p999 {on}s "
+                        f"did not beat controller-off {off}s"
+                    )
+                if not (gp_on > gp_off):
+                    failures.append(
+                        f"{name} seed {seed}: controller-on goodput "
+                        f"{gp_on}/s did not beat controller-off {gp_off}/s"
+                    )
+            else:
+                splits = extras["ring_splits_on"]
+                entry["ring_splits"] = splits
+                entry["improved"] = on <= 1.15 * off and gp_on >= 0.9 * gp_off
+                if splits < 1:
+                    failures.append(
+                        f"{name} seed {seed}: no ring split under load"
+                    )
+                if on > 1.15 * off:
+                    failures.append(
+                        f"{name} seed {seed}: controller-on p999 {on}s "
+                        f"above no-harm bound vs {off}s off"
+                    )
+                if gp_on < 0.9 * gp_off:
+                    failures.append(
+                        f"{name} seed {seed}: controller-on goodput "
+                        f"{gp_on}/s below no-harm bound vs {gp_off}/s off"
+                    )
+            if tiers and not (shed[tiers[-1]] < shed[tiers[0]]):
+                failures.append(
+                    f"{name} seed {seed}: protected tier shed fraction "
+                    f"{shed[tiers[-1]]} not below best-effort {shed[tiers[0]]}"
+                )
+            if extras["final_level_on"] != 0:
+                failures.append(
+                    f"{name} seed {seed}: controller did not recover to "
+                    f"level 0 (final level {extras['final_level_on']})"
+                )
+            report["controller"].setdefault(name, {})[str(seed)] = entry
+            print(
+                f"{name} seed {seed}: p999 {on}s controller on vs {off}s "
+                f"off, protected goodput {gp_on}/s vs {gp_off}/s "
+                f"({'improved' if entry['improved'] else 'NO IMPROVEMENT'})",
+                file=sys.stderr,
+            )
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)

@@ -59,6 +59,50 @@ def test_bench_slo_writes_report_and_passes(tmp_path):
         for run in runs:
             validate_verdict(run["verdict"])
     assert report["handoff"]["0"]["improved"]
+    assert report["controller"]["overload"]["0"]["improved"]
+    assert report["controller"]["split-under-load"]["0"]["improved"]
+
+
+def test_overload_controller_beats_open_loop():
+    for seed in SEEDS:
+        result = run_scenario("overload", seed=seed)
+        extras = result["extras"]
+        assert extras["p999_controller_on"] < extras["p999_controller_off"], (
+            f"seed {seed}: admitted p999 {extras['p999_controller_on']}s must "
+            f"beat controller-off {extras['p999_controller_off']}s"
+        )
+        assert extras["goodput_on"] > extras["goodput_off"], (
+            f"seed {seed}: protected goodput {extras['goodput_on']}/s must "
+            f"beat controller-off {extras['goodput_off']}/s"
+        )
+        # the brownout spares the protected tier at the best-effort
+        # tier's expense, never the other way round
+        shed = extras["shed_fraction_by_tier"]
+        tiers = sorted(shed)
+        assert shed[tiers[-1]] < shed[tiers[0]]
+        # hysteresis releases the brownout once the flood drains
+        assert extras["max_shed_level"] >= 1
+        assert extras["final_level_on"] == 0
+        # the retry budget caps attempt amplification: controller-off
+        # re-dispatches freely, controller-on must not
+        assert extras["attempts_on"] < extras["attempts_off"]
+
+
+def test_split_under_load_splits_the_ring_within_no_harm_bounds():
+    for seed in SEEDS:
+        result = run_scenario("split-under-load", seed=seed)
+        extras = result["extras"]
+        assert extras["ring_splits_on"] >= 1, (
+            f"seed {seed}: the burst must trigger at least one ring split"
+        )
+        assert (
+            extras["p999_controller_on"] <= 1.15 * extras["p999_controller_off"]
+        )
+        assert extras["goodput_on"] >= 0.9 * extras["goodput_off"]
+        shed = extras["shed_fraction_by_tier"]
+        tiers = sorted(shed)
+        assert shed[tiers[-1]] < shed[tiers[0]]
+        assert extras["final_level_on"] == 0
 
 
 def test_multi_tenant_verdict_reports_fairness():

@@ -497,6 +497,20 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
                     f"serve handoff vs {extras['p999_handoff_off']}s without "
                     f"({extras['serves_handed_off']} serve(s) handed off)"
                 )
+            if "p999_controller_off" in extras:
+                line = (
+                    f"  {name} seed {seed}: p999 {extras['p999_controller_on']}s "
+                    f"with overload controller vs "
+                    f"{extras['p999_controller_off']}s without; protected "
+                    f"goodput {extras['goodput_on']}/s vs "
+                    f"{extras['goodput_off']}/s"
+                )
+                if "ring_splits_on" in extras:
+                    line += (
+                        f"; splits {extras['ring_splits_on']} vs "
+                        f"{extras['ring_splits_off']}"
+                    )
+                print(line)
             for engine, section in v.get("engine_classes", {}).items():
                 gates = ", ".join(
                     f"{gate}={'ok' if passed else 'MISS'}"

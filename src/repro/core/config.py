@@ -103,6 +103,13 @@ class DataCyclotronConfig:
     retry_jitter: float = 0.25
     retry_deadline: Optional[float] = None
     retry_attempt_timeout: Optional[float] = None
+    # Cluster-wide retry token bucket (docs/overload.md): every
+    # re-dispatch (attempt >= 2) consumes one token; an empty bucket
+    # fails the query terminally instead of amplifying load on a
+    # degraded ring.  ``None`` capacity keeps retries unlimited (the
+    # pre-budget behaviour); ``retry_budget_refill`` adds tokens/second.
+    retry_budget_capacity: Optional[float] = None
+    retry_budget_refill: float = 0.0
     # Admission valve: shed (fast-fail) new queries while at least this
     # fraction of the ring is known-dead or under suspicion.
     admission_suspect_fraction: float = 0.5
@@ -185,6 +192,10 @@ class DataCyclotronConfig:
             raise ValueError("retry_deadline must be positive (or None)")
         if self.retry_attempt_timeout is not None and self.retry_attempt_timeout <= 0:
             raise ValueError("retry_attempt_timeout must be positive (or None)")
+        if self.retry_budget_capacity is not None and self.retry_budget_capacity <= 0:
+            raise ValueError("retry_budget_capacity must be positive (or None)")
+        if self.retry_budget_refill < 0:
+            raise ValueError("retry_budget_refill cannot be negative")
         if not 0 < self.admission_suspect_fraction <= 1:
             raise ValueError("admission_suspect_fraction must be in (0, 1]")
         if self.resilience and self.requests_clockwise:

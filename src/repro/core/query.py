@@ -47,6 +47,9 @@ class QuerySpec:
     steps: List[PinStep]
     tail_time: float = 0.0
     tag: str = ""
+    # priority tier for graceful degradation (docs/overload.md): higher
+    # tiers survive longer under brownout; 0 is best-effort traffic
+    tier: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
@@ -79,6 +82,7 @@ class QuerySpec:
         bat_ids: Sequence[int],
         processing_times: Sequence[float],
         tag: str = "",
+        tier: int = 0,
     ) -> "QuerySpec":
         """The section 5.1 shape: per-BAT processing times.
 
@@ -100,6 +104,7 @@ class QuerySpec:
             steps=steps,
             tail_time=processing_times[-1],
             tag=tag,
+            tier=tier,
         )
 
 

@@ -65,6 +65,7 @@ class QueryHandle:
     engine: str = "mal"
     request: Any = None
     estimated_cost: float = 0.0
+    footprint_bytes: int = 0  # persistent bytes behind the compiled footprint
 
     @property
     def done(self) -> bool:
@@ -141,6 +142,11 @@ class RingDatabase:
         self._next_query_id = 0
         self.handles: List[QueryHandle] = []
         self.max_inflight: Optional[int] = None  # admission valve (None: off)
+        # byte-aware admission (docs/overload.md): cap the persistent
+        # bytes behind all inflight footprints, overall and per engine
+        # class.  Both default off; the count valve above still applies.
+        self.byte_budget: Optional[int] = None
+        self.engine_byte_budgets: Dict[str, int] = {}
         # section 6.2: intermediates circulate as first-class ring data
         self.result_cache = None
         self.cache_min_bytes = cache_min_bytes
@@ -251,7 +257,7 @@ class RingDatabase:
         self._next_query_id += 1
         runtime = self.dc.nodes[node]
         estimated = qpu.estimate_cost(compiled)
-        if self._shed(query_id, node):
+        if self._shed(query_id, node, qpu.engine_class, compiled.footprint_bytes):
             return self._shed_handle(request, compiled, query_id, node, estimated)
         ctx = QpuContext(
             runtime=runtime,
@@ -292,6 +298,7 @@ class RingDatabase:
             engine=qpu.engine_class,
             request=request,
             estimated_cost=estimated,
+            footprint_bytes=compiled.footprint_bytes,
         )
         self.handles.append(handle)
         return handle
@@ -325,16 +332,53 @@ class RingDatabase:
             # zero-observer runs still keep query records for reports
             self.dc.metrics.query_registered(now, query_id, node, tag=engine)
 
-    def _shed(self, query_id: int, node: int) -> bool:
-        """Admission valve: shed when too many queries are in flight."""
-        if self.max_inflight is None:
-            return False
-        inflight = sum(1 for h in self.handles if not h.done)
-        if inflight < self.max_inflight:
+    def _shed(
+        self, query_id: int, node: int, engine: str, footprint_bytes: int
+    ) -> bool:
+        """Admission valves: inflight count, then inflight bytes.
+
+        The count valve is the historical behaviour; the byte valves
+        weigh each query by ``CompiledQuery.footprint_bytes`` so one
+        wide analytic scan can't hide behind the same count slot as a
+        point lookup.  Per-engine budgets shed only their own class.
+        An empty valve always admits, so progress is guaranteed even
+        for a query wider than the whole budget.
+        """
+        over = False
+        if self.max_inflight is not None:
+            inflight = sum(1 for h in self.handles if not h.done)
+            over = inflight >= self.max_inflight
+        if not over and (self.byte_budget is not None or self.engine_byte_budgets):
+            total = 0
+            per_engine = 0
+            busy = 0
+            for h in self.handles:
+                if h.done:
+                    continue
+                busy += 1
+                total += h.footprint_bytes
+                if h.engine == engine:
+                    per_engine += h.footprint_bytes
+            if (
+                busy
+                and self.byte_budget is not None
+                and total + footprint_bytes > self.byte_budget
+            ):
+                over = True
+            cap = self.engine_byte_budgets.get(engine)
+            if (
+                cap is not None
+                and per_engine > 0
+                and per_engine + footprint_bytes > cap
+            ):
+                over = True
+        if not over:
             return False
         bus = self.dc.bus
         if bus.active:
-            bus.publish(ev.QueryShed(self.dc.sim.now, query_id, node))
+            bus.publish(
+                ev.QueryShed(self.dc.sim.now, query_id, node, engine=engine)
+            )
         return True
 
     def _shed_handle(

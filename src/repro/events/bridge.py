@@ -100,8 +100,13 @@ def attach_metrics(bus: Bus, metrics: "MetricsCollector") -> Callable[[], None]:
     sub(ev.BatPromoted, _count("bats_promoted"))
     sub(ev.QueryRetried, _count("queries_retried"))
     sub(ev.QueryAbandoned, _count("queries_abandoned"))
-    sub(ev.QueryShed, _count("queries_shed"))
+    sub(ev.QueryShed, lambda e: metrics.query_shed(e.engine))
     sub(ev.StaleResultDiscarded, _count("stale_results_discarded"))
+
+    # --- closed-loop overload control (docs/overload.md) ---------------
+    sub(ev.OverloadStateChanged, _count("overload_state_changes"))
+    sub(ev.TierShed, lambda e: metrics.tier_shed(e.tier))
+    sub(ev.RetryBudgetExhausted, _count("retry_budget_exhausted"))
 
     # --- multi-ring federation (docs/multiring.md) ---------------------
     sub(ev.RingLeaveVolunteered, _count("ring_leaves_volunteered"))

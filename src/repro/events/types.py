@@ -67,6 +67,10 @@ __all__ = [
     "QueryAbandoned",
     "QueryShed",
     "StaleResultDiscarded",
+    # closed-loop overload control (docs/overload.md)
+    "OverloadStateChanged",
+    "TierShed",
+    "RetryBudgetExhausted",
     # network layer (section 5 setup)
     "LinkTransmit",
     "LinkDelivered",
@@ -491,11 +495,18 @@ class QueryAbandoned:
 
 @dataclass(slots=True)
 class QueryShed:
-    """Admission control fast-failed the query (ring-wide suspicion)."""
+    """Admission control fast-failed the query.
+
+    Published by the suspicion valve (ring-wide detector knowledge), the
+    :class:`~repro.dbms.executor.RingDatabase` admission valve (count or
+    byte budget; ``engine`` carries the refused engine class then), and
+    the overload controller's brownout gate (docs/overload.md).
+    """
 
     t: float
     query_id: int
     node: int
+    engine: str = ""
 
 
 @dataclass(slots=True)
@@ -505,6 +516,50 @@ class StaleResultDiscarded:
     t: float
     query_id: int
     attempt: int
+
+
+# ----------------------------------------------------------------------
+# closed-loop overload control (docs/overload.md)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class OverloadStateChanged:
+    """The overload controller moved its brownout level.
+
+    ``level`` is the new shed level (queries with ``tier < level`` are
+    refused); ``state`` is the coarse label (``normal`` / ``brownout``
+    / ``overload``); ``p99`` is the rolling windowed p99 that drove the
+    transition and ``inflight_bytes`` the byte reservation at that
+    instant.
+    """
+
+    t: float
+    level: int
+    state: str
+    p99: float
+    inflight_bytes: int
+
+
+@dataclass(slots=True)
+class TierShed:
+    """The brownout gate refused one query of priority ``tier``."""
+
+    t: float
+    query_id: int
+    tier: int
+    node: int
+
+
+@dataclass(slots=True)
+class RetryBudgetExhausted:
+    """The cluster-wide retry token bucket ran dry for this re-dispatch.
+
+    The logical query fails terminally (``QueryAbandoned`` follows)
+    instead of amplifying load on an already-degraded ring.
+    """
+
+    t: float
+    query_id: int
+    attempts: int
 
 
 # ----------------------------------------------------------------------

@@ -15,13 +15,16 @@ from repro.metrics.collector import MetricsCollector, BatStats
 from repro.metrics.histogram import Histogram
 from repro.metrics.stats import Summary, replicate, summarise
 from repro.metrics.timeseries import StepSeries, binned_cumulative
+from repro.metrics.window import SampleWindow, WindowedHealth
 
 __all__ = [
     "BatStats",
     "Histogram",
     "MetricsCollector",
+    "SampleWindow",
     "StepSeries",
     "Summary",
+    "WindowedHealth",
     "binned_cumulative",
     "replicate",
     "summarise",

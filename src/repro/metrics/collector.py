@@ -90,6 +90,11 @@ class MetricsCollector:
         self.queries_abandoned = 0      # retry budget/deadline exhausted
         self.queries_shed = 0           # admission valve fast-fails
         self.stale_results_discarded = 0  # superseded attempt completions
+        # closed-loop overload control counters (docs/overload.md)
+        self.queries_shed_by_engine: Dict[str, int] = {}  # byte-valve refusals
+        self.queries_shed_by_tier: Dict[int, int] = {}    # brownout refusals
+        self.overload_state_changes = 0  # OverloadStateChanged events
+        self.retry_budget_exhausted = 0  # retry token bucket ran dry
         # multi-ring federation counters (docs/multiring.md)
         self.ring_leaves_volunteered = 0  # RingLeaveVolunteered events
         self.ring_join_calls = 0        # RingJoinCalled events
@@ -147,6 +152,21 @@ class MetricsCollector:
     def stream_bat_consumed(self, rows: int) -> None:
         self.stream_bats_consumed += 1
         self.stream_rows_consumed += rows
+
+    # ------------------------------------------------------------------
+    # closed-loop overload control (docs/overload.md)
+    # ------------------------------------------------------------------
+    def query_shed(self, engine: str = "") -> None:
+        self.queries_shed += 1
+        if engine:
+            self.queries_shed_by_engine[engine] = (
+                self.queries_shed_by_engine.get(engine, 0) + 1
+            )
+
+    def tier_shed(self, tier: int) -> None:
+        self.queries_shed_by_tier[tier] = (
+            self.queries_shed_by_tier.get(tier, 0) + 1
+        )
 
     def query_degraded(self, query_id: int) -> None:
         """The query needed fault recovery (resend / re-home / orphan serve)."""

@@ -1,0 +1,151 @@
+"""Streaming SLO health over a sliding time window (docs/overload.md).
+
+The offline :mod:`repro.metrics.slo` collector computes percentiles over
+a *whole run* -- fine for verdicts, useless for control.  The overload
+controller needs the p99 of the last couple of simulated seconds, and it
+needs it cheaply at every control tick.  :class:`SampleWindow` keeps the
+(timestamp, value) pairs of a bounded horizon in a deque and answers
+nearest-rank quantiles over the survivors; :class:`WindowedHealth`
+composes one latency window and one shed window per engine class plus a
+combined pair, giving the controller rolling p99 / throughput /
+shed-rate signals with the same quantile convention the verdicts use
+(:func:`repro.metrics.slo.exact_quantile`).
+
+Eviction is explicit (``evict(now)``) so a burst of events between two
+control ticks costs O(1) appends; the sort for a quantile touches only
+the samples still inside the horizon.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.metrics.slo import exact_quantile
+
+__all__ = ["SampleWindow", "WindowedHealth"]
+
+
+class SampleWindow:
+    """Timestamped samples of the last ``horizon`` simulated seconds."""
+
+    def __init__(self, horizon: float) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon = horizon
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def add(self, t: float, value: float) -> None:
+        self._samples.append((t, value))
+
+    def evict(self, now: float) -> None:
+        """Drop samples older than ``now - horizon``."""
+        cutoff = now - self.horizon
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile of the surviving sample values."""
+        return exact_quantile(sorted(v for _, v in self._samples), q)
+
+    def fresh_quantile(self, q: float, now: float) -> float:
+        """Quantile over samples whose *start* lies inside the horizon.
+
+        Latency samples are stamped at completion; a straggler that
+        queued through an entire overload episode lands in the window
+        long after conditions improved and poisons :meth:`quantile` for
+        a full horizon.  Treating ``t - value`` as the sample's start
+        time and keeping only starts newer than ``now - horizon``
+        yields a quantile of the *current* regime -- the right signal
+        for hysteretic recovery.
+        """
+        cutoff = now - self.horizon
+        return exact_quantile(
+            sorted(v for t, v in self._samples if t - v >= cutoff), q
+        )
+
+    def fresh_count(self, now: float) -> int:
+        cutoff = now - self.horizon
+        return sum(1 for t, v in self._samples if t - v >= cutoff)
+
+    def rate(self, now: float) -> float:
+        """Samples per second over the (possibly short) elapsed window."""
+        span = min(self.horizon, now) if now > 0 else self.horizon
+        if span <= 0:
+            return 0.0
+        return len(self._samples) / span
+
+
+class WindowedHealth:
+    """Rolling latency/shed health, combined and per engine class."""
+
+    def __init__(self, horizon: float) -> None:
+        self.horizon = horizon
+        self._latency = SampleWindow(horizon)
+        self._shed = SampleWindow(horizon)
+        self._latency_by_class: Dict[str, SampleWindow] = {}
+        self._shed_by_class: Dict[str, SampleWindow] = {}
+
+    def _class_window(self, table: Dict[str, SampleWindow], cls: str) -> SampleWindow:
+        win = table.get(cls)
+        if win is None:
+            win = table[cls] = SampleWindow(self.horizon)
+        return win
+
+    def note_finish(self, t: float, latency: float, cls: str = "") -> None:
+        self._latency.add(t, latency)
+        if cls:
+            self._class_window(self._latency_by_class, cls).add(t, latency)
+
+    def note_shed(self, t: float, cls: str = "") -> None:
+        self._shed.add(t, 1.0)
+        if cls:
+            self._class_window(self._shed_by_class, cls).add(t, 1.0)
+
+    def evict(self, now: float) -> None:
+        self._latency.evict(now)
+        self._shed.evict(now)
+        for win in self._latency_by_class.values():
+            win.evict(now)
+        for win in self._shed_by_class.values():
+            win.evict(now)
+
+    def _pick(
+        self, combined: SampleWindow, table: Dict[str, SampleWindow],
+        cls: Optional[str],
+    ) -> Optional[SampleWindow]:
+        if cls is None:
+            return combined
+        return table.get(cls)
+
+    def sample_count(self, cls: Optional[str] = None) -> int:
+        win = self._pick(self._latency, self._latency_by_class, cls)
+        return len(win) if win is not None else 0
+
+    def p99(self, cls: Optional[str] = None) -> float:
+        win = self._pick(self._latency, self._latency_by_class, cls)
+        return win.quantile(0.99) if win is not None else 0.0
+
+    def fresh_p99(self, now: float, cls: Optional[str] = None) -> float:
+        """p99 over completions that also *started* inside the horizon."""
+        win = self._pick(self._latency, self._latency_by_class, cls)
+        return win.fresh_quantile(0.99, now) if win is not None else 0.0
+
+    def fresh_count(self, now: float, cls: Optional[str] = None) -> int:
+        win = self._pick(self._latency, self._latency_by_class, cls)
+        return win.fresh_count(now) if win is not None else 0
+
+    def throughput(self, now: float, cls: Optional[str] = None) -> float:
+        win = self._pick(self._latency, self._latency_by_class, cls)
+        return win.rate(now) if win is not None else 0.0
+
+    def shed_rate(self, now: float, cls: Optional[str] = None) -> float:
+        win = self._pick(self._shed, self._shed_by_class, cls)
+        return win.rate(now) if win is not None else 0.0
+
+    def classes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._latency_by_class))

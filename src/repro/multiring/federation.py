@@ -15,6 +15,7 @@ to a stand-alone deployment (tests/test_multiring_golden.py pins this).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.query import QuerySpec
@@ -262,10 +263,7 @@ class RingFederation:
         BATs.  The landing node is picked by the target ring's own cost
         bids; the inter-ring hop is charged to the arrival time.
         """
-        spec = QuerySpec(
-            query_id=spec.query_id, node=local, arrival=spec.arrival,
-            steps=spec.steps, tail_time=spec.tail_time, tag=spec.tag,
-        )
+        spec = replace(spec, node=local)
         threshold = self.config.ship_threshold
         if not 0 < threshold <= 1 or len(self.active_rings) < 2:
             return ring_id, spec
@@ -353,10 +351,7 @@ class RingFederation:
             if candidate not in avoid:
                 node = candidate
                 break
-        retry_spec = QuerySpec(
-            query_id=query_id, node=node, arrival=self.sim.now,
-            steps=spec.steps, tail_time=spec.tail_time, tag=spec.tag,
-        )
+        retry_spec = replace(spec, node=node, arrival=self.sim.now)
         self._specs[query_id] = retry_spec
         if self.bus.active:
             self.bus.publish(ev.QueryRetried(

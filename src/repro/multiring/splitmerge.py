@@ -95,10 +95,22 @@ class SplitMergeController:
             self._merge(ring_id)
 
     # ------------------------------------------------------------------
-    def _split(self, ring_id: int) -> None:
+    def request_split(self, ring_id: int) -> bool:
+        """Split ``ring_id`` now, outside the watermark/patience loop.
+
+        The overload controller's placement knob (docs/overload.md):
+        a sustained SLO breach can force capacity online without waiting
+        for the buffer-load streak to accumulate.  Returns False when
+        the ring is not active or the standby pool is exhausted.
+        """
+        if ring_id not in self.fed.active_rings:
+            return False
+        return self._split(ring_id)
+
+    def _split(self, ring_id: int) -> bool:
         standby = self.fed.next_standby_ring()
         if standby is None:
-            return  # the standby pool is exhausted; nothing to split into
+            return False  # the standby pool is exhausted; nothing to split into
         self.fed.activate_ring(standby)
         fragments = self._hottest_fragments(ring_id)
         half = fragments[: max(1, len(fragments) // 2)] if fragments else []
@@ -109,6 +121,7 @@ class SplitMergeController:
             self.bus.publish(ev.RingSplit(
                 self.sim.now, ring_id, standby, len(half)
             ))
+        return True
 
     def _merge(self, ring_id: int) -> None:
         others = [r for r in self.fed.active_rings if r != ring_id]

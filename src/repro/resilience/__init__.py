@@ -8,11 +8,14 @@ its explicit deviations.  The subsystem is inert unless
 
 from repro.resilience.detector import ArrivalWindow, SuccessorMonitor
 from repro.resilience.manager import ResilienceManager
+from repro.resilience.overload import OverloadController, OverloadPolicy
 from repro.resilience.retry import ATTEMPT_ID_BASE, QueryRetrier, RetryState
 
 __all__ = [
     "ArrivalWindow",
     "SuccessorMonitor",
+    "OverloadController",
+    "OverloadPolicy",
     "ResilienceManager",
     "QueryRetrier",
     "RetryState",

@@ -58,6 +58,10 @@ class ResilienceManager:
         # nodes the detector has confirmed dead (cleared on rejoin)
         self.known_down: Set[int] = set()
         self.retrier = QueryRetrier(self)
+        # optional closed-loop overload controller (docs/overload.md);
+        # when attached, its admit() gates submission alongside the
+        # detector-driven shedding valve
+        self.overload = None
         self._started = False
         self.bus.subscribe(ev.NodeRejoined, self._on_rejoin)
         # Monitors track the *physical wiring*, which changes only when

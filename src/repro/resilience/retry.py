@@ -78,6 +78,11 @@ class QueryRetrier:
         self.rng = self.dc.rng.stream("retry")
         self.states: Dict[int, RetryState] = {}
         self._next_attempt_id = ATTEMPT_ID_BASE
+        # retry budget: a token bucket capping retry *amplification*
+        # (docs/overload.md).  None = unlimited, the historical behaviour.
+        self._budget_tokens: Optional[float] = self.config.retry_budget_capacity
+        self._budget_last = 0.0
+        self.budget_exhausted = 0
 
     # ------------------------------------------------------------------
     # submission
@@ -93,7 +98,10 @@ class QueryRetrier:
         )
         state = RetryState(spec=spec, deadline=deadline)
         self.states[spec.query_id] = state
-        if self.manager.shedding:
+        overload = getattr(self.manager, "overload", None)
+        if self.manager.shedding or (
+            overload is not None and not overload.admit(spec)
+        ):
             state.done = True
             state.shed = True
             state.error = "SHED"
@@ -173,6 +181,9 @@ class QueryRetrier:
         if state.deadline is not None and arrival > state.deadline:
             self._terminal(state, error)
             return
+        if not self._budget_allows(state):
+            self._terminal(state, error)
+            return
         # fail over: search for a live node starting past the failed one
         failed_node = state.attempt_nodes[-1]
         self._dispatch(state, preferred=failed_node + 1, arrival=arrival)
@@ -188,10 +199,34 @@ class QueryRetrier:
         ):
             self._terminal(state, "ATTEMPT_TIMEOUT")
             return
+        if not self._budget_allows(state):
+            self._terminal(state, "ATTEMPT_TIMEOUT")
+            return
         # supersede the stuck attempt (its eventual completion is
         # discarded by the epoch tag) and re-dispatch immediately
         failed_node = state.attempt_nodes[-1]
         self._dispatch(state, preferred=failed_node + 1, arrival=self.sim.now)
+
+    def _budget_allows(self, state: RetryState) -> bool:
+        """Take one retry token, refilling lazily; False = budget dry."""
+        if self._budget_tokens is None:
+            return True
+        capacity = self.config.retry_budget_capacity
+        refill = self.config.retry_budget_refill
+        now = self.sim.now
+        if refill > 0:
+            self._budget_tokens = min(
+                capacity, self._budget_tokens + (now - self._budget_last) * refill
+            )
+        self._budget_last = now
+        if self._budget_tokens >= 1.0:
+            self._budget_tokens -= 1.0
+            return True
+        self.budget_exhausted += 1
+        self.bus.publish(
+            ev.RetryBudgetExhausted(now, state.spec.query_id, state.attempts)
+        )
+        return False
 
     def _terminal(self, state: RetryState, error: str) -> None:
         self._cancel_timer(state)

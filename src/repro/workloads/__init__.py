@@ -12,6 +12,9 @@
 * :mod:`repro.workloads.scenarios` -- production-shaped generators
   (diurnal, flash-crowd, multi-tenant, locality-shift) for the SLO
   scenario suite (docs/workloads.md),
+* :mod:`repro.workloads.closedloop` -- N think-time clients with one
+  outstanding query each, for graceful-degradation experiments
+  (docs/overload.md),
 * :mod:`repro.workloads.mixed` -- the mixed-engine workload driving all
   three QPU classes through one ring economy (docs/qpu.md),
 * :mod:`repro.workloads.suite` -- the named scenario registry shared by
@@ -19,9 +22,11 @@
 """
 
 from repro.workloads.base import UniformDataset, populate_ring
+from repro.workloads.closedloop import ClosedLoopWorkload
 from repro.workloads.gaussian import GaussianWorkload
 from repro.workloads.mixed import MixedEngineWorkload
 from repro.workloads.scenarios import (
+    ColdBurstWorkload,
     DiurnalWorkload,
     FlashCrowdWorkload,
     LocalityShiftWorkload,
@@ -32,6 +37,8 @@ from repro.workloads.skewed import SkewedPhase, SkewedWorkload, paper_phases
 from repro.workloads.uniform import UniformWorkload
 
 __all__ = [
+    "ClosedLoopWorkload",
+    "ColdBurstWorkload",
     "DiurnalWorkload",
     "FlashCrowdWorkload",
     "GaussianWorkload",

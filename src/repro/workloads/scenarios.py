@@ -35,6 +35,7 @@ from repro.sim.rng import RngRegistry
 from repro.workloads.base import UniformDataset, Workload
 
 __all__ = [
+    "ColdBurstWorkload",
     "DiurnalWorkload",
     "FlashCrowdWorkload",
     "LocalityShiftWorkload",
@@ -285,6 +286,37 @@ class FlashCrowdWorkload(_ScenarioWorkload):
             )
         return self._distinct(
             rng, lambda r: r.randrange(self.dataset.n_bats)
+        )
+
+
+class ColdBurstWorkload(FlashCrowdWorkload):
+    """A flash crowd that floods *cold* data over a hot-set baseline.
+
+    :class:`FlashCrowdWorkload` models "everyone loads the same page":
+    the burst converges on a tiny hot window, which the ring economy
+    absorbs almost for free once the window is resident.  The inverse
+    shape is the one that actually hurts a Data Cyclotron: a healthy
+    baseline pinned to a small resident hot set, then a burst that
+    draws *uniformly* over the whole dataset -- every burst query
+    demands data movement, the BAT queues overflow, requests exhaust
+    their resends and queries start failing with ``DATA_UNAVAILABLE``.
+    This is the regime the closed-loop overload controller is graded
+    in (docs/overload.md).
+
+    With ``burst_factor == 1`` the burst window changes nothing (the
+    rate is flat and the draws stay on the hot set), so a baseline
+    calibration run really is hot-only.
+    """
+
+    def pick_bats(self, rng: random.Random, node: int, t: float) -> List[int]:
+        if self.burst_factor > 1 and self.in_burst(t):
+            return self._distinct(
+                rng, lambda r: r.randrange(self.dataset.n_bats)
+            )
+        return self._distinct(
+            rng,
+            lambda r: self.hot_low + r.randrange(self.hot_set_size),
+            support=self.hot_set_size,
         )
 
 

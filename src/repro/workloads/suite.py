@@ -24,23 +24,30 @@ CI ``scenario-smoke`` job and ``benchmarks/bench_slo.py`` rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import MB, DataCyclotronConfig
+from repro.core.query import QuerySpec
 from repro.core.ring import DataCyclotron
 from repro.dbms.executor import RingDatabase
 from repro.metrics.slo import (
+    PERCENTILES,
     EngineSloTarget,
     SloCollector,
     SloTarget,
+    latency_percentiles,
     validate_verdict,
 )
 from repro.multiring.config import MultiRingConfig
 from repro.multiring.federation import RingFederation
+from repro.resilience.overload import OverloadController, OverloadPolicy
+from repro.sim.rng import RngRegistry
 from repro.workloads.base import UniformDataset, Workload, populate_ring
+from repro.workloads.closedloop import ClosedLoopWorkload
 from repro.workloads.mixed import MixedEngineWorkload
 from repro.workloads.scenarios import (
+    ColdBurstWorkload,
     DiurnalWorkload,
     FlashCrowdWorkload,
     LocalityShiftWorkload,
@@ -122,6 +129,7 @@ def _block_federation(
     n_rings: int,
     nodes_per_ring: int,
     resilience: bool = False,
+    splitmerge_interval: float = 0.0,  # fixed topology: measure the workload
     **multiring_kwargs,
 ) -> RingFederation:
     """A federation with *contiguous block* data placement: BAT ids map
@@ -145,7 +153,7 @@ def _block_federation(
         n_rings=n_rings,
         nodes_per_ring=nodes_per_ring,
         gateways_per_ring=1,
-        splitmerge_interval=0.0,  # fixed topology: measure the workload
+        splitmerge_interval=splitmerge_interval,
         **multiring_kwargs,
     ))
     n = dataset.n_bats
@@ -349,6 +357,414 @@ def _run_gateway_chaos(seed: int, quick: bool, target: SloTarget) -> Tuple[Dict,
     return verdict_on, extras
 
 
+# ----------------------------------------------------------------------
+# closed-loop overload control scenarios (docs/overload.md)
+# ----------------------------------------------------------------------
+def _tiered_specs(workload: Workload, seed: int) -> List[QuerySpec]:
+    """Assign priority tiers 0/1/2 to an open-loop stream, deterministically.
+
+    45/45/10: most of the flood is best-effort (tiers 0 and 1), a thin
+    top tier models the paying traffic a brownout must protect.  The
+    tier doubles as the tenant tag (``tier0``/``tier1``/``tier2``) so
+    per-tier stats need no extra machinery.
+    """
+    rng = RngRegistry(seed).stream("tiers")
+    out: List[QuerySpec] = []
+    for spec in workload.queries():
+        u = rng.random()
+        tier = 0 if u < 0.45 else (1 if u < 0.9 else 2)
+        out.append(replace(spec, tier=tier, tag=f"tier{tier}"))
+    return out
+
+
+def _goodput(slo: SloCollector, deadline: float, duration: float) -> float:
+    """Deadline-respecting completions per second of workload time."""
+    good = sum(1 for x in slo.latencies() if x <= deadline)
+    return round(good / duration, 6)
+
+
+def _controller_extras(ctrl: OverloadController) -> Dict:
+    stats = ctrl.stats()
+    shed_fraction = {}
+    for tier, offered in sorted(stats["offered_by_tier"].items()):
+        shed = stats["shed_by_tier"].get(tier, 0)
+        shed_fraction[tier] = round(shed / offered, 6) if offered else 0.0
+    return {
+        "offered_by_tier": stats["offered_by_tier"],
+        "shed_by_tier": stats["shed_by_tier"],
+        "shed_fraction_by_tier": shed_fraction,
+        "max_shed_level": stats["max_level"],
+        "level_changes": stats["level_changes"],
+    }
+
+
+# Deadline the overload goodput metric counts completions against:
+# *useful* work is a success the caller was still waiting for, not a
+# completion that limped home after the client gave up.
+OVERLOAD_DEADLINE = 2.0
+
+
+def _overload_ring(
+    dataset: UniformDataset, seed: int, controlled: bool
+) -> DataCyclotron:
+    """A resilient 4-node ring with a tight resend envelope.
+
+    Small BAT queues plus bounded resends are what make sustained
+    overload *lossy* here: once the cold-burst demand overflows the
+    queues, unserved requests exhaust their resends and queries fail
+    with ``DATA_UNAVAILABLE``, which the retrier then amplifies into
+    even more traffic.  The controlled run adds the retry-budget token
+    bucket; everything else is identical between the two runs.
+    """
+    dc = DataCyclotron(DataCyclotronConfig(
+        n_nodes=4,
+        seed=seed,
+        bandwidth=40 * MB,
+        bat_queue_capacity=8 * MB,
+        disk_latency=1e-4,
+        load_all_interval=0.02,
+        max_resends=3,
+        resend_timeout=0.5,
+        resend_backoff_base=2.0,
+        resilience=True,
+        retry_max_attempts=4,
+        retry_backoff_initial=0.2,
+        retry_backoff_base=2.0,
+        retry_backoff_cap=1.0,
+        retry_jitter=0.25,
+        retry_deadline=8.0,
+        retry_budget_capacity=40.0 if controlled else None,
+        retry_budget_refill=8.0 if controlled else 0.0,
+    ))
+    populate_ring(dc, dataset)
+    return dc
+
+
+def _retrier_verdict(retrier, scenario: str, seed: int, target: SloTarget) -> Dict:
+    """An SLO verdict over the retrier's *logical* queries.
+
+    Under the resilience manager each logical query runs as several
+    attempts with fresh ids, so the event-stream collector would count
+    every attempt separately; the retry states are the source of truth
+    here.  Shed queries count as failed, the ``SloCollector``
+    convention."""
+    states = list(retrier.states.values())
+    samples = retrier.latencies()
+    percentiles = {
+        name: round(value, 6)
+        for name, value in latency_percentiles(samples).items()
+    }
+    total = len(states)
+    failed = total - len(samples)
+    failure_rate = failed / total if total else 0.0
+    passed = {
+        name: percentiles[name] <= getattr(target, name)
+        for name, _q in PERCENTILES
+    }
+    passed["failure_rate"] = failure_rate <= target.max_failure_rate
+    return {
+        "scenario": scenario,
+        "seed": seed,
+        "queries": total,
+        "succeeded": len(samples),
+        "failed": failed,
+        "shed": sum(1 for s in states if s.shed),
+        "failure_rate": round(failure_rate, 6),
+        "latency": percentiles,
+        "target": target.as_dict(),
+        "passed": passed,
+        "ok": all(passed.values()),
+    }
+
+
+def _tier_outcomes(retrier, deadline: float, duration: float) -> Dict[int, Dict]:
+    """Per-tier offered/shed/failed counts and deadline goodput."""
+    per: Dict[int, Dict] = {}
+    for state in retrier.states.values():
+        d = per.setdefault(state.spec.tier, {
+            "offered": 0, "succeeded": 0, "failed": 0, "shed": 0, "good": 0,
+        })
+        d["offered"] += 1
+        if state.shed:
+            d["shed"] += 1
+        elif state.succeeded:
+            d["succeeded"] += 1
+            if state.latency is not None and state.latency <= deadline:
+                d["good"] += 1
+        elif state.done:
+            d["failed"] += 1
+    out: Dict[int, Dict] = {}
+    for tier in sorted(per):
+        d = per[tier]
+        d["goodput"] = round(d["good"] / duration, 6)
+        d["shed_fraction"] = round(d["shed"] / d["offered"], 6)
+        out[tier] = d
+    return out
+
+
+def _overload_once(
+    seed: int, quick: bool, target: SloTarget, controlled: bool
+) -> Tuple[Dict, Dict, Optional[OverloadController]]:
+    """One cold-burst flood through the resilience manager, with or
+    without the closed-loop controller and retry budget."""
+    dataset = UniformDataset(
+        n_bats=120 if quick else 240, min_size=MB, max_size=2 * MB, seed=seed
+    )
+    dc = _overload_ring(dataset, seed, controlled)
+    mgr = dc.resilience
+    duration = 8.0 if quick else 14.0
+    flash = ColdBurstWorkload(
+        dataset,
+        n_nodes=4,
+        base_rate=30.0,
+        burst_factor=10.0,
+        burst_start=1.0,
+        burst_duration=4.0 if quick else 8.0,
+        hot_set_size=8,
+        duration=duration,
+        seed=seed,
+    )
+    specs = _tiered_specs(flash, seed)
+    closed = ClosedLoopWorkload(
+        dataset,
+        n_nodes=4,
+        n_clients=4,
+        duration=duration,
+        think_min=0.05,
+        think_max=0.20,
+        max_bats=2,
+        seed=seed,
+        tag="tier2",
+        tier=2,
+    )
+    ctrl: Optional[OverloadController] = None
+    if controlled:
+        ctrl = OverloadController(dc, OverloadPolicy(
+            target_p99=2.0,
+            window=2.0,
+            tick_interval=0.25,
+            n_tiers=3,
+            min_samples=8,
+            recover_fraction=0.7,
+            recover_patience=4,
+        ))
+        ctrl.start()
+        mgr.overload = ctrl
+    # admission decisions belong to arrival time, not enqueue time
+    for spec in specs:
+        dc.sim.post(spec.arrival, mgr.submit, spec)
+    closed.submit_to(dc, gate=ctrl)
+    dc.run(until=duration)
+    while dc.sim.now < MAX_TIME and not (
+        mgr.retrier.all_done and dc.completed_queries >= dc._submitted
+    ):
+        dc.sim.run(until=dc.sim.now + 0.5)
+    completed = mgr.retrier.all_done and dc.completed_queries >= dc._submitted
+    # grace ticks: the hysteretic valve should step back to level 0
+    dc.sim.run(until=dc.sim.now + 4.0)
+    verdict = _retrier_verdict(mgr.retrier, "overload", seed, target)
+    counts = mgr.retrier.counts()
+    tiers = _tier_outcomes(mgr.retrier, OVERLOAD_DEADLINE, duration)
+    top_tier = max(tiers)
+    closed_good = sum(1 for x in closed.latencies if x <= OVERLOAD_DEADLINE)
+    run_stats = {
+        "submitted": len(specs) + closed.issued,
+        "completed_in_time": completed,
+        "sim_time": round(dc.sim.now, 6),
+        "deadline": OVERLOAD_DEADLINE,
+        "p999": verdict["latency"]["p999"],
+        "failed": counts["failed"],
+        "attempts": counts["attempts"],
+        "budget_exhausted": mgr.retrier.budget_exhausted,
+        # protected goodput: top-tier open-loop queries plus the
+        # closed-loop client population, both graded on the deadline
+        "goodput": round(
+            (tiers[top_tier]["good"] + closed_good) / duration, 6
+        ),
+        "goodput_all": round(
+            (sum(d["good"] for d in tiers.values()) + closed_good) / duration,
+            6,
+        ),
+        "tiers": tiers,
+        "closed_issued": closed.issued,
+        "closed_shed": closed.shed,
+        "closed_failed": closed.failed,
+        "closed_good": closed_good,
+        "final_level": ctrl.shed_level if ctrl is not None else 0,
+    }
+    return verdict, run_stats, ctrl
+
+
+def _run_overload(seed: int, quick: bool, target: SloTarget) -> Tuple[Dict, Dict]:
+    verdict_on, stats_on, ctrl = _overload_once(seed, quick, target, True)
+    verdict_off, stats_off, _ = _overload_once(seed, quick, target, False)
+    extras = {
+        "submitted": stats_on["submitted"],
+        "completed_in_time": stats_on["completed_in_time"],
+        "sim_time": stats_on["sim_time"],
+        "deadline": stats_on["deadline"],
+        "p999_controller_on": stats_on["p999"],
+        "p999_controller_off": stats_off["p999"],
+        # goodput = deadline-respecting completions/s of the protected
+        # (top) tier -- the traffic a brownout exists to keep serving
+        "goodput_on": stats_on["goodput"],
+        "goodput_off": stats_off["goodput"],
+        "goodput_all_on": stats_on["goodput_all"],
+        "goodput_all_off": stats_off["goodput_all"],
+        "failed_on": stats_on["failed"],
+        "failed_off": stats_off["failed"],
+        "attempts_on": stats_on["attempts"],
+        "attempts_off": stats_off["attempts"],
+        "budget_exhausted_on": stats_on["budget_exhausted"],
+        "tiers_on": stats_on["tiers"],
+        "tiers_off": stats_off["tiers"],
+        "closed_issued_on": stats_on["closed_issued"],
+        "closed_shed_on": stats_on["closed_shed"],
+        "closed_good_on": stats_on["closed_good"],
+        "closed_failed_on": stats_on["closed_failed"],
+        "closed_issued_off": stats_off["closed_issued"],
+        "closed_good_off": stats_off["closed_good"],
+        "closed_failed_off": stats_off["closed_failed"],
+        "final_level_on": stats_on["final_level"],
+        "controller_off_verdict": verdict_off,
+    }
+    extras.update(_controller_extras(ctrl))
+    return verdict_on, extras
+
+
+def _split_under_load_once(
+    seed: int, quick: bool, target: SloTarget, controlled: bool
+) -> Tuple[Dict, Dict, Optional[OverloadController]]:
+    """A flash crowd pinned on ring 0 of a two-ring federation with one
+    standby ring; the pulsating split/merge controller is live, so the
+    burst triggers a ring split mid-overload."""
+    dataset = UniformDataset(
+        n_bats=120 if quick else 240, min_size=MB, max_size=2 * MB, seed=seed
+    )
+    fed = _block_federation(
+        dataset, seed,
+        n_rings=2, nodes_per_ring=3,
+        max_rings=3,
+        splitmerge_interval=0.25,
+        splitmerge_patience=2,
+        split_high_watermark=0.80,
+        placement_interval=0.25,
+        migration_patience=2,
+    )
+    slo = _attach_federation(fed)
+    slo.attach(fed.bus)  # the admission gate publishes QueryShed here
+    duration = 8.0 if quick else 14.0
+    npr = fed.config.nodes_per_ring
+    n = dataset.n_bats
+    flash = ColdBurstWorkload(
+        dataset,
+        n_nodes=fed.config.total_nodes,
+        nodes=list(range(npr)),  # the crowd arrives at ring 0
+        base_rate=25.0,
+        burst_factor=10.0,
+        burst_start=1.0,
+        burst_duration=4.0 if quick else 8.0,
+        hot_set_size=8,
+        duration=duration,
+        seed=seed,
+    )
+    # the baseline hot set sits in the middle of ring 0's contiguous
+    # block (fast and stable); the burst floods *cold* data from every
+    # ring's block, so relief needs both shedding and a ring split
+    flash.hot_low = n // 4
+    specs = _tiered_specs(flash, seed)
+    closed = ClosedLoopWorkload(
+        dataset,
+        n_nodes=fed.config.total_nodes,
+        n_clients=6 if quick else 12,
+        duration=duration,
+        think_min=0.05,
+        think_max=0.20,
+        nodes=list(range(npr)),
+        seed=seed,
+        tag="tier2",
+        tier=2,
+    )
+    ctrl: Optional[OverloadController] = None
+    if controlled:
+        ctrl = OverloadController(
+            fed,
+            OverloadPolicy(
+                target_p99=3.0,
+                window=2.0,
+                tick_interval=0.25,
+                n_tiers=3,
+                min_samples=8,
+                recover_fraction=0.7,
+                recover_patience=4,
+                topology_guard_tiers=1,
+                topology_guard_window=0.5,
+                split_nudge_ticks=6,
+            ),
+            size_of=fed.catalog.size,
+        )
+        ctrl.start()
+        for spec in specs:
+            ctrl.submit(spec)
+        closed.submit_to(fed, gate=ctrl)
+    else:
+        for spec in specs:
+            fed.submit(spec)
+        closed.submit_to(fed)
+    fed.run(until=duration)
+    completed = fed.run_until_done(max_time=MAX_TIME)
+    # grace ticks: the hysteretic valve should step back to level 0
+    fed.sim.run(until=fed.sim.now + 4.0)
+    summary = fed.summary()
+    verdict = slo.verdict("split-under-load", seed, target)
+    # tier2 tags both the protected open-loop slice and the closed-loop
+    # clients, so one tag filter covers the whole protected population
+    protected = slo.latencies("tier2")
+    run_stats = {
+        "submitted": len(specs) + closed.issued,
+        "completed_in_time": completed,
+        "sim_time": round(fed.sim.now, 6),
+        "p999": verdict["latency"]["p999"],
+        "goodput": round(
+            sum(1 for x in protected if x <= OVERLOAD_DEADLINE) / duration, 6
+        ),
+        "goodput_all": _goodput(slo, OVERLOAD_DEADLINE, duration),
+        "deadline": OVERLOAD_DEADLINE,
+        "ring_splits": summary["ring_splits"],
+        "migrations_started": summary["migrations_started"],
+        "fragments_migrated": summary["fragments_migrated"],
+        "final_level": ctrl.shed_level if ctrl is not None else 0,
+    }
+    return verdict, run_stats, ctrl
+
+
+def _run_split_under_load(
+    seed: int, quick: bool, target: SloTarget
+) -> Tuple[Dict, Dict]:
+    verdict_on, stats_on, ctrl = _split_under_load_once(seed, quick, target, True)
+    verdict_off, stats_off, _ = _split_under_load_once(seed, quick, target, False)
+    extras = {
+        "submitted": stats_on["submitted"],
+        "completed_in_time": stats_on["completed_in_time"],
+        "sim_time": stats_on["sim_time"],
+        "deadline": stats_on["deadline"],
+        "ring_splits_on": stats_on["ring_splits"],
+        "ring_splits_off": stats_off["ring_splits"],
+        "migrations_started": stats_on["migrations_started"],
+        "fragments_migrated": stats_on["fragments_migrated"],
+        "p999_controller_on": stats_on["p999"],
+        "p999_controller_off": stats_off["p999"],
+        "goodput_on": stats_on["goodput"],
+        "goodput_off": stats_off["goodput"],
+        "goodput_all_on": stats_on["goodput_all"],
+        "goodput_all_off": stats_off["goodput_all"],
+        "final_level_on": stats_on["final_level"],
+        "controller_off_verdict": verdict_off,
+    }
+    extras.update(_controller_extras(ctrl))
+    return verdict_on, extras
+
+
 # per-engine-class objectives for the mixed-engine scenario: each QPU
 # class is graded on the number its tenants actually care about
 MIXED_ENGINE_TARGETS: Dict[str, EngineSloTarget] = {
@@ -442,6 +858,18 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             "KV probes, MAL scans and streaming folds on one ring",
             SloTarget(p50=0.5, p99=3.0, p999=5.0),
             _run_mixed_engine,
+        ),
+        ScenarioSpec(
+            "overload",
+            "lossy cold-data flood with closed-loop admission on vs off",
+            SloTarget(p50=2.5, p99=13.0, p999=16.0, max_failure_rate=0.92),
+            _run_overload,
+        ),
+        ScenarioSpec(
+            "split-under-load",
+            "cold flood forcing a ring split, controller on vs off",
+            SloTarget(p50=2.5, p99=14.0, p999=18.0, max_failure_rate=0.88),
+            _run_split_under_load,
         ),
     )
 }

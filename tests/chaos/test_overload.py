@@ -1,0 +1,122 @@
+"""Retry-storm suppression under chaos (docs/overload.md).
+
+The retry budget exists so that fault recovery cannot amplify itself
+into an outage: every re-dispatch costs a token, so the total attempt
+amplification of a run is bounded by the bucket, no matter how many
+queries a failure window touches.  This file pins that bound under a
+real fault schedule -- two silent node failures on a K=2 resilient
+ring under sustained load -- while a *generous* budget keeps the bound
+loose enough that recovery still completes every query: suppression
+must cap storms, not starve legitimate failover.
+"""
+
+import pytest
+
+from repro.core.runtime import DATA_UNAVAILABLE
+from repro.events import types as ev
+from repro.faults import ChaosHarness, ChaosScenario, NodeCrash
+
+# generous: a silent node takes its whole attempt backlog down with it
+# (~100 simultaneous NODE_CRASHED outcomes), so the bucket must cover
+# two such spikes for the zero-DATA_UNAVAILABLE acceptance bar to hold
+BUDGET_CAPACITY = 200.0
+BUDGET_REFILL = 20.0
+
+
+def _harness(seed=0):
+    # two *silent* failures (resilience mode injects only the fault;
+    # repair is the detector's job), far enough apart that the first
+    # repair completes before the second node goes dark
+    scenario = ChaosScenario(
+        [NodeCrash(at=2.0, node=3), NodeCrash(at=3.5, node=6)],
+        name="retry-storm",
+    )
+    return ChaosHarness(
+        n_nodes=8,
+        seed=seed,
+        scenario=scenario,
+        resilience=True,
+        replication=2,
+        retry_budget_capacity=BUDGET_CAPACITY,
+        retry_budget_refill=BUDGET_REFILL,
+    )
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [0, 1])
+def test_budgeted_retries_still_complete_every_query(seed):
+    harness = _harness(seed)
+    retried = []
+    harness.dc.bus.subscribe(ev.QueryRetried, retried.append)
+    harness.injector.arm()
+    result = harness.run()
+    assert result.completed
+    assert result.violations == []
+    summary = result.summary
+    retrier = harness.dc.resilience.retrier
+
+    # both failures were injected silently and repaired by the detector
+    assert summary["nodes_failed"] == 2
+    assert summary["nodes_confirmed_dead"] == 2
+    assert summary["ring_repairs"] == 2
+
+    # the acceptance bar survives the budget: zero DATA_UNAVAILABLE
+    # terminal outcomes, zero abandoned queries
+    assert summary["resilient_succeeded"] == summary["resilient_queries"]
+    assert summary["resilient_failed"] == 0
+    assert summary["queries_abandoned"] == 0
+    assert not [
+        s for s in retrier.states.values() if s.error == DATA_UNAVAILABLE
+    ]
+
+    # the failure windows genuinely exercised the retry path
+    assert retried, "the crashes must force at least one retry"
+    assert summary["resilient_attempts"] > summary["resilient_queries"]
+
+    # bounded amplification: every re-dispatch consumed a token, so the
+    # extra attempts can never exceed the bucket plus its total refill
+    amplification = summary["resilient_attempts"] - summary["resilient_queries"]
+    assert amplification <= BUDGET_CAPACITY + BUDGET_REFILL * harness.dc.now
+    # ... and the generous bucket never actually ran dry
+    assert retrier.budget_exhausted == 0
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [0, 1])
+def test_budgeted_chaos_reports_are_byte_identical(seed):
+    first = _harness(seed)
+    first.injector.arm()
+    second = _harness(seed)
+    second.injector.arm()
+    assert first.run().report() == second.run().report()
+
+
+@pytest.mark.chaos_smoke
+def test_tight_budget_suppresses_the_storm_instead_of_hanging():
+    """With the bucket nearly empty the same fault schedule must still
+    terminate: queries that cannot buy a retry fail fast (abandoned),
+    they do not retry forever against a degraded ring."""
+    scenario = ChaosScenario([NodeCrash(at=2.0, node=3)], name="tight-budget")
+    harness = ChaosHarness(
+        n_nodes=8,
+        seed=0,
+        scenario=scenario,
+        resilience=True,
+        replication=2,
+        retry_budget_capacity=2.0,
+        retry_budget_refill=0.0,
+    )
+    harness.injector.arm()
+    result = harness.run()
+    assert result.completed
+    summary = result.summary
+    retrier = harness.dc.resilience.retrier
+    # two tokens bound the whole run's amplification
+    amplification = summary["resilient_attempts"] - summary["resilient_queries"]
+    assert amplification <= 2
+    assert retrier.budget_exhausted > 0
+    # every refusal is a terminal, *accounted* outcome
+    assert (
+        summary["resilient_succeeded"] + summary["resilient_failed"]
+        == summary["resilient_queries"]
+    )

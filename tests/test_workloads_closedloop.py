@@ -1,0 +1,159 @@
+"""Tests for the closed-loop client population (docs/workloads.md).
+
+The population's defining property -- offered load falls as latency
+rises -- is covered end-to-end by the overload scenarios; this file
+pins the mechanics: validation, determinism of the issued stream,
+think-time pacing, gate shedding, and the success/failure accounting.
+"""
+
+import pytest
+
+from repro.core import DataCyclotron, DataCyclotronConfig
+from repro.workloads import ClosedLoopWorkload, UniformDataset, populate_ring
+from repro.workloads.closedloop import CLIENT_ID_SPAN
+
+MB = 1 << 20
+
+
+def _dataset(seed=0):
+    return UniformDataset(n_bats=24, min_size=MB, max_size=2 * MB, seed=seed)
+
+
+def _workload(**kwargs):
+    defaults = dict(
+        dataset=_dataset(), n_nodes=4, n_clients=3, duration=3.0, seed=0
+    )
+    defaults.update(kwargs)
+    return ClosedLoopWorkload(**defaults)
+
+
+def _ring(seed=0):
+    dc = DataCyclotron(DataCyclotronConfig(
+        n_nodes=4, seed=seed, disk_latency=1e-4, load_all_interval=0.02
+    ))
+    populate_ring(dc, _dataset())
+    return dc
+
+
+def _drive(dc, closed):
+    """Run the population to completion (run_until_done alone would
+    return at t=0, before the first staggered issue fires)."""
+    dc._start_ticks()
+    dc.run(until=closed.duration)
+    assert dc.run_until_done(max_time=120.0)
+
+
+def test_validation_rejects_bad_parameters():
+    with pytest.raises(ValueError, match="client"):
+        _workload(n_clients=0)
+    with pytest.raises(ValueError, match="duration"):
+        _workload(duration=0.0)
+    with pytest.raises(ValueError, match="think-time"):
+        _workload(think_min=0.5, think_max=0.1)
+    with pytest.raises(ValueError, match="BATs-per-query"):
+        _workload(min_bats=0)
+    with pytest.raises(ValueError, match="processing-time"):
+        _workload(min_proc_time=0.0)
+    with pytest.raises(ValueError, match="arrival node"):
+        _workload(nodes=[])
+
+
+def test_clients_run_until_the_duration_and_account_latencies():
+    closed = _workload()
+    dc = _ring()
+    assert closed.submit_to(dc) == 3
+    _drive(dc, closed)
+    assert closed.issued >= 3
+    assert closed.shed == 0
+    assert closed.failed == 0
+    assert len(closed.latencies) == closed.issued
+    assert all(x > 0.0 for x in closed.latencies)
+    # one query outstanding per client: total issued is bounded by
+    # duration over the per-query floor (first pin is free, so the
+    # floor is think_min + tail_time)
+    floor = closed.think_min + closed.min_proc_time
+    assert closed.issued <= 3 * (closed.duration / floor + 1)
+
+
+def test_issued_stream_is_deterministic_and_id_namespaced():
+    specs = {}
+    for run in range(2):
+        closed = _workload()
+        dc = _ring()
+        closed.submit_to(dc)
+        _drive(dc, closed)
+        specs[run] = [
+            (q, rec.registered_at)
+            for q, rec in sorted(dc.metrics.queries.items())
+        ]
+    assert specs[0] == specs[1]
+    ids = [q for q, _ in specs[0]]
+    assert all(q >= 500_000 for q in ids)
+    # each client allocates from its own CLIENT_ID_SPAN slice
+    clients = {(q - 500_000) // CLIENT_ID_SPAN for q in ids}
+    assert clients == {0, 1, 2}
+
+
+def test_specs_respect_configured_shapes():
+    closed = _workload(min_bats=2, max_bats=2, nodes=[1, 3])
+    dc = _ring()
+    seen = []
+    original = dc.submit
+
+    def record(spec):
+        seen.append(spec)
+        return original(spec)
+
+    dc.submit = record
+    closed.submit_to(dc)
+    _drive(dc, closed)
+    assert seen
+    for spec in seen:
+        assert len(spec.bat_ids) == 2
+        assert len(set(spec.bat_ids)) == 2
+        assert spec.node in (1, 3)
+        assert spec.tag == "closed"
+        assert spec.tier == 0
+
+
+class ShedEveryOther:
+    """A gate that refuses every other query (None = shed)."""
+
+    def __init__(self, dc):
+        self.dc = dc
+        self.calls = 0
+
+    def submit(self, spec):
+        self.calls += 1
+        if self.calls % 2 == 0:
+            return None
+        return self.dc.submit(spec)
+
+
+def test_gate_sheds_cost_a_think_time_and_are_counted():
+    closed = _workload()
+    dc = _ring()
+    gate = ShedEveryOther(dc)
+    closed.submit_to(dc, gate=gate)
+    _drive(dc, closed)
+    assert gate.calls == closed.issued
+    assert closed.shed == closed.issued // 2
+    # a refused client thinks and retries -- the population never stalls
+    assert len(closed.latencies) == closed.issued - closed.shed
+    assert closed.failed == 0
+
+
+def test_submit_to_resets_accounting_between_runs():
+    closed = _workload()
+    dc = _ring()
+    closed.submit_to(dc)
+    _drive(dc, closed)
+    first = (closed.issued, len(closed.latencies))
+    assert first[0] > 0
+    dc2 = _ring()
+    closed.submit_to(dc2)
+    assert (closed.issued, closed.shed, closed.failed, closed.latencies) == (
+        0, 0, 0, [],
+    )
+    _drive(dc2, closed)
+    assert (closed.issued, len(closed.latencies)) == first
