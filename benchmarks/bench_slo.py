@@ -20,6 +20,12 @@ admitted p999 and the protected-tier goodput on every seed; on
 staying within no-harm bounds (p999 <= 1.15x off, goodput >= 0.9x
 off); on both, the protected tier's shed fraction must stay below the
 best-effort tier's.
+
+The ``frontdoor`` section gates the statistics-driven serving tier
+(docs/frontdoor.md): on every seed the estimate-driven valve must
+strictly beat the blind byte-valve twin on both the admitted p999 and
+the protected-tier goodput, and the offered load must actually be the
+>= 3x-capacity burst the scenario advertises.
 """
 
 from __future__ import annotations
@@ -51,6 +57,7 @@ def main(argv=None) -> int:
         "scenarios": {},
         "handoff": {},
         "controller": {},
+        "frontdoor": {},
     }
     failures = []
     for name in scenario_names():
@@ -158,6 +165,46 @@ def main(argv=None) -> int:
                 f"({'improved' if entry['improved'] else 'NO IMPROVEMENT'})",
                 file=sys.stderr,
             )
+
+    for result in report["scenarios"].get("frontdoor", []):
+        extras = result["extras"]
+        seed = result["seed"]
+        on, off = extras["p999_estimate_on"], extras["p999_estimate_off"]
+        gp_on, gp_off = extras["goodput_on"], extras["goodput_off"]
+        ratio = extras["capacity_ratio_burst"]
+        entry = {
+            "p999_on": on,
+            "p999_off": off,
+            "goodput_on": gp_on,
+            "goodput_off": gp_off,
+            "capacity_ratio_burst": ratio,
+            "exact_bytes_fraction":
+                extras["estimate_on"]["exact_bytes_fraction"],
+            "improved": on < off and gp_on > gp_off,
+        }
+        if ratio < 3.0:
+            failures.append(
+                f"frontdoor seed {seed}: burst offered only {ratio}x ring "
+                f"capacity (needs >= 3x)"
+            )
+        if not (on < off):
+            failures.append(
+                f"frontdoor seed {seed}: estimate-driven p999 {on}s did "
+                f"not beat the blind byte valve {off}s"
+            )
+        if not (gp_on > gp_off):
+            failures.append(
+                f"frontdoor seed {seed}: estimate-driven protected goodput "
+                f"{gp_on}/s did not beat the blind byte valve {gp_off}/s"
+            )
+        report["frontdoor"][str(seed)] = entry
+        print(
+            f"frontdoor seed {seed}: p999 {on}s estimate-driven vs {off}s "
+            f"blind, protected goodput {gp_on}/s vs {gp_off}/s at "
+            f"{ratio}x capacity "
+            f"({'improved' if entry['improved'] else 'NO IMPROVEMENT'})",
+            file=sys.stderr,
+        )
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)

@@ -14,6 +14,8 @@ Usage::
     python -m repro multiring [--rings 4]           # federation (docs/multiring.md)
     python -m repro multiring --chaos gateway       # federated chaos scenarios
     python -m repro scenarios --all                 # SLO scenario suite (docs/workloads.md)
+    python -m repro frontdoor                       # serving tier demo (docs/frontdoor.md)
+    python -m repro stats                           # statistics catalog + accuracy
 
 Each command prints the same rows/series the paper reports.  ``--full``
 switches to the paper's exact parameters (slow; see EXPERIMENTS.md).
@@ -497,6 +499,17 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
                     f"serve handoff vs {extras['p999_handoff_off']}s without "
                     f"({extras['serves_handed_off']} serve(s) handed off)"
                 )
+            if "p999_estimate_off" in extras:
+                print(
+                    f"  {name} seed {seed}: p999 {extras['p999_estimate_on']}s "
+                    f"with estimate-driven admission vs "
+                    f"{extras['p999_estimate_off']}s blind"
+                    + (
+                        f"; protected goodput {extras['goodput_on']}/s vs "
+                        f"{extras['goodput_off']}/s"
+                        if "goodput_on" in extras else ""
+                    )
+                )
             if "p999_controller_off" in extras:
                 line = (
                     f"  {name} seed {seed}: p999 {extras['p999_controller_on']}s "
@@ -538,6 +551,125 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_frontdoor(args: argparse.Namespace) -> int:
+    """Run the front-door serving-tier demo (docs/frontdoor.md).
+
+    One seed of the ``frontdoor`` scenario: the statistics-driven
+    admission valve against its blind byte-valve twin, with the
+    per-tier door ledger and the estimator accuracy for both runs.
+    """
+    from repro.workloads.suite import run_scenario
+
+    result = run_scenario("frontdoor", args.seed, quick=not args.full)
+    verdict, extras = result["verdict"], result["extras"]
+    print(
+        f"offered {extras['offered']} queries at "
+        f"{extras['capacity_ratio_burst']}x ring capacity in the burst "
+        f"window ({extras['capacity_ratio_base']}x outside it)"
+    )
+    rows = []
+    for mode in ("on", "off"):
+        summary = extras[f"estimate_{mode}"]
+        door = summary["door"]
+        for tier, tally in sorted(door["by_tier"].items(), reverse=True):
+            rows.append((
+                "estimate" if mode == "on" else "blind", f"tier{tier}",
+                tally["offered"], tally["admitted"], tally["rejected"],
+                tally["shed_downstream"], tally["finished"], tally["good"],
+            ))
+    print(render_table(
+        ["admission", "tier", "offered", "admitted", "rejected",
+         "shed-downstream", "finished", "good"],
+        rows,
+        title="front door: statistics-driven admission vs blind byte valve",
+    ))
+    print(
+        f"admitted p999: {extras['p999_estimate_on']}s estimate-driven vs "
+        f"{extras['p999_estimate_off']}s blind; protected-tier goodput "
+        f"{extras['goodput_on']}/s vs {extras['goodput_off']}/s"
+    )
+    print(
+        f"estimates recorded: {extras['estimate_on']['estimates_recorded']} "
+        f"({extras['estimate_on']['exact_bytes_fraction']:.3f} byte-exact)"
+    )
+    print(f"SLO: {'ok' if verdict['ok'] else 'MISS'}")
+    return 0 if verdict["ok"] else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print the statistics catalog and the estimator accuracy report.
+
+    Loads the front-door workload table, dumps the per-column catalog
+    the :class:`~repro.dbms.statistics.QueryEstimator` prices against,
+    then replays the workload through a :class:`~repro.frontdoor.FrontDoor`
+    and reports predicted-vs-actual footprint accuracy per query class.
+    """
+    from repro.dbms.executor import RingDatabase
+    from repro.frontdoor import FrontDoor, FrontDoorPolicy
+    from repro.workloads.frontdoor import FrontDoorWorkload
+
+    wl = FrontDoorWorkload(seed=args.seed)
+    rdb = RingDatabase(
+        DataCyclotronConfig(
+            n_nodes=wl.n_nodes, bandwidth=3 * MB, seed=args.seed,
+            fast_forward=False,
+        ),
+        lifecycle_events=True,
+    )
+    wl.load_into(rdb)
+    door = FrontDoor(rdb, policy=FrontDoorPolicy(
+        tier_boundaries=(16 * 1024, 120 * 1024),
+        byte_budget=int(1.5 * MB), admission="estimate",
+    ))
+
+    rows = []
+    for table in door.stats.tables():
+        for col in table.columns.values():
+            hist = col.histogram
+            rows.append((
+                f"{table.schema}.{table.name}", col.column, col.n_rows,
+                col.n_partitions, col.total_bytes, col.n_distinct,
+                col.vmin if col.numeric else "-",
+                col.vmax if col.numeric else "-",
+                len(hist.edges) - 1 if hist is not None else 0,
+            ))
+    print(render_table(
+        ["table", "column", "rows", "parts", "bytes", "distinct",
+         "min", "max", "buckets"],
+        rows,
+        title="statistics catalog (equi-depth histograms + distinct sketches)",
+    ))
+
+    wl.offer_to(door)
+    rdb.run_until_done(max_time=600.0)
+    acc = door.accuracy_report()
+    rows = [
+        (
+            cls,
+            rep["queries"],
+            f"{rep['exact_bytes_fraction']:.3f}",
+            f"{rep['mean_bytes_ratio']:.3f}",
+            f"{rep['mean_abs_rel_error']:.3f}",
+            rep["predicted_bytes"],
+            rep["actual_bytes"],
+            f"{rep['mean_service_time']:.4f}",
+        )
+        for cls, rep in sorted(acc.items())
+    ]
+    print(render_table(
+        ["query class", "queries", "exact", "bytes ratio", "abs rel err",
+         "predicted B", "actual B", "mean svc(s)"],
+        rows,
+        title="predicted-vs-actual accuracy (the estimator feedback loop)",
+    ))
+    summary = door.summary()
+    print(
+        f"admitted {summary['admitted']}/{summary['offered']} "
+        f"(rejected by cause: {summary['rejected_by_cause']})"
+    )
+    return 0
+
+
 def cmd_shell(args: argparse.Namespace) -> int:
     from repro.shell import run_shell
 
@@ -564,6 +696,9 @@ _COMMANDS = {
                              "(docs/performance.md)"),
     "scenarios": (cmd_scenarios, "production-shaped SLO scenario suite "
                                  "(docs/workloads.md)"),
+    "frontdoor": (cmd_frontdoor, "statistics-driven admission vs blind "
+                                 "byte valve (docs/frontdoor.md)"),
+    "stats": (cmd_stats, "statistics catalog + estimator accuracy report"),
     "shell": (cmd_shell, "interactive SQL over a simulated ring"),
     "list": (cmd_list, "list available experiments"),
 }

@@ -241,11 +241,18 @@ class RingDatabase:
         return self.submit_request(sql, node=node, arrival=arrival)
 
     def submit_request(
-        self, request: Any, node: int = 0, arrival: Optional[float] = None
+        self,
+        request: Any,
+        node: int = 0,
+        arrival: Optional[float] = None,
+        tag: Optional[str] = None,
     ) -> QueryHandle:
         """Route any engine request to its QPU and schedule it.
 
-        ``arrival`` defaults to the current simulated time.
+        ``arrival`` defaults to the current simulated time.  ``tag``
+        overrides the registration tag (default: the engine class, or
+        the legacy ``"sql"`` on the golden-pinned MAL path) -- the
+        front door uses it to label serving tiers for SLO accounting.
         """
         if arrival is None:
             arrival = self.dc.sim.now
@@ -267,7 +274,7 @@ class RingDatabase:
         )
         # the default MAL path keeps the pre-refactor direct metrics
         # call (no bus event), pinned by the golden bit-identity suite
-        legacy = qpu is self._mal and not self.lifecycle_events
+        legacy = qpu is self._mal and not self.lifecycle_events and tag is None
 
         def process() -> Generator:
             now = runtime.sim.now
@@ -275,7 +282,7 @@ class RingDatabase:
                 self.dc.metrics.query_registered(now, query_id, node, tag="sql")
             else:
                 self._register(now, query_id, node, qpu.engine_class,
-                               compiled, estimated)
+                               compiled, estimated, tag=tag)
             try:
                 result = yield from qpu.execute(compiled, ctx)
             except QueryAbort as abort:
@@ -314,7 +321,9 @@ class RingDatabase:
         engine: str,
         compiled: CompiledQuery,
         estimated: float,
+        tag: Optional[str] = None,
     ) -> None:
+        label = engine if tag is None else tag
         bus = self.dc.bus
         if bus.active:
             bus.publish(
@@ -327,10 +336,10 @@ class RingDatabase:
                     cost=estimated,
                 )
             )
-            bus.publish(ev.QueryRegistered(now, query_id, node, tag=engine))
+            bus.publish(ev.QueryRegistered(now, query_id, node, tag=label))
         else:
             # zero-observer runs still keep query records for reports
-            self.dc.metrics.query_registered(now, query_id, node, tag=engine)
+            self.dc.metrics.query_registered(now, query_id, node, tag=label)
 
     def _shed(
         self, query_id: int, node: int, engine: str, footprint_bytes: int
@@ -345,9 +354,12 @@ class RingDatabase:
         for a query wider than the whole budget.
         """
         over = False
+        reason = ""
         if self.max_inflight is not None:
             inflight = sum(1 for h in self.handles if not h.done)
             over = inflight >= self.max_inflight
+            if over:
+                reason = "count-valve"
         if not over and (self.byte_budget is not None or self.engine_byte_budgets):
             total = 0
             per_engine = 0
@@ -372,12 +384,17 @@ class RingDatabase:
                 and per_engine + footprint_bytes > cap
             ):
                 over = True
+            if over:
+                reason = "byte-valve"
         if not over:
             return False
         bus = self.dc.bus
         if bus.active:
             bus.publish(
-                ev.QueryShed(self.dc.sim.now, query_id, node, engine=engine)
+                ev.QueryShed(
+                    self.dc.sim.now, query_id, node, engine=engine,
+                    reason=reason,
+                )
             )
         return True
 

@@ -100,7 +100,7 @@ def attach_metrics(bus: Bus, metrics: "MetricsCollector") -> Callable[[], None]:
     sub(ev.BatPromoted, _count("bats_promoted"))
     sub(ev.QueryRetried, _count("queries_retried"))
     sub(ev.QueryAbandoned, _count("queries_abandoned"))
-    sub(ev.QueryShed, lambda e: metrics.query_shed(e.engine))
+    sub(ev.QueryShed, lambda e: metrics.query_shed(e.engine, e.reason))
     sub(ev.StaleResultDiscarded, _count("stale_results_discarded"))
 
     # --- closed-loop overload control (docs/overload.md) ---------------
@@ -127,6 +127,15 @@ def attach_metrics(bus: Bus, metrics: "MetricsCollector") -> Callable[[], None]:
     sub(ev.QpuQueryRouted, lambda e: metrics.qpu_routed(e.engine))
     sub(ev.KvProbeServed, lambda e: metrics.kv_probe(e.hit))
     sub(ev.StreamBatConsumed, lambda e: metrics.stream_bat_consumed(e.rows))
+
+    # --- front-door serving tier (docs/frontdoor.md) -------------------
+    sub(ev.QueryEstimated, lambda e: metrics.query_estimated())
+    sub(ev.FrontDoorAdmitted, lambda e: metrics.frontdoor_admit())
+    sub(ev.FrontDoorRejected, lambda e: metrics.frontdoor_reject(e.tier))
+    sub(
+        ev.EstimateFeedback,
+        lambda e: metrics.estimate_feedback(e.predicted_bytes, e.actual_bytes),
+    )
 
     def detach():
         for event_type, handler in subscribed:

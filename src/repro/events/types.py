@@ -95,6 +95,11 @@ __all__ = [
     "QpuQueryRouted",
     "KvProbeServed",
     "StreamBatConsumed",
+    # front-door serving tier (docs/frontdoor.md)
+    "QueryEstimated",
+    "FrontDoorAdmitted",
+    "FrontDoorRejected",
+    "EstimateFeedback",
     # simulation engine
     "RotationFastForwarded",
     "SimEventFired",
@@ -500,13 +505,21 @@ class QueryShed:
     Published by the suspicion valve (ring-wide detector knowledge), the
     :class:`~repro.dbms.executor.RingDatabase` admission valve (count or
     byte budget; ``engine`` carries the refused engine class then), and
-    the overload controller's brownout gate (docs/overload.md).
+    the overload controller's brownout gate (docs/overload.md), and the
+    front door's estimate valve (docs/frontdoor.md).
+
+    ``reason`` distinguishes who refused: ``"tier-shed"`` (overload
+    controller), ``"count-valve"`` / ``"byte-valve"`` (dispatcher
+    admission), ``"front-door-estimate"`` (statistics-driven front
+    door).  Empty when the publisher predates the taxonomy; the metrics
+    bridge only counts non-empty reasons, so unset stays bit-identical.
     """
 
     t: float
     query_id: int
     node: int
     engine: str = ""
+    reason: str = ""
 
 
 @dataclass(slots=True)
@@ -792,6 +805,82 @@ class StreamBatConsumed:
     bat_id: int
     node: int
     rows: int
+
+
+# ----------------------------------------------------------------------
+# front-door serving tier (docs/frontdoor.md)
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class QueryEstimated:
+    """The statistics estimator priced a request before compilation.
+
+    ``footprint_bytes``/``cost`` are the predicted persistent footprint
+    and one-pass operator cost; ``tier`` and ``deadline`` are the
+    serving class the front door derived from them (higher tier = more
+    protected = smaller predicted footprint).
+    """
+
+    t: float
+    query_id: int
+    node: int
+    engine: str
+    footprint_bytes: int
+    cost: float
+    selectivity: float
+    tier: int
+    deadline: float
+
+
+@dataclass(slots=True)
+class FrontDoorAdmitted:
+    """The front door admitted the request into the ring database."""
+
+    t: float
+    query_id: int
+    node: int
+    engine: str
+    tier: int
+    deadline: float
+    estimated_bytes: int
+
+
+@dataclass(slots=True)
+class FrontDoorRejected:
+    """The front door refused the request at arrival time.
+
+    Always paired with a ``QueryShed(reason="front-door-estimate")`` so
+    SLO accounting sees the refusal; ``cause`` carries the finer-grained
+    trigger (``budget`` / ``single-query-cap`` / ``controller`` /
+    ``estimate-error``).
+    """
+
+    t: float
+    query_id: int
+    node: int
+    engine: str
+    tier: int
+    estimated_bytes: int
+    cause: str
+
+
+@dataclass(slots=True)
+class EstimateFeedback:
+    """Predicted-vs-actual closure for one front-door query.
+
+    Published at completion: ``actual_bytes`` comes from the compiled
+    footprint, ``service_time`` from registration-to-finish on the
+    ring.  The estimator folds the same observation into its per-class
+    accuracy report (`repro stats`).
+    """
+
+    t: float
+    query_id: int
+    engine: str
+    query_class: str
+    predicted_bytes: int
+    actual_bytes: int
+    predicted_cost: float
+    service_time: float
 
 
 # ----------------------------------------------------------------------

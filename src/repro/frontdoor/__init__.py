@@ -1,0 +1,14 @@
+"""The front-door serving tier (docs/frontdoor.md).
+
+:class:`FrontDoor` is the user-facing seam the ROADMAP asks for: an
+open-loop arrival surface that prices every SQL / KV / stream request
+through :mod:`repro.dbms.statistics` *before* compilation, assigns a
+serving tier and deadline from the prediction, and runs cost-aware
+admission -- replacing the dispatcher's blind byte valves for
+front-door traffic and composing with the resilience layer's
+:class:`~repro.resilience.overload.OverloadController`.
+"""
+
+from repro.frontdoor.door import FrontDoor, FrontDoorPolicy, Ticket
+
+__all__ = ["FrontDoor", "FrontDoorPolicy", "Ticket"]

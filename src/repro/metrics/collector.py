@@ -93,6 +93,7 @@ class MetricsCollector:
         # closed-loop overload control counters (docs/overload.md)
         self.queries_shed_by_engine: Dict[str, int] = {}  # byte-valve refusals
         self.queries_shed_by_tier: Dict[int, int] = {}    # brownout refusals
+        self.queries_shed_by_reason: Dict[str, int] = {}  # who refused (docs/frontdoor.md)
         self.overload_state_changes = 0  # OverloadStateChanged events
         self.retry_budget_exhausted = 0  # retry token bucket ran dry
         # multi-ring federation counters (docs/multiring.md)
@@ -115,6 +116,13 @@ class MetricsCollector:
         self.kv_misses = 0              # lookups for unknown keys
         self.stream_bats_consumed = 0   # partitions folded in cycle order
         self.stream_rows_consumed = 0   # rows behind those folds
+        # front-door serving tier counters (docs/frontdoor.md)
+        self.queries_estimated = 0      # requests priced before compilation
+        self.frontdoor_admitted = 0     # requests passed into the dispatcher
+        self.frontdoor_rejected = 0     # requests refused at the door
+        self.frontdoor_rejected_by_tier: Dict[int, int] = {}
+        self.estimate_feedback_count = 0  # predicted-vs-actual closures
+        self.estimate_exact_bytes = 0     # ... where prediction was exact
         # per-node downtime intervals: node -> [(down_at, up_at | None)]
         self.downtime: Dict[int, List[List[Optional[float]]]] = {}
         # recovery latency: crash/rejoin -> first re-load of an affected BAT
@@ -154,13 +162,37 @@ class MetricsCollector:
         self.stream_rows_consumed += rows
 
     # ------------------------------------------------------------------
+    # front-door serving tier (docs/frontdoor.md)
+    # ------------------------------------------------------------------
+    def query_estimated(self) -> None:
+        self.queries_estimated += 1
+
+    def frontdoor_admit(self) -> None:
+        self.frontdoor_admitted += 1
+
+    def frontdoor_reject(self, tier: int) -> None:
+        self.frontdoor_rejected += 1
+        self.frontdoor_rejected_by_tier[tier] = (
+            self.frontdoor_rejected_by_tier.get(tier, 0) + 1
+        )
+
+    def estimate_feedback(self, predicted_bytes: int, actual_bytes: int) -> None:
+        self.estimate_feedback_count += 1
+        if predicted_bytes == actual_bytes:
+            self.estimate_exact_bytes += 1
+
+    # ------------------------------------------------------------------
     # closed-loop overload control (docs/overload.md)
     # ------------------------------------------------------------------
-    def query_shed(self, engine: str = "") -> None:
+    def query_shed(self, engine: str = "", reason: str = "") -> None:
         self.queries_shed += 1
         if engine:
             self.queries_shed_by_engine[engine] = (
                 self.queries_shed_by_engine.get(engine, 0) + 1
+            )
+        if reason:
+            self.queries_shed_by_reason[reason] = (
+                self.queries_shed_by_reason.get(reason, 0) + 1
             )
 
     def tier_shed(self, tier: int) -> None:

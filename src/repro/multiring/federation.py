@@ -262,10 +262,21 @@ class RingFederation:
         bytes, shipping the (tiny) query beats shipping the (large)
         BATs.  The landing node is picked by the target ring's own cost
         bids; the inter-ring hop is charged to the arrival time.
+
+        With ``ship_by_estimate`` on (docs/frontdoor.md), the fixed
+        fraction threshold is replaced by an estimated-bytes-moved
+        comparison: staying on ``ring_id`` costs the bytes homed
+        elsewhere (cross-ring fetches), shipping to ring *r* costs the
+        request message plus the bytes homed off *r*.  The query goes
+        wherever the estimate says fewer bytes cross ring boundaries,
+        with ties favouring staying put.
         """
         spec = replace(spec, node=local)
         threshold = self.config.ship_threshold
-        if not 0 < threshold <= 1 or len(self.active_rings) < 2:
+        by_estimate = self.config.ship_by_estimate
+        if len(self.active_rings) < 2:
+            return ring_id, spec
+        if not by_estimate and not 0 < threshold <= 1:
             return ring_id, spec
         bytes_by_ring: Dict[int, int] = {}
         total = 0
@@ -276,11 +287,27 @@ class RingFederation:
             total += size
         if total == 0:
             return ring_id, spec
-        best = max(bytes_by_ring, key=lambda r: (bytes_by_ring[r], -r))
-        if best == ring_id or bytes_by_ring[best] / total < threshold:
-            return ring_id, spec
-        if best not in self.active_rings:
-            return ring_id, spec
+        if by_estimate:
+            request_bytes = self.config.base.request_message_size
+            stay_cost = total - bytes_by_ring.get(ring_id, 0)
+            candidates = [
+                r for r in sorted(bytes_by_ring)
+                if r != ring_id and r in self.active_rings
+            ]
+            best = None
+            best_cost = stay_cost
+            for r in candidates:
+                moved = request_bytes + total - bytes_by_ring[r]
+                if moved < best_cost:
+                    best, best_cost = r, moved
+            if best is None:
+                return ring_id, spec
+        else:
+            best = max(bytes_by_ring, key=lambda r: (bytes_by_ring[r], -r))
+            if best == ring_id or bytes_by_ring[best] / total < threshold:
+                return ring_id, spec
+            if best not in self.active_rings:
+                return ring_id, spec
         scheduler = self._scheduler(best)
         bids = scheduler.collect_bids(spec)
         winner = min(bids, key=lambda b: (b.price, b.node))

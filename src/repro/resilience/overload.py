@@ -379,7 +379,10 @@ class OverloadController:
         if not self.admit(spec):
             if self.bus.active:
                 self.bus.publish(
-                    ev.QueryShed(self.sim.now, spec.query_id, spec.node)
+                    ev.QueryShed(
+                        self.sim.now, spec.query_id, spec.node,
+                        reason="tier-shed",
+                    )
                 )
             return None
         if spec.arrival != self.sim.now:

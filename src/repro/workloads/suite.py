@@ -15,7 +15,12 @@ it, and returns an SLO verdict plus scenario-specific extras:
   in the same report,
 * ``mixed-engine`` -- KV probes, MAL scans and streaming folds sharing
   one ring economy, graded per engine class (docs/qpu.md): p99 for the
-  point lookups, sustained throughput for the streaming aggregates.
+  point lookups, sustained throughput for the streaming aggregates,
+* ``frontdoor`` -- a 3x-capacity open-loop burst priced by the
+  statistics estimator at the serving tier; the statistics-driven
+  valve is gated against a blind byte-valve twin (docs/frontdoor.md),
+* ``mixed-engine-overload`` -- the same burst through all three engine
+  classes at once, graded with per-engine-class SLO verdicts.
 
 Everything is deterministic per seed: ``run_scenario(name, seed)``
 returns a bit-identical result dict on every call, which is what the
@@ -45,6 +50,7 @@ from repro.resilience.overload import OverloadController, OverloadPolicy
 from repro.sim.rng import RngRegistry
 from repro.workloads.base import UniformDataset, Workload, populate_ring
 from repro.workloads.closedloop import ClosedLoopWorkload
+from repro.workloads.frontdoor import FrontDoorWorkload
 from repro.workloads.mixed import MixedEngineWorkload
 from repro.workloads.scenarios import (
     ColdBurstWorkload,
@@ -820,6 +826,206 @@ def _run_mixed_engine(seed: int, quick: bool, target: SloTarget) -> Tuple[Dict, 
     return verdict, extras
 
 
+# ----------------------------------------------------------------------
+# front-door serving tier scenarios (docs/frontdoor.md)
+# ----------------------------------------------------------------------
+def _frontdoor_workload(seed: int, quick: bool, **overrides) -> FrontDoorWorkload:
+    """The sized front-door mix; capacity math lives in the workload.
+
+    Quick: 6000-row, 6-column table -> 48 KB columns, so a burst
+    ``SELECT *`` binds 288 KB while a probe costs one 4 KB partition.
+    With a 3 MB/s ring the offered footprint-byte rate is ~0.58x
+    capacity outside the burst window and ~3.3x inside it (the >= 3x
+    open-loop overload the acceptance gate requires;
+    ``capacity_ratio`` reports the exact figure in the extras).
+    """
+    if quick:
+        params = dict(
+            n_rows=6000, rows_per_partition=500, kv_rate=40.0,
+            mal_rate=15.0, stream_rate=3.0, burst_rate=30.0,
+            burst_start=1.0, burst_end=5.0, duration=6.0, seed=seed,
+        )
+    else:
+        params = dict(
+            n_rows=12000, rows_per_partition=500, kv_rate=40.0,
+            mal_rate=15.0, stream_rate=3.0, burst_rate=30.0,
+            burst_start=2.0, burst_end=10.0, duration=12.0, seed=seed,
+        )
+    params.update(overrides)
+    return FrontDoorWorkload(**params)
+
+
+def _frontdoor_ring(seed: int, quick: bool) -> RingDatabase:
+    """A deliberately thin ring: the front door, not the pipe, must
+    absorb the burst.  ``fast_forward`` stays off so transfer times are
+    the real latency signal the deadlines grade."""
+    return RingDatabase(
+        DataCyclotronConfig(
+            n_nodes=4,
+            seed=seed,
+            bandwidth=(3 if quick else 6) * MB,
+            fast_forward=False,
+        ),
+        lifecycle_events=True,
+    )
+
+
+def _frontdoor_budget(quick: bool) -> int:
+    return int((1.5 if quick else 3.0) * MB)
+
+
+# predicted-bytes tier boundaries: probes (<=16 KB) ride the protected
+# top tier, single-column scans and folds the middle, wide scans tier 0
+FRONTDOOR_TIERS = (16 * 1024, 120 * 1024)
+
+
+def _door_summary(door, duration: float) -> Dict:
+    stats = door.summary()
+    top = door.policy.n_tiers - 1
+    acc = door.accuracy_report()
+    n = sum(c["queries"] for c in acc.values())
+    exact = sum(c["queries"] * c["exact_bytes_fraction"] for c in acc.values())
+    return {
+        "door": stats,
+        "goodput_top_tier": round(door.goodput(top, duration), 6),
+        "estimates_recorded": n,
+        "exact_bytes_fraction": round(exact / n, 6) if n else 0.0,
+    }
+
+
+def _frontdoor_once(
+    seed: int, quick: bool, estimate: bool
+) -> Tuple[SloCollector, "FrontDoor", FrontDoorWorkload, bool]:
+    from repro.frontdoor import FrontDoor, FrontDoorPolicy
+
+    wl = _frontdoor_workload(seed, quick)
+    rdb = _frontdoor_ring(seed, quick)
+    wl.load_into(rdb)
+    slo = SloCollector().attach(rdb.dc.bus)
+    budget = _frontdoor_budget(quick)
+    if estimate:
+        # statistics-driven: tier-sliced valve over *predicted* bytes
+        door = FrontDoor(rdb, policy=FrontDoorPolicy(
+            tier_boundaries=FRONTDOOR_TIERS, byte_budget=budget,
+            admission="estimate", tag_tiers=True,
+        ))
+    else:
+        # blind twin: same tiers/deadlines/tickets, but admission falls
+        # to the dispatcher's post-compile byte valve with the same cap
+        door = FrontDoor(rdb, policy=FrontDoorPolicy(
+            tier_boundaries=FRONTDOOR_TIERS, admission="none",
+            tag_tiers=True,
+        ))
+        rdb.byte_budget = budget
+    wl.offer_to(door)
+    completed = rdb.run_until_done(max_time=MAX_TIME)
+    return slo, door, wl, completed
+
+
+def _run_frontdoor(seed: int, quick: bool, target: SloTarget) -> Tuple[Dict, Dict]:
+    slo_on, door_on, wl, completed = _frontdoor_once(seed, quick, True)
+    slo_off, door_off, _, _ = _frontdoor_once(seed, quick, False)
+    verdict = slo_on.verdict("frontdoor", seed, target)
+    verdict_off = slo_off.verdict("frontdoor", seed, target)
+    duration = wl.duration
+    bandwidth = (3 if quick else 6) * MB
+    extras = {
+        "offered": door_on.offered,
+        "completed_in_time": completed,
+        "capacity_ratio_burst": round(wl.capacity_ratio(bandwidth), 6),
+        "capacity_ratio_base": round(
+            wl.capacity_ratio(bandwidth, in_burst=False), 6
+        ),
+        "byte_budget": _frontdoor_budget(quick),
+        # the acceptance pair: admitted tail and protected-tier goodput,
+        # statistics-driven valve vs the blind byte valve
+        "p999_estimate_on": verdict["latency"]["p999"],
+        "p999_estimate_off": verdict_off["latency"]["p999"],
+        "goodput_on": _door_summary(door_on, duration)["goodput_top_tier"],
+        "goodput_off": _door_summary(door_off, duration)["goodput_top_tier"],
+        "estimate_on": _door_summary(door_on, duration),
+        "estimate_off": _door_summary(door_off, duration),
+        "estimate_off_verdict": verdict_off,
+    }
+    return verdict, extras
+
+
+# per-engine objectives for the all-engines burst: probes must stay
+# fast, scans may stretch, folds must keep flowing
+FRONTDOOR_ENGINE_TARGETS: Dict[str, EngineSloTarget] = {
+    # a probe's latency floor is the ring rotation wait (~0.37 s on the
+    # thin 4-node scenario ring), not the 4 KB transfer
+    "kv": EngineSloTarget(p99=0.5, max_failure_rate=1.0),
+    "mal": EngineSloTarget(p99=5.0, max_failure_rate=1.0),
+    "stream": EngineSloTarget(min_throughput=0.5, max_failure_rate=1.0),
+}
+
+
+def _mixed_overload_once(
+    seed: int, quick: bool, estimate: bool
+) -> Tuple[SloCollector, "FrontDoor", FrontDoorWorkload, bool]:
+    from repro.frontdoor import FrontDoor, FrontDoorPolicy
+
+    # the burst floods all three engine classes at once: wide scans,
+    # cold probes, grouped folds over the cold wide columns
+    wl = _frontdoor_workload(
+        seed, quick, burst_kv_rate=40.0, burst_stream_rate=4.0
+    )
+    rdb = _frontdoor_ring(seed, quick)
+    wl.load_into(rdb)
+    slo = SloCollector().attach(rdb.dc.bus)
+    budget = _frontdoor_budget(quick)
+    if estimate:
+        # tag_tiers stays off: registrations keep their engine tags so
+        # the per-engine-class verdicts reuse the mixed-engine machinery
+        door = FrontDoor(rdb, policy=FrontDoorPolicy(
+            tier_boundaries=FRONTDOOR_TIERS, byte_budget=budget,
+            admission="estimate",
+        ))
+    else:
+        door = FrontDoor(rdb, policy=FrontDoorPolicy(
+            tier_boundaries=FRONTDOOR_TIERS, admission="none",
+        ))
+        rdb.byte_budget = budget
+    wl.offer_to(door)
+    completed = rdb.run_until_done(max_time=MAX_TIME)
+    return slo, door, wl, completed
+
+
+def _run_mixed_engine_overload(
+    seed: int, quick: bool, target: SloTarget
+) -> Tuple[Dict, Dict]:
+    slo_on, door_on, wl, completed = _mixed_overload_once(seed, quick, True)
+    slo_off, door_off, _, _ = _mixed_overload_once(seed, quick, False)
+    duration = wl.duration
+    verdict = slo_on.verdict("mixed-engine-overload", seed, target)
+    verdict["engine_classes"] = slo_on.engine_verdicts(
+        FRONTDOOR_ENGINE_TARGETS, duration=duration
+    )
+    verdict_off = slo_off.verdict("mixed-engine-overload", seed, target)
+    verdict_off["engine_classes"] = slo_off.engine_verdicts(
+        FRONTDOOR_ENGINE_TARGETS, duration=duration
+    )
+    bandwidth = (3 if quick else 6) * MB
+    extras = {
+        "offered": door_on.offered,
+        "completed_in_time": completed,
+        "capacity_ratio_burst": round(wl.capacity_ratio(bandwidth), 6),
+        "p999_estimate_on": verdict["latency"]["p999"],
+        "p999_estimate_off": verdict_off["latency"]["p999"],
+        "engine_p99_on": {
+            eng: v["p99"] for eng, v in verdict["engine_classes"].items()
+        },
+        "engine_p99_off": {
+            eng: v["p99"] for eng, v in verdict_off["engine_classes"].items()
+        },
+        "estimate_on": _door_summary(door_on, duration),
+        "estimate_off": _door_summary(door_off, duration),
+        "estimate_off_verdict": verdict_off,
+    }
+    return verdict, extras
+
+
 SCENARIOS: Dict[str, ScenarioSpec] = {
     spec.name: spec
     for spec in (
@@ -858,6 +1064,18 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             "KV probes, MAL scans and streaming folds on one ring",
             SloTarget(p50=0.5, p99=3.0, p999=5.0),
             _run_mixed_engine,
+        ),
+        ScenarioSpec(
+            "frontdoor",
+            "statistics-driven admission vs blind byte valve, 3x overload",
+            SloTarget(p50=1.0, p99=6.0, p999=8.0, max_failure_rate=0.6),
+            _run_frontdoor,
+        ),
+        ScenarioSpec(
+            "mixed-engine-overload",
+            "all-engines cold burst through the front door, per-class SLOs",
+            SloTarget(p50=1.0, p99=6.0, p999=8.0, max_failure_rate=0.6),
+            _run_mixed_engine_overload,
         ),
         ScenarioSpec(
             "overload",
