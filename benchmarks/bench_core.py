@@ -12,8 +12,23 @@ same run:
 * ``single_dense`` -- a saturated 32-node ring where most hops stop at
   an interested node; guards against the fast path regressing the dense
   regime (the debt backoff should keep it at ~1.0x).
-* ``federation`` -- a 4-ring federation under the section 5.3 Gaussian
-  workload, metrics attached, as a realistic end-to-end number.
+* ``federation`` -- the headline federation number: 4 x 64-node rings
+  with one BAT each, pinned on the ring by a static LOIT of 0, under a
+  light single-BAT Gaussian stream -- the federated twin of
+  ``single_sparse``, where every ring's rotation is mostly
+  disinterested and the gateway fetch traffic rides *through* standing
+  flights (the drain-bound tolerance in ``FastForwarder._tolerates``).  Measured as alternating-order off/on
+  pairs on ``time.process_time()``, one fresh spawned interpreter per
+  run, speedup = the balanced CPU-total ratio (single wall-clock
+  samples on a shared host are too noisy to gate on).
+* ``federation_dense`` -- the original saturated 4-ring configuration,
+  kept as a do-no-harm record for the dense regime.
+* ``federation_scaling`` -- the partitioned kernel
+  (``PartitionedFederation``, docs/parallel.md) swept over ring counts
+  with one simulator per ring, reporting aggregate events/sec and the
+  worker-pool efficiency at the 8-ring point.  Recorded together with
+  ``hardware_cores``: on a single-core host the pool cannot beat
+  ``workers=1`` and the efficiency column says so honestly.
 * ``equivalence`` -- re-runs the sparse scenario with metrics attached
   and asserts ``summary()`` is bit-identical fast-forward on vs off.
 
@@ -23,8 +38,11 @@ Run: ``PYTHONPATH=src python benchmarks/bench_core.py [--quick] [--out PATH]``
 from __future__ import annotations
 
 import argparse
+import gc
 import json
+import os
 import random
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -32,6 +50,7 @@ from pathlib import Path
 from bench_utils import build_federation, gaussian_workload
 from repro.core import MB, DataCyclotron, DataCyclotronConfig
 from repro.core.query import QuerySpec
+from repro.multiring import MultiRingConfig, PartitionedFederation
 from repro.workloads.base import UniformDataset
 
 SEED = 1
@@ -112,40 +131,249 @@ def run_rotation(
     }
 
 
-def run_federation(fast_forward: bool, quick: bool, repeats: int) -> dict:
-    total_nodes, n_rings = 32, 4
-    if quick:
-        n_bats, duration, total_rate = 60, 5.0, 40.0
-    else:
-        n_bats, duration, total_rate = 120, 10.0, 80.0
-    best_wall = None
-    events = total = 0
-    done = False
-    for _ in range(repeats):
-        dataset = UniformDataset(n_bats=n_bats, min_size=MB, max_size=2 * MB, seed=3)
-        fed = build_federation(
-            dataset, total_nodes, n_rings, 10 * MB, 3,
-            fast_forward=fast_forward, splitmerge_interval=0.0,
+def federation_params(sparse: bool, quick: bool) -> dict:
+    """The two shared-clock federation scenarios at the active scale."""
+    if sparse:
+        # 4 x 64-node rings with ONE 1 MB BAT each, *pinned* on the ring
+        # (static LOIT 0 -- the paper's low-threshold operating point,
+        # where the hot set never unloads) under a light single-BAT
+        # Gaussian stream with cheap queries: every ring's BAT rotates
+        # continuously and almost every hop crosses a disinterested
+        # node -- the federated twin of ``single_sparse``, and the
+        # regime the gateway-tolerant fast path exists for.  With an
+        # adaptive threshold the BATs unload between query bursts and
+        # rotation (the thing flights coalesce) stops dominating the
+        # event stream; denser catalogs put BATs a few hops apart, so
+        # every flight's scan stops at the next BAT's reservations.
+        return dict(
+            total_nodes=256, n_rings=4, n_bats=4,
+            min_size=MB, max_size=MB,
+            duration=32.0 if quick else 64.0, total_rate=16.0,
+            min_proc=0.002, max_proc=0.005,
+            min_bats=1, max_bats=1, std=1.0, loit_static=0.0,
         )
-        total = gaussian_workload(
-            dataset, total_nodes=total_nodes, total_rate=total_rate,
-            duration=duration, min_proc=0.05, max_proc=0.10, seed=3,
-        ).submit_to(fed)
-        start = time.perf_counter()
-        done = fed.run_until_done(max_time=600.0)
+    return dict(
+        total_nodes=32, n_rings=4,
+        n_bats=60 if quick else 120,
+        min_size=MB, max_size=2 * MB,
+        duration=5.0 if quick else 10.0,
+        total_rate=40.0 if quick else 80.0,
+        min_proc=0.05, max_proc=0.10,
+        min_bats=1, max_bats=5, std=None, loit_static=None,
+    )
+
+
+def _federation_once(p: dict, fast_forward: bool) -> dict:
+    """One shared-clock federation run, CPU-timed with ``process_time``.
+
+    Zero-observer configuration, like ``single_sparse``: per-ring
+    metrics are detached so both sides measure the engine, not the
+    collector (with observers attached every coalesced hop still pays
+    its lazily replayed ``BatForwarded`` publish, which levels the two
+    sides).  GC is collected before and disabled during the timed
+    region -- collection pauses land on whichever run triggers them
+    and are the dominant noise source at this scale.
+    """
+    dataset = UniformDataset(
+        n_bats=p["n_bats"], min_size=p["min_size"], max_size=p["max_size"], seed=3
+    )
+    fed = build_federation(
+        dataset, p["total_nodes"], p["n_rings"], 10 * MB, 3,
+        fast_forward=fast_forward, loit_static=p["loit_static"],
+        splitmerge_interval=0.0,
+    )
+    for ring in fed.rings:
+        ring.detach_metrics()
+    total = gaussian_workload(
+        dataset, total_nodes=p["total_nodes"], total_rate=p["total_rate"],
+        duration=p["duration"], min_proc=p["min_proc"], max_proc=p["max_proc"],
+        seed=3, min_bats=p["min_bats"], max_bats=p["max_bats"], std=p["std"],
+    ).submit_to(fed)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.process_time()
+        done = fed.run_until_done(max_time=3.0 * p["duration"])
         for ring in fed.rings:
             ring.ff.flush_all()
-        wall = time.perf_counter() - start
-        if best_wall is None or wall < best_wall:
-            best_wall = wall
-        events = fed.sim.processed
+        cpu = time.process_time() - start
+    finally:
+        gc.enable()
     return {
-        "completed": done,
+        "cpu": cpu, "events": fed.sim.processed, "queries": total, "done": done,
+    }
+
+
+def _federation_worker(conn, p: dict, fast_forward: bool) -> None:
+    conn.send(_federation_once(p, fast_forward))
+    conn.close()
+
+
+def _federation_isolated(p: dict, fast_forward: bool) -> dict:
+    """One federation run in a *fresh* interpreter (spawn, not fork).
+
+    Running the off/on series inside one process contaminates the
+    later runs: the allocator's arena state after a 100k-event run
+    shifts the next run's CPU time by up to ~25% in either direction,
+    which is far above the effect being measured.  A spawned child
+    starts from an identical blank heap every time, leaving host-level
+    noise as the only residual (the paired ordering in
+    :func:`run_federation` averages that out).
+    """
+    import multiprocessing as mp
+
+    ctx = mp.get_context("spawn")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_federation_worker, args=(child, p, fast_forward))
+    proc.start()
+    child.close()
+    result = parent.recv()
+    proc.join()
+    return result
+
+
+def run_federation(sparse: bool, quick: bool, pairs: int) -> dict:
+    """Balanced interleaved pairs; the speedup is the CPU-total ratio.
+
+    Best-of wall times are fine for the single-ring scenarios (seconds
+    of work each) but the federation runs are long enough that host
+    noise between two *separate* best-of series swamps the effect.
+    Every run executes in a fresh spawned interpreter
+    (:func:`_federation_isolated`) so allocator state cannot leak
+    between runs, pairs alternate order (off/on, on/off, ...) so slow
+    host drift biases neither side, and the headline ratio is
+    ``sum(off cpu) / sum(on cpu)`` over the whole balanced series
+    (per-pair ratios are kept as a noise diagnostic).
+    """
+    p = federation_params(sparse, quick)
+    offs, ons, ratios = [], [], []
+    for i in range(pairs):
+        first_off = i % 2 == 0
+        first = _federation_isolated(p, fast_forward=not first_off)
+        second = _federation_isolated(p, fast_forward=first_off)
+        off, on = (first, second) if first_off else (second, first)
+        offs.append(off)
+        ons.append(on)
+        ratios.append(off["cpu"] / on["cpu"] if on["cpu"] else 1.0)
+    total_off = sum(r["cpu"] for r in offs)
+    total_on = sum(r["cpu"] for r in ons)
+    return {
+        "scenario": p,
+        "methodology": (
+            "alternating-order off/on process_time pairs, each run in a "
+            "fresh spawned interpreter; speedup = total off cpu / total "
+            "on cpu over the balanced series"
+        ),
+        "pairs": pairs,
+        "completed": all(r["done"] for r in offs + ons),
+        "queries": ons[0]["queries"],
+        "events": ons[0]["events"],
+        "events_match": all(
+            a["events"] == b["events"] for a, b in zip(offs, ons)
+        ),
+        "cpu_seconds_off": round(statistics.median(r["cpu"] for r in offs), 4),
+        "cpu_seconds_on": round(statistics.median(r["cpu"] for r in ons), 4),
+        "pair_ratios": [round(r, 3) for r in ratios],
+        "speedup": round(total_off / total_on if total_on else 1.0, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# partitioned-kernel scaling (docs/parallel.md)
+# ----------------------------------------------------------------------
+def scaling_federation(
+    n_rings: int, workers: int, horizon: float, rate_per_ring: float,
+    seed: int = 3,
+) -> tuple:
+    """A weak-scaling deployment: 8 nodes and 8 BATs per ring, constant
+    per-ring query pressure, mostly ring-local with every 8th query
+    touching one remote BAT so the lookahead windows do real work."""
+    nodes = 8
+    cfg = MultiRingConfig(
+        base=DataCyclotronConfig(n_nodes=nodes, seed=seed, fast_forward=True),
+        n_rings=n_rings,
+        nodes_per_ring=nodes,
+        splitmerge_interval=0.0,
+        inter_ring_delay=0.002,  # the kernel's lookahead window
+    )
+    fed = PartitionedFederation(cfg, workers=workers)
+    n_bats = 8 * n_rings
+    for bat_id in range(n_bats):
+        fed.add_bat(bat_id, MB)  # round-robin: BAT b lands on ring b % n_rings
+    rng = random.Random(seed)
+    qid = 0
+    specs = []
+    for ring in range(n_rings):
+        ring_bats = [b for b in range(n_bats) if b % n_rings == ring]
+        other_bats = [b for b in range(n_bats) if b % n_rings != ring]
+        t = 0.0
+        while True:
+            t += rng.expovariate(rate_per_ring)
+            if t >= horizon:
+                break
+            qid += 1
+            bats = [rng.choice(ring_bats)]
+            if other_bats and qid % 8 == 0:
+                bats.append(rng.choice(other_bats))
+            node = fed.global_node(ring, rng.randrange(nodes))
+            specs.append(QuerySpec.simple(qid, node, t, bats, [0.002] * len(bats)))
+    specs.sort(key=lambda s: (s.arrival, s.query_id))
+    fed.submit_all(specs)
+    return fed, len(specs)
+
+
+def run_scaling_point(
+    n_rings: int, workers: int, horizon: float, rate_per_ring: float,
+) -> dict:
+    fed, total = scaling_federation(n_rings, workers, horizon, rate_per_ring)
+    start = time.perf_counter()
+    done = fed.run_until_done(max_time=600.0)
+    fed.finish()  # joins the worker pool: part of the measured cost
+    wall = time.perf_counter() - start
+    summary = fed.summary()
+    fed.close()
+    return {
+        "rings": n_rings,
+        "workers": workers,
         "queries": total,
-        "events": events,
-        "wall_seconds": round(best_wall, 4),
-        "events_per_second": round(events / best_wall) if best_wall else None,
-        "events_per_query": round(events / total, 2) if total else None,
+        "completed": done,
+        "events": summary["events_processed"],
+        "kernel_rounds": summary["kernel_rounds"],
+        "kernel_messages": summary["kernel_messages"],
+        "wall_seconds": round(wall, 4),
+        "events_per_second": round(summary["events_processed"] / wall)
+        if wall else None,
+    }
+
+
+def run_scaling(quick: bool) -> dict:
+    rings_sweep = [1, 4, 8] if quick else [1, 4, 8, 16, 32]
+    horizon = 3.0 if quick else 8.0
+    rate = 20.0 if quick else 30.0
+    sweep = [run_scaling_point(r, 1, horizon, rate) for r in rings_sweep]
+    pooled = run_scaling_point(8, 4, horizon, rate)
+    single = next(p for p in sweep if p["rings"] == 8)
+    speedup = (
+        round(pooled["events_per_second"] / single["events_per_second"], 3)
+        if single["events_per_second"] else None
+    )
+    return {
+        "hardware_cores": os.cpu_count(),
+        "nodes_per_ring": 8,
+        "bats_per_ring": 8,
+        "horizon": horizon,
+        "rate_per_ring": rate,
+        "inter_ring_delay": 0.002,
+        "sweep": sweep,
+        "pooled_8_rings_4_workers": pooled,
+        "speedup_8rings_4workers_vs_1worker": speedup,
+        "parallel_efficiency": round(speedup / 4, 3) if speedup else None,
+        "note": (
+            "weak scaling: constant per-ring load, aggregate events/sec; "
+            "the worker pool can only beat workers=1 when hardware_cores "
+            "exceeds 1 -- the trace itself is identical either way "
+            "(tests/test_parallel_equivalence.py)"
+        ),
     }
 
 
@@ -205,17 +433,27 @@ def main(argv=None) -> int:
               f"events match: {on['events'] == off['events']})",
               file=sys.stderr)
 
-    fed_on = run_federation(fast_forward=True, quick=args.quick, repeats=repeats)
-    fed_off = run_federation(fast_forward=False, quick=args.quick, repeats=repeats)
-    report["federation"] = {
-        "fast_forward_on": fed_on,
-        "fast_forward_off": fed_off,
-        "speedup": (
-            round(fed_off["wall_seconds"] / fed_on["wall_seconds"], 2)
-            if fed_on["wall_seconds"] else None
-        ),
-    }
-    print(f"federation: {report['federation']['speedup']}x", file=sys.stderr)
+    pairs = 2 if args.quick else 3
+    report["federation"] = run_federation(sparse=True, quick=args.quick, pairs=pairs)
+    print(f"federation (sparse): {report['federation']['speedup']}x "
+          f"(pairs: {report['federation']['pair_ratios']}, "
+          f"events match: {report['federation']['events_match']})",
+          file=sys.stderr)
+    report["federation_dense"] = run_federation(
+        sparse=False, quick=args.quick, pairs=max(2, pairs - 1),
+    )
+    print(f"federation (dense): {report['federation_dense']['speedup']}x",
+          file=sys.stderr)
+
+    report["federation_scaling"] = run_scaling(quick=args.quick)
+    for point in report["federation_scaling"]["sweep"]:
+        print(f"scaling: rings={point['rings']} workers=1 "
+              f"{point['events_per_second']:,} events/sec "
+              f"({point['kernel_rounds']} rounds)", file=sys.stderr)
+    print(f"scaling: rings=8 workers=4 -> "
+          f"{report['federation_scaling']['speedup_8rings_4workers_vs_1worker']}x "
+          f"vs workers=1 on {report['federation_scaling']['hardware_cores']} "
+          f"core(s)", file=sys.stderr)
 
     eq_horizon = 10.0 if args.quick else 30.0
     report["equivalence"] = check_equivalence(
@@ -232,7 +470,7 @@ def main(argv=None) -> int:
     if not report["equivalence"]["identical"]:
         print("FAIL: summary() differs fast-forward on vs off", file=sys.stderr)
         return 1
-    for name in ("single_sparse", "single_dense"):
+    for name in ("single_sparse", "single_dense", "federation", "federation_dense"):
         if not report[name]["events_match"]:
             print(f"FAIL: {name} event counts differ on vs off", file=sys.stderr)
             return 1

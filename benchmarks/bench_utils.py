@@ -150,6 +150,7 @@ def build_federation(
     queue_capacity: int,
     seed: int,
     fast_forward: bool = True,
+    loit_static: Optional[float] = None,
     **multiring_kwargs,
 ) -> RingFederation:
     """``total_nodes`` split evenly over ``n_rings``, dataset pre-loaded."""
@@ -158,7 +159,7 @@ def build_federation(
     fed = RingFederation(MultiRingConfig(
         base=DataCyclotronConfig(
             n_nodes=nodes_per_ring, bat_queue_capacity=queue_capacity, seed=seed,
-            fast_forward=fast_forward,
+            fast_forward=fast_forward, loit_static=loit_static,
         ),
         n_rings=n_rings,
         nodes_per_ring=nodes_per_ring,
@@ -177,15 +178,26 @@ def gaussian_workload(
     min_proc: float,
     max_proc: float,
     seed: int,
+    min_bats: int = 1,
+    max_bats: int = 5,
+    std: Optional[float] = None,
 ) -> GaussianWorkload:
-    """The section 5.3 skew: queries normal around the dataset's middle."""
+    """The section 5.3 skew: queries normal around the dataset's middle.
+
+    ``std`` defaults to the paper's ratio (n_bats/20); small catalogs
+    need it wider -- with only a handful of reachable ids the distinct
+    redraw loop in ``pick_bats`` degenerates (keep ``max_bats`` well
+    below the ~6-sigma id count).
+    """
     return GaussianWorkload(
         dataset,
         n_nodes=total_nodes,
         queries_per_second=total_rate / total_nodes,
         duration=duration,
         mean=dataset.n_bats / 2,
-        std=dataset.n_bats / 20,
+        std=std if std is not None else dataset.n_bats / 20,
+        min_bats=min_bats,
+        max_bats=max_bats,
         min_proc_time=min_proc,
         max_proc_time=max_proc,
         seed=seed,

@@ -381,6 +381,122 @@ def cmd_multiring(args: argparse.Namespace) -> int:
     return 0 if done else 1
 
 
+def _profile_per_ring(args: argparse.Namespace) -> int:
+    """Per-ring attribution over the partitioned kernel (docs/parallel.md).
+
+    Runs a 4-ring :class:`PartitionedFederation` with ``workers=1`` --
+    the merged trace is bit-identical to any worker count, and a single
+    process is what makes wall-clock attribution meaningful: every
+    published event is charged the wall time since the previous event
+    *anywhere*, so the table shows which ring partitions the kernel
+    actually spends its time simulating (stragglers stand out) next to
+    each ring's own events/sec.
+    """
+    import cProfile
+    import pstats
+    import random as _random
+    import time as _time
+
+    from repro.core.query import QuerySpec
+    from repro.multiring import MultiRingConfig, PartitionedFederation
+
+    n_rings = 4
+    nodes = 8 if args.full else 4
+    bats_per_ring = 8 if args.full else 4
+    horizon = 8.0 if args.full else 3.0
+    rate_per_ring = 30.0 if args.full else 20.0
+
+    cfg = MultiRingConfig(
+        base=DataCyclotronConfig(n_nodes=nodes, seed=args.seed, fast_forward=True),
+        n_rings=n_rings,
+        nodes_per_ring=nodes,
+        splitmerge_interval=0.0,
+        inter_ring_delay=0.002,
+    )
+    fed = PartitionedFederation(cfg, workers=1)
+    n_bats = bats_per_ring * n_rings
+    for bat_id in range(n_bats):
+        fed.add_bat(bat_id, MB)
+
+    counts = [0] * n_rings
+    walls = [0.0] * n_rings
+    last = [0.0]
+
+    def observer(ring_id: int):
+        def observe(_event) -> None:
+            now = _time.perf_counter()
+            counts[ring_id] += 1
+            walls[ring_id] += now - last[0]
+            last[0] = now
+        return observe
+
+    for part in fed.partitions:
+        part.bus.subscribe_all(observer(part.ring_id))
+
+    rng = _random.Random(args.seed)
+    qid = 0
+    specs = []
+    for ring in range(n_rings):
+        ring_bats = [b for b in range(n_bats) if b % n_rings == ring]
+        other_bats = [b for b in range(n_bats) if b % n_rings != ring]
+        t = 0.0
+        while True:
+            t += rng.expovariate(rate_per_ring)
+            if t >= horizon:
+                break
+            qid += 1
+            bats = [rng.choice(ring_bats)]
+            if qid % 8 == 0:
+                bats.append(rng.choice(other_bats))
+            node = fed.global_node(ring, rng.randrange(nodes))
+            specs.append(QuerySpec.simple(qid, node, t, bats, [0.002] * len(bats)))
+    specs.sort(key=lambda s: (s.arrival, s.query_id))
+    total = fed.submit_all(specs)
+
+    profiler = cProfile.Profile()
+    last[0] = _time.perf_counter()
+    start = last[0]
+    profiler.enable()
+    done = fed.run_until_done(max_time=600.0)
+    profiler.disable()
+    wall = _time.perf_counter() - start
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+
+    summary = fed.summary()
+    attributed = sum(walls)
+    rows = []
+    for ring_summary in summary["rings"]:
+        ring_id = ring_summary["ring"]
+        ring_wall = walls[ring_id]
+        events = ring_summary["events_processed"]
+        rows.append((
+            ring_id,
+            ring_summary["completed"],
+            ring_summary["fetches_served"],
+            events,
+            round(events / ring_wall) if ring_wall else 0,
+            round(ring_wall * 1e3, 1),
+            round(100.0 * ring_wall / attributed, 1) if attributed else 0.0,
+        ))
+    print(render_table(
+        ["ring", "queries", "serves", "events", "events/sec", "wall(ms)",
+         "share%"],
+        rows,
+        title="Per-ring attribution: wall time charged to the publishing ring",
+    ))
+    print(
+        f"{total} queries ({summary['completed']} terminal, done={done}), "
+        f"{summary['events_processed']} events in {wall:.2f}s wall "
+        f"({summary['events_processed'] / wall:,.0f} aggregate events/sec "
+        f"under instrumentation); {summary['kernel_rounds']} kernel rounds, "
+        f"{summary['kernel_messages']} cross-ring messages, "
+        f"lookahead {fed.kernel.lookahead}s"
+    )
+    return 0 if done else 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Run the section 5.1 workload under cProfile + bus attribution.
 
@@ -393,6 +509,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     path (fast-forwarding disables lazy coalescing under full
     observation), which is exactly what a per-hop profile needs.
     """
+    if args.per_ring:
+        return _profile_per_ring(args)
+
     import cProfile
     import pstats
     import time as _time
@@ -789,6 +908,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--sort", default="cumulative",
                            choices=("cumulative", "tottime", "ncalls"),
                            help="cProfile sort key")
+            p.add_argument("--per-ring", action="store_true", dest="per_ring",
+                           help="profile the partitioned kernel instead: "
+                                "wall seconds and events/sec per ring "
+                                "(docs/parallel.md)")
         if name == "fig1":
             p.add_argument("--gbps", type=float, default=10.0)
             p.add_argument("--cpu-ghz", type=float, default=2.33 * 4,

@@ -66,7 +66,9 @@ class Flight:
     final send when the flight completes (or is flushed past it).
     """
 
-    __slots__ = ("ff", "kind", "msg", "wire", "hops", "skipped", "event", "bat_id")
+    __slots__ = (
+        "ff", "kind", "msg", "wire", "hops", "skipped", "event", "bat_id", "span",
+    )
 
     def __init__(self, ff: "FastForwarder", kind: str, msg, wire: int,
                  hops: list, skipped: list):
@@ -78,14 +80,21 @@ class Flight:
         self.skipped = skipped
         self.event = None
         self.bat_id = msg.bat_id
+        # node_id -> hop index, so the S2-registration gate in
+        # flush_bat is one dict probe instead of a walk of ``skipped``
+        self.span = {rt.node_id: i for i, rt in enumerate(skipped)}
 
     def flush(self) -> None:
         self.ff._flush_flight(self)
 
-    def touch(self, link) -> None:
-        """A competing send reached ``link``: flush, unless the flight's
-        message has already left it (then the reservation just lapses)."""
-        if not self.ff._release_if_passed(self, link):
+    def touch(self, link, size: int = 0) -> None:
+        """A competing send of ``size`` bytes reached ``link``: flush,
+        unless the flight provably does not interact with it -- the
+        flight's message already left the sender side (the reservation
+        just lapses), or it has not reached this link yet and the
+        competing transmission drains before it would (the reservation
+        stays, guarding the hop against later, overlapping sends)."""
+        if not self.ff._tolerates(self, link, size):
             self.ff._flush_flight(self)
 
 
@@ -153,10 +162,21 @@ class FastForwarder:
         # nearly every flight would be flushed by a competing send -- the
         # machinery would otherwise cost more than the elided events.
         self._debt = 0
+        # BAT-scan gate checked by the caller *before* the method call.
+        # A small ring circulating more BATs than it has nodes keeps its
+        # data links serialisation-saturated: every hop queues, so there
+        # is nothing to coalesce and even a refused scan is pure
+        # overhead on the hottest path in the simulator.  set_population
+        # suspends BAT scanning for that regime; the request ring
+        # carries 64-byte messages and never saturates, so request
+        # coalescing stays on.
+        self.bat_scan_ok = self.active
+        self._population = 0
         # observability
         self.flights = 0
         self.hops_coalesced = 0
         self.flushes = 0
+        self.truncations = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -165,18 +185,74 @@ class FastForwarder:
         """Flush everything and pin the classic path (fault injected)."""
         self.flush_all()
         self.active = False
+        self.bat_scan_ok = False
+
+    def set_population(self, count: int) -> None:
+        """The ring now circulates ``count`` BATs; regate BAT scanning.
+
+        More BATs than nodes on a small ring means the average inter-BAT
+        gap is under one hop and the data links stay busy serialising --
+        flights would be overrun before landing, and the per-forward
+        scan is wasted work.  Large rings keep scanning: even dense
+        interest leaves multi-hop disinterested runs worth coalescing.
+        """
+        self._population = count
+        self.bat_scan_ok = self.active and not (
+            self.n <= 16 and 2 * count >= 3 * self.n
+        )
 
     def flush_all(self) -> None:
         while self._by_bat:
             _bat_id, flights = next(iter(self._by_bat.items()))
             flights[0].flush()
 
-    def flush_bat(self, bat_id: int) -> None:
-        """Flush every flight carrying ``bat_id`` (S2/S1 state changed)."""
+    def flush_bat(self, bat_id: int, node_id: Optional[int] = None) -> None:
+        """Land in-flight traffic for ``bat_id`` ahead of a state change.
+
+        With ``node_id`` (a new S2 registration at that node), only
+        flights whose *remaining* analytic path passes the node are
+        affected: the registration turns the node into a stop the scan
+        did not see, so the flight must not sail past it.  Flights that
+        already passed the node -- the classic run would have checked
+        its (then-empty) S2 at the same per-hop instants -- and flights
+        not routed through it keep flying.  Where possible the flight is
+        truncated to land just short of the node instead of being torn
+        down (:meth:`_truncate`); the final real send then enters the
+        node at its exact classic time, so absorption and pin service
+        run unmodified protocol code.
+
+        Without ``node_id`` (BAT added/removed, topology change) every
+        flight for the BAT is flushed, as before.
+        """
         flights = self._by_bat.get(bat_id)
-        while flights:
-            flights[0].flush()
-            flights = self._by_bat.get(bat_id)
+        if node_id is None:
+            while flights:
+                flights[0].flush()
+                flights = self._by_bat.get(bat_id)
+            return
+        if not flights:
+            return
+        now = self.sim.now
+        for flight in list(flights):
+            i = flight.span.get(node_id)
+            if i is None:
+                continue
+            hop = flight.hops[i]
+            # At an exact tie (arrival == now) the classic run's order
+            # is decided by heap seq: the delivery was scheduled at the
+            # hop's serialise-end, the registering event at
+            # ``dispatch_origin``.  If the registration was scheduled
+            # first it also dispatches first, so the delivery must
+            # re-materialise as pending (and will see the new entry);
+            # otherwise the node was already passed.
+            if hop[4] < now or (hop[4] == now and self.sim.dispatch_origin > hop[3]):
+                continue  # node already passed (its S2 check is behind us)
+            if hop[1] <= now:
+                # mid-hop into the node: re-materialise the crossing
+                # so the node takes a real delivery at the exact time
+                self._flush_flight(flight)
+            else:
+                self._truncate(flight, i)
 
     def _refresh_bus_caches(self) -> None:
         bus = self.bus
@@ -205,10 +281,18 @@ class FastForwarder:
             return False
         owner = msg.owner
         bat_id = msg.bat_id
-        nodes = self.nodes
         n = self.n
         pos = node.node_id
         s2maps = self._s2maps
+        # Most forwards happen *inside* an interested run -- the next
+        # node stops the message -- so the dominant scan outcome is a
+        # first-hop failure.  Check it before paying for the full setup.
+        nxt = pos + 1
+        if nxt == n:
+            nxt = 0
+        if nxt == owner or s2maps[nxt].get(bat_id) is not None:
+            return False
+        nodes = self.nodes
         hw = self._data_hw
         hops: list = []
         skipped: list = []
@@ -258,13 +342,20 @@ class FastForwarder:
             return False
         origin = msg.origin
         bat_id = msg.bat_id
-        wire = self.config.request_message_size
-        nodes = self.nodes
         n = self.n
         step = self._req_step
         pos = node.node_id
         s1maps = self._s1maps
         s2maps = self._s2maps
+        # first-hop failure is the common case; check before full setup
+        nxt = (pos + step) % n
+        if nxt == origin or s2maps[nxt].get(bat_id) is not None:
+            return False
+        owned = s1maps[nxt].get(bat_id)
+        if owned is not None and not owned.deleted:
+            return False
+        wire = self.config.request_message_size
+        nodes = self.nodes
         hw = self._req_hw
         hops: list = []
         skipped: list = []
@@ -307,24 +398,107 @@ class FastForwarder:
         for hop in flight.hops:
             hop[0].ff_transit = flight
         self._by_bat.setdefault(flight.bat_id, []).append(flight)
-        flight.event = self.sim.schedule_at(arrival, self._complete, flight)
+        # the completion stands in for the classic delivery into the last
+        # skipped node, which the wire would have scheduled at that hop's
+        # serialise-end: stamp it so same-instant ties dispatch in the
+        # classic order
+        flight.event = self.sim.schedule_backdated_at(
+            arrival, flight.hops[-1][3], self._complete, flight
+        )
         self.flights += 1
         self.hops_coalesced += len(flight.hops)
 
     def _release_if_passed(self, flight: Flight, link) -> bool:
         """Release ``link``'s reservation if ``flight`` has analytically
-        left it already (its arrival over that hop is in the past).  The
+        left its *sender* side already (serialisation over that hop ended
+        in the past -- the classic wire frees at serialise-end, while the
+        message propagates for ``delay`` more).  A competing transmission
+        started now serialises after ours ended and delivers a full
+        ``tx`` later, so FIFO order at the far node is preserved.  The
         hop's lazy accounting still lands with the flight; every counter
         it touches is order-insensitive, so a later competing send sees
-        exactly the link state a classic run would show now."""
+        exactly the link state a classic run would show now.  At an
+        exact serialise-end tie the wire is free only if the classic
+        serialise-end event (scheduled at the hop's enqueue) would have
+        dispatched before the currently running one."""
         now = self.sim.now
+        origin = self.sim.dispatch_origin
         for hop in flight.hops:
             if hop[0] is link:
-                if hop[4] <= now:
+                if hop[3] < now or (hop[3] == now and origin > hop[1]):
                     link.ff_transit = None
                     return True
                 return False
         return False  # pragma: no cover - defensive
+
+    def _tolerates(self, flight: Flight, link, size: int) -> bool:
+        """True if a competing send of ``size`` bytes on ``link`` right
+        now provably cannot perturb ``flight`` (no flush needed).
+
+        Two safe cases.  The flight's message already left the sender
+        side of this hop: the reservation lapses (see
+        :meth:`_release_if_passed`).  Or the flight has not *reached*
+        this link yet and everything ahead of it -- the serialisation in
+        progress, the queue, and the competing message itself -- drains
+        *strictly* before the flight's analytic enqueue: the classic run
+        would find the sender free again at that enqueue, so the
+        precomputed hop times stay bit-exact.  (An exact-tie drain is
+        not tolerated: the flight's enqueue-side delivery was scheduled
+        before the last competing serialise-end, so classically it
+        dispatches first and would find the wire busy.)  The reservation
+        is kept in that case -- a later send could still overlap the
+        analytic crossing.
+
+        The drain bound is what keeps unrelated traffic cheap: a
+        gateway-induced hop (a 64-byte fetch request, say) crossing a
+        link some other BAT's flight reserved queues behind nothing and
+        drains in microseconds, so it rides through without tearing the
+        flight down.  Only traffic that genuinely overlaps the analytic
+        crossing forces a flush.
+        """
+        now = self.sim.now
+        for hop in flight.hops:
+            if hop[0] is link:
+                if hop[3] < now or (
+                    hop[3] == now and self.sim.dispatch_origin > hop[1]
+                ):
+                    link.ff_transit = None
+                    return True
+                if now < hop[1]:
+                    bandwidth = link.bandwidth
+                    drain = link._busy_until if link._busy else now
+                    if link._queue:
+                        drain += link._queued_bytes / bandwidth
+                    drain += size / bandwidth
+                    if drain < hop[1]:
+                        return True
+                return False
+        return False  # pragma: no cover - defensive
+
+    def _truncate(self, flight: Flight, stop: int) -> None:
+        """Shorten ``flight`` so it lands *before* ``skipped[stop]``.
+
+        Only valid while the message has not yet entered hop ``stop``
+        (``now < hops[stop][1]``), which also implies ``stop >= 1`` --
+        hop 0's enqueue is the launch instant.  The dropped hops release
+        their reservations, and the completion event moves up to the
+        arrival at the new last skipped node; its live final send then
+        enqueues on hop ``stop``'s link at exactly ``hops[stop][1]``,
+        the time the classic message would have entered it.
+        """
+        hops = flight.hops
+        for hop in hops[stop:]:
+            if hop[0].ff_transit is flight:
+                hop[0].ff_transit = None
+        self.hops_coalesced -= len(hops) - stop
+        self.truncations += 1
+        flight.hops = hops[:stop]
+        flight.skipped = flight.skipped[:stop]
+        flight.span = {rt.node_id: j for j, rt in enumerate(flight.skipped)}
+        flight.event.cancel()
+        flight.event = self.sim.schedule_backdated_at(
+            hops[stop - 1][4], hops[stop - 1][3], self._complete, flight
+        )
 
     def _unregister(self, flight: Flight) -> None:
         # released links may have been re-claimed by a younger flight
@@ -409,10 +583,17 @@ class FastForwarder:
         Hops whose arrival has passed get their full closed-form
         accounting; the hop the message is currently crossing is put
         back onto its link (busy flag, in-flight list, a real
-        serialisation/delivery event at the precomputed instant) so
-        every subsequent interaction -- a competing send queueing behind
-        it, a degradation, a crash purge -- behaves exactly as if the
-        flight had never existed.
+        serialisation/delivery event at the precomputed instant, with
+        its classic scheduling time stamped for same-instant ordering)
+        so every subsequent interaction -- a competing send queueing
+        behind it, a degradation, a crash purge -- behaves exactly as
+        if the flight had never existed.
+
+        A hop arriving at exactly ``now`` counts as passed only if the
+        classic delivery would already have dispatched: it was scheduled
+        at the hop's serialise-end, the currently running event at
+        ``dispatch_origin``, and the heap dispatches the earlier-
+        scheduled one first.
         """
         self._unregister(flight)
         flight.event.cancel()
@@ -426,7 +607,13 @@ class FastForwarder:
         hops = flight.hops
         k = len(hops)
         done = 0
-        while done < k and hops[done][4] <= now:
+        while done < k and hops[done][4] < now:
+            done += 1
+        if (
+            done < k
+            and hops[done][4] == now
+            and sim.dispatch_origin > hops[done][3]
+        ):
             done += 1
         for m in range(done):
             self._account_hop(hops[m][0], hops[m][2], wire)
@@ -443,7 +630,7 @@ class FastForwarder:
             self._publish_forward(flight, flight.skipped[m], hops[m][4])
         # the message is crossing hop ``done``: sender-side accounting
         # happened at enqueue time in the classic run, delivery has not
-        link, _enq, tx, s_end, arrival = hops[done]
+        link, enq, tx, s_end, arrival = hops[done]
         stats = link.stats
         stats.messages_sent += 1
         stats.bytes_sent += wire
@@ -451,12 +638,16 @@ class FastForwarder:
         if stats.max_queue_bytes < wire:
             stats.max_queue_bytes = wire
         link._in_flight.append((msg, wire))
-        if now < s_end:
+        # serialise-end was classically scheduled at the hop's enqueue;
+        # at an exact tie (now == s_end) it has dispatched only if the
+        # running event was scheduled after the enqueue
+        if now < s_end or (now == s_end and sim.dispatch_origin < enq):
             link._busy = True
-            sim.post_at(s_end, link._serialised, msg, wire)
+            link._busy_until = s_end
+            sim.post_backdated(s_end, enq, link._serialised, msg, wire)
             sim.credit(2 * done)
         else:
-            sim.post_at(arrival, link._deliver, msg, wire)
+            sim.post_backdated(arrival, s_end, link._deliver, msg, wire)
             sim.credit(2 * done + 1)
 
     # ------------------------------------------------------------------
@@ -465,5 +656,6 @@ class FastForwarder:
             "flights": self.flights,
             "hops_coalesced": self.hops_coalesced,
             "flushes": self.flushes,
+            "truncations": self.truncations,
             "events_credited": self.sim.credited,
         }

@@ -187,6 +187,7 @@ class DataCyclotron:
                 self.nodes[replica].loader.payloads[bat_id] = payload
         if tag is not None:
             self.bus.publish(ev.BatTagged(self.sim.now, bat_id, tag))
+        self.ff.set_population(len(self._bat_sizes))
         return owner
 
     def remove_bat(self, bat_id: int) -> Any:
@@ -207,6 +208,7 @@ class DataCyclotron:
         for replica in replicas[1:]:
             self.nodes[replica].loader.payloads.pop(bat_id, None)
         runtime.s1.remove(bat_id)
+        self.ff.set_population(len(self._bat_sizes))
         return payload
 
     def bat_owner(self, bat_id: int) -> int:

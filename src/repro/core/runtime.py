@@ -172,7 +172,7 @@ class NodeRuntime:
             if ff is not None:
                 # a new S2 entry makes this node a stop for in-flight
                 # fast-forwarded traffic: land it before registering
-                ff.flush_bat(bat_id)
+                ff.flush_bat(bat_id, self.node_id)
             entry = self.s2.register(bat_id, query_id, now)
             if not entry.sent:
                 self._send_request(entry)
@@ -216,7 +216,7 @@ class NodeRuntime:
         # Remote BAT: make sure a request is outstanding (a pin without a
         # prior request() is legal, just slower) and block in S3.
         if self._ff is not None:
-            self._ff.flush_bat(bat_id)
+            self._ff.flush_bat(bat_id, self.node_id)
         entry = self.s2.register(bat_id, query_id, now)
         if not entry.sent:
             self._send_request(entry)
@@ -494,7 +494,7 @@ class NodeRuntime:
         # drop kind from the boolean here double-counted DropTail drops
         # as loss drops whenever both mechanisms were active.
         ff = self._ff
-        if ff is not None and ff.send_bat(self, msg, wire):
+        if ff is not None and ff.bat_scan_ok and ff.send_bat(self, msg, wire):
             # the flight's first hop is a pristine idle channel, so the
             # classic send below would have succeeded
             if self.bus.active:

@@ -102,6 +102,8 @@ __all__ = [
     "EstimateFeedback",
     # simulation engine
     "RotationFastForwarded",
+    "PartitionSynced",
+    "TimeGrantIssued",
     "SimEventFired",
 ]
 
@@ -900,6 +902,36 @@ class RotationFastForwarded:
     bat_id: int
     node: int
     hops: int
+
+
+@dataclass(slots=True)
+class TimeGrantIssued:
+    """A partition granted the kernel permission to advance to ``eot``.
+
+    The conservative-lookahead null message (docs/parallel.md): the
+    partition promises to send no cross-partition message that could be
+    delivered before its earliest output time.  ``bound`` names the
+    binding constraint ("idle", "inflight", "query", "inbound").
+    """
+
+    t: float
+    partition: int
+    eot: float
+    bound: str
+
+
+@dataclass(slots=True)
+class PartitionSynced:
+    """The partitioned kernel committed one synchronization window.
+
+    All partitions executed every event strictly before ``window`` and
+    exchanged ``messages`` cross-partition deliveries (docs/parallel.md).
+    """
+
+    t: float
+    window: float
+    partitions: int
+    messages: int
 
 
 @dataclass(slots=True)

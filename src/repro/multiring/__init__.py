@@ -15,13 +15,18 @@ growing one big one (docs/multiring.md):
 * :class:`SplitMergeController` -- activates standby rings for hot
   ones and drains idle rings, fed by the pulsating-ring signals,
 * :class:`MultiRingChaosHarness` -- fixed-seed gateway-failure
-  scenarios with per-ring invariant checks.
+  scenarios with per-ring invariant checks,
+* :class:`PartitionedFederation` -- the parallel-kernel twin: one
+  simulator per ring, synchronised by conservative lookahead windows
+  (docs/parallel.md), optionally across a worker-process pool.
 """
 
 from repro.multiring.catalog import GlobalCatalog
 from repro.multiring.chaos import MultiRingChaosHarness, MultiRingChaosResult
 from repro.multiring.config import MultiRingConfig
 from repro.multiring.federation import RingFederation, federated_query_process
+from repro.multiring.parallel import PartitionedFederation
+from repro.multiring.partition import RingPartition, partition_query_process
 from repro.multiring.placement import PlacementManager
 from repro.multiring.router import CrossRingRouter
 from repro.multiring.splitmerge import SplitMergeController
@@ -32,8 +37,11 @@ __all__ = [
     "MultiRingChaosHarness",
     "MultiRingChaosResult",
     "MultiRingConfig",
+    "PartitionedFederation",
     "PlacementManager",
     "RingFederation",
+    "RingPartition",
     "SplitMergeController",
     "federated_query_process",
+    "partition_query_process",
 ]

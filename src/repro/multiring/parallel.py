@@ -1,0 +1,209 @@
+"""The partitioned federation facade (docs/parallel.md).
+
+A :class:`PartitionedFederation` is the parallel-kernel twin of
+:class:`~repro.multiring.federation.RingFederation`: the same
+:class:`~repro.multiring.config.MultiRingConfig`, the same global node
+addressing and round-robin BAT placement, the same gateway fetch/serve
+protocol -- but each ring runs on its **own** simulator, synchronised by
+:class:`~repro.sim.parallel.ParallelKernel` through conservative
+lookahead windows, optionally across a pool of worker processes.
+
+Scope: static placement with cross-ring fetches.  The placement
+manager, split/merge controller and nomadic query shipping need a
+shared clock and stay with :class:`RingFederation`; configurations
+relying on them should not be ported here (their ticks are simply never
+scheduled in partitioned mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.query import QuerySpec
+from repro.events.bus import Bus
+from repro.multiring.config import MultiRingConfig
+from repro.multiring.partition import RingPartition
+from repro.sim.parallel import INFINITY, ParallelKernel
+from repro.sim.process import Process
+
+__all__ = ["PartitionedFederation"]
+
+
+class PartitionedFederation:
+    """N rings, N clocks, one conservative-lookahead kernel."""
+
+    def __init__(
+        self,
+        config: Optional[MultiRingConfig] = None,
+        workers: int = 1,
+        collect_digests: bool = False,
+    ):
+        self.config = config if config is not None else MultiRingConfig()
+        cfg = self.config
+        if cfg.max_rings != cfg.n_rings:
+            raise ValueError(
+                "standby rings (split/merge) need the shared-clock "
+                "RingFederation; the partitioned kernel is static-topology"
+            )
+        if cfg.n_rings > 1 and not cfg.link_delay() > 0:
+            raise ValueError(
+                "the partitioned kernel derives its lookahead from the "
+                "inter-ring propagation delay, which must be positive"
+            )
+        self.workers = max(1, int(workers))
+        self.bus = Bus()  # coordinator bus: PartitionSynced rounds
+        self.catalog: Dict[int, int] = {}   # bat_id -> home ring
+        self.sizes: Dict[int, int] = {}
+        self.partitions: List[RingPartition] = [
+            RingPartition(
+                r, cfg, self.catalog, self.sizes, collect_digest=collect_digests
+            )
+            for r in range(cfg.n_rings)
+        ]
+        self.kernel = ParallelKernel(
+            self.partitions,
+            lookahead=cfg.link_delay() if cfg.n_rings > 1 else INFINITY,
+            workers=self.workers,
+            bus=self.bus,
+        )
+        self._next_ring = 0
+        self._submitted = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # topology helpers (mirror RingFederation)
+    # ------------------------------------------------------------------
+    @property
+    def total_nodes(self) -> int:
+        return self.config.n_rings * self.config.nodes_per_ring
+
+    def global_node(self, ring_id: int, local: int) -> int:
+        return ring_id * self.config.nodes_per_ring + local
+
+    def locate(self, global_node: int) -> tuple:
+        ring_id, local = divmod(global_node, self.config.nodes_per_ring)
+        return ring_id % self.config.n_rings, local
+
+    # ------------------------------------------------------------------
+    # data placement
+    # ------------------------------------------------------------------
+    def add_bat(
+        self, bat_id: int, size: int, ring: Optional[int] = None, **kwargs
+    ) -> int:
+        """Register a BAT; returns its *global* owner node index."""
+        if self._started:
+            raise RuntimeError("cannot add BATs after the kernel started")
+        if ring is None:
+            ring = self._next_ring % self.config.n_rings
+            self._next_ring += 1
+        if not 0 <= ring < self.config.n_rings:
+            raise ValueError(f"ring {ring} out of range")
+        local_owner = self.partitions[ring].add_bat(bat_id, size, **kwargs)
+        return self.global_node(ring, local_owner)
+
+    # ------------------------------------------------------------------
+    # workload submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: QuerySpec) -> Process:
+        """Submit one query addressed to a global node index."""
+        unknown = [b for b in spec.bat_ids if b not in self.catalog]
+        if unknown:
+            raise ValueError(
+                f"query {spec.query_id} references unknown BATs {unknown}"
+            )
+        if spec.arrival < self.kernel.now:
+            raise ValueError(f"query {spec.query_id} arrives in the past")
+        ring_id, local = self.locate(spec.node)
+        self._submitted += 1
+        return self.partitions[ring_id].submit(replace(spec, node=local))
+
+    def submit_all(self, specs: Iterable[QuerySpec]) -> int:
+        count = 0
+        for spec in specs:
+            self.submit(spec)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for part in self.partitions:
+            part.start()
+        timeout = self.config.fetch_timeout
+        if timeout is None:
+            timeout = self._derived_fetch_timeout()
+        for part in self.partitions:
+            part.fetch_timeout = timeout
+
+    def _derived_fetch_timeout(self) -> float:
+        """Mirror of ``RingFederation._derived_fetch_timeout``."""
+        worst = 0.0
+        for ring_id, part in enumerate(self.partitions):
+            sizes = [
+                self.sizes[b] for b, home in self.catalog.items() if home == ring_id
+            ]
+            mean = sum(sizes) / len(sizes) if sizes else 1024 * 1024
+            worst = max(worst, part.dc.config.derived_resend_timeout(mean))
+        mean_bat = sum(self.sizes.values()) / max(1, len(self.sizes))
+        hop = self.config.link_delay() + mean_bat / self.config.link_bandwidth()
+        return 3.0 * worst + 2.0 * hop
+
+    def run(self, until: float) -> None:
+        self._start()
+        self.kernel.run(until)
+
+    def run_until_done(
+        self, max_time: float = 3600.0, check_interval: float = 1.0
+    ) -> bool:
+        """Identical polling loop to ``RingFederation.run_until_done``."""
+        self._start()
+        while self.kernel.now < max_time:
+            if self.kernel.completed >= self._submitted:
+                return True
+            self.kernel.run(min(self.kernel.now + check_interval, max_time))
+        return self.kernel.completed >= self._submitted
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def finish(self) -> Dict[int, tuple]:
+        """Flush partitions, join workers; ``{ring: (summary, digest)}``."""
+        self._start()
+        return self.kernel.finish()
+
+    def close(self) -> None:
+        self.kernel.close()
+
+    def ring_summaries(self) -> List[dict]:
+        results = self.finish()
+        return [results[i][0] for i in sorted(results)]
+
+    def ring_digests(self) -> List[Optional[str]]:
+        """Per-ring repr-hash digests (requires ``collect_digests=True``)."""
+        results = self.finish()
+        return [results[i][1] for i in sorted(results)]
+
+    def summary(self) -> dict:
+        rings = self.ring_summaries()
+        return {
+            "n_rings": self.config.n_rings,
+            "nodes_per_ring": self.config.nodes_per_ring,
+            "workers": self.workers,
+            "kernel_rounds": self.kernel.rounds,
+            "kernel_messages": self.kernel.messages_exchanged,
+            "lookahead": self.kernel.lookahead,
+            "submitted": self._submitted,
+            "completed": sum(r["completed"] for r in rings),
+            "failed": sum(r["failed"] for r in rings),
+            "events_processed": sum(r["events_processed"] for r in rings),
+            "events_dispatched": sum(r["events_dispatched"] for r in rings),
+            "fetches_dispatched": sum(r["fetches_dispatched"] for r in rings),
+            "fetches_served": sum(r["fetches_served"] for r in rings),
+            "fetches_failed": sum(r["fetches_failed"] for r in rings),
+            "rings": rings,
+        }

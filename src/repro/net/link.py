@@ -104,6 +104,10 @@ class Link:
         self._queue: Deque[Tuple[Any, int]] = deque()
         self._queued_bytes = 0
         self._busy = False
+        # when the in-progress serialisation frees the wire (valid while
+        # ``_busy``); the fast-forward tolerance predicate uses it to
+        # bound when current traffic drains
+        self._busy_until = 0.0
         # the rotation fast-forward flight currently crossing this link,
         # if any (repro.core.fastforward); a competing send flushes it
         # back into real link state before queueing behind it
@@ -168,7 +172,7 @@ class Link:
         """Enqueue ``message`` of ``size`` bytes; False if DropTail dropped it."""
         ft = self.ff_transit
         if ft is not None:
-            ft.touch(self)
+            ft.touch(self, size)
         if size < 0:
             raise ValueError("message size cannot be negative")
         if (
@@ -207,6 +211,7 @@ class Link:
         self._queued_bytes -= size
         self._in_flight.append((message, size))
         tx_time = size / self.bandwidth
+        self._busy_until = self.sim.now + tx_time
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size
         self.stats.busy_time += tx_time

@@ -41,10 +41,18 @@ __all__ = ["Event", "Simulator", "SimulationError"]
 # A cancelled backlog below this size is never worth compacting.
 _COMPACT_MIN_CANCELLED = 16
 
-# Heap entry layout: (time, seq, fn, args, event_or_None).  The seq is
-# unique, so tuple comparison never reaches fn; entries with a live
-# Event handle carry it in slot 4 so cancellation can be honoured.
-_TIME, _SEQ, _FN, _ARGS, _EVENT = range(5)
+# Heap entry layout: (time, sched, seq, fn, args, event_or_None).  The
+# ``sched`` slot records *when the entry was scheduled* -- for ordinary
+# scheduling it equals ``sim.now`` at the push, which is monotone in
+# ``seq``, so the (time, sched, seq) order is identical to the classic
+# (time, seq) FIFO.  Its purpose is the backdated lane: rotation
+# fast-forwarding re-materialises events a classic run would have
+# scheduled in the (simulated) past, and stamping them with that classic
+# scheduling time slots them into the exact heap position the classic
+# run would have used for same-instant ties.  The seq is unique, so
+# tuple comparison never reaches fn; entries with a live Event handle
+# carry it in the last slot so cancellation can be honoured.
+_TIME, _SCHED, _SEQ, _FN, _ARGS, _EVENT = range(6)
 
 
 class SimulationError(RuntimeError):
@@ -117,6 +125,10 @@ class Simulator:
         self.bus = bus
         self._heap: list[tuple] = []
         self._seq = itertools.count()
+        # scheduling time of the entry currently being dispatched; lets
+        # observers (rotation fast-forwarding) resolve same-instant ties
+        # against events a classic run would have scheduled earlier
+        self._origin: float = 0.0
         self._running = False
         self._processed = 0
         self._credited = 0  # events accounted for analytically, not dispatched
@@ -144,7 +156,7 @@ class Simulator:
             )
         seq = next(self._seq)
         event = Event(time, seq, fn, args, self)
-        heapq.heappush(self._heap, (time, seq, fn, args, event))
+        heapq.heappush(self._heap, (time, self.now, seq, fn, args, event))
         return event
 
     def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
@@ -156,7 +168,7 @@ class Simulator:
         time = self.now + delay
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._heap, (time, next(self._seq), fn, args, None))
+        heapq.heappush(self._heap, (time, self.now, next(self._seq), fn, args, None))
 
     def post_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
         """Fast-lane :meth:`schedule_at` for a never-cancelled callback."""
@@ -164,7 +176,39 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is t={self.now})"
             )
-        heapq.heappush(self._heap, (time, next(self._seq), fn, args, None))
+        heapq.heappush(self._heap, (time, self.now, next(self._seq), fn, args, None))
+
+    def post_backdated(
+        self, time: float, origin: float, fn: Callable[..., Any], *args: Any
+    ) -> None:
+        """Fast-lane post stamped with a counterfactual scheduling time.
+
+        ``origin`` is the simulated time at which a classic run would
+        have scheduled this callback.  Among entries firing at the same
+        ``time``, the heap orders by scheduling time first, so the
+        callback dispatches exactly where the classic event would have
+        -- before same-instant events scheduled after ``origin``, after
+        those scheduled before it.  Used by rotation fast-forwarding to
+        re-materialise elided link events bit-exactly.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self.now})"
+            )
+        heapq.heappush(self._heap, (time, origin, next(self._seq), fn, args, None))
+
+    def schedule_backdated_at(
+        self, time: float, origin: float, fn: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Cancellable-lane :meth:`post_backdated` (returns an Event)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self.now})"
+            )
+        seq = next(self._seq)
+        event = Event(time, seq, fn, args, self)
+        heapq.heappush(self._heap, (time, origin, seq, fn, args, event))
+        return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (idempotent)."""
@@ -214,6 +258,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def _fire(self, entry: tuple) -> None:
         self.now = entry[_TIME]
+        self._origin = entry[_SCHED]
         self._processed += 1
         bus = self.bus
         if bus is not None:
@@ -244,12 +289,25 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        inclusive: bool = True,
+    ) -> None:
         """Drain the event queue.
 
         ``until`` stops the clock at that simulated time (events beyond it
         stay queued and the clock is advanced to ``until``).  ``max_events``
         bounds the number of callbacks as a runaway-loop safety net.
+
+        ``inclusive`` controls the boundary: by default events scheduled
+        at exactly ``until`` still fire.  The partitioned kernel
+        (``repro.sim.parallel``) runs windows with ``inclusive=False`` so
+        events *at* the window edge are deferred to the next window --
+        after cross-partition messages timestamped at the edge have been
+        delivered -- which is what makes the merged trace independent of
+        worker scheduling.
         """
         if self._running:
             raise SimulationError("simulator is not re-entrant")
@@ -264,31 +322,34 @@ class Simulator:
             # is a handful of attribute loads (no extra function call).
             while heap:
                 entry = heap[0]
-                ev = entry[4]
+                ev = entry[5]
                 if ev is not None and ev.cancelled:
                     self._pop_cancelled()
                     heap = self._heap  # _pop_cancelled may have compacted
                     continue
                 time = entry[0]
-                if until is not None and time > until:
+                if until is not None and (
+                    time > until or (not inclusive and time == until)
+                ):
                     break
                 pop(heap)
                 self.now = time
+                self._origin = entry[1]
                 self._processed += 1
                 if bus is not None:
                     if bus.version != self._bus_version:
                         self._bus_version = bus.version
                         self._fire_wanted = bus.wants(SimEventFired)
                     if self._fire_wanted:
-                        fn = entry[2]
+                        fn = entry[3]
                         bus.publish(
                             SimEventFired(
                                 time,
-                                entry[1],
+                                entry[2],
                                 getattr(fn, "__qualname__", repr(fn)),
                             )
                         )
-                entry[2](*entry[3])
+                entry[3](*entry[4])
                 heap = self._heap  # callbacks may cancel enough to compact
                 count += 1
                 if max_events is not None and count >= max_events:
@@ -297,6 +358,20 @@ class Simulator:
             self._running = False
         if until is not None and self.now < until:
             self.now = until
+
+    @property
+    def dispatch_origin(self) -> float:
+        """Scheduling time of the event currently being dispatched.
+
+        For an entry scheduled normally this is ``sim.now`` at the
+        moment it was pushed; backdated entries report their stamped
+        classic scheduling time.  Rotation fast-forwarding compares it
+        against a flight's precomputed hop times to decide whether the
+        classic run's (elided) link event would have dispatched before
+        or after the currently running one when both fall on the same
+        simulated instant.
+        """
+        return self._origin
 
     @property
     def pending(self) -> int:

@@ -126,14 +126,30 @@ def test_passed_hop_release_keeps_the_flight_alive():
     assert dc.run_until_done(max_time=120.0)
 
 
-def test_touch_on_future_hop_flushes():
+def test_touch_on_future_hop_tolerates_non_overlapping_sends():
     dc = sparse_ring()
     flight = launch_flight(dc)
-    last_link = flight.hops[-1][0]
+    last_link, last_enqueue = flight.hops[-1][0], flight.hops[-1][1]
     before = dc.ff.flushes
-    # the message has not yet crossed the final reserved hop: competing
-    # traffic there must flush the flight back into real link state
-    flight.touch(last_link)
+    # the message has not reached the final reserved hop, and a small
+    # competing transmission drains before it analytically would: the
+    # reservation holds and the flight keeps flying
+    small = int(last_link.bandwidth * (last_enqueue - dc.sim.now) / 2)
+    flight.touch(last_link, small)
+    assert dc.ff.flushes == before
+    assert last_link.ff_transit is flight
+    assert dc.run_until_done(max_time=120.0)
+
+
+def test_touch_on_future_hop_flushes_on_overlap():
+    dc = sparse_ring()
+    flight = launch_flight(dc)
+    last_link, last_enqueue = flight.hops[-1][0], flight.hops[-1][1]
+    before = dc.ff.flushes
+    # a competing send still serialising at the flight's analytic
+    # enqueue invalidates the precomputed hop times: flush
+    overlap = int(last_link.bandwidth * (last_enqueue - dc.sim.now)) * 2 + 1
+    flight.touch(last_link, overlap)
     assert dc.ff.flushes == before + 1
     assert not dc.ff._by_bat
     assert dc.run_until_done(max_time=120.0)

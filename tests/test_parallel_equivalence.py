@@ -1,0 +1,187 @@
+"""Bit-identity of the partitioned kernel (docs/parallel.md).
+
+Two contracts, both pinned by sha256 repr-hash digests over the typed
+event stream of every ring (the tests/qpu_harness.py currency):
+
+1. **Partitioned == classic.**  On ring-local workloads a
+   :class:`~repro.multiring.parallel.PartitionedFederation` ring emits
+   the *identical* event stream to a stand-alone
+   :class:`~repro.core.ring.DataCyclotron` with the same per-ring
+   configuration -- across seeds, arrival distributions and the
+   resilience toggle, and regardless of the worker count.
+
+2. **workers=N == workers=1.**  With live cross-ring fetch traffic the
+   merged trace is independent of how partitions are spread over worker
+   processes: the window schedule and canonical delivery order are
+   decided by partition state alone, never by OS scheduling.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import DataCyclotronConfig
+from repro.core.query import QuerySpec
+from repro.core.ring import DataCyclotron
+from repro.multiring import MultiRingConfig, PartitionedFederation
+from repro.multiring.partition import attach_stream_digest
+
+N_RINGS = 2
+NODES = 3
+N_BATS = 6
+N_QUERIES = 8
+HORIZON = 0.6
+MAX_TIME = 30.0
+
+SEEDS = [1, 2, 3, 4, 5]
+
+
+def _arrivals(kind: str, rng: random.Random, n: int):
+    if kind == "uniform":
+        return sorted(rng.uniform(0.0, HORIZON) for _ in range(n))
+    # gaussian burst around the middle of the horizon, clamped
+    return sorted(
+        min(max(rng.gauss(HORIZON / 2.0, HORIZON / 6.0), 0.0), HORIZON)
+        for _ in range(n)
+    )
+
+
+def _config(seed: int, resilience: bool) -> MultiRingConfig:
+    return MultiRingConfig(
+        base=DataCyclotronConfig(seed=seed, resilience=resilience),
+        n_rings=N_RINGS,
+        nodes_per_ring=NODES,
+    )
+
+
+def _local_workload(kind: str, seed: int):
+    """Ring-local specs: every query touches only its own ring's BATs.
+
+    BAT ``b`` is homed round-robin (ring ``b % N_RINGS``), matching
+    ``PartitionedFederation.add_bat``'s placement.
+    """
+    rng = random.Random(seed * 1009 + 17)
+    arrivals = _arrivals(kind, rng, N_QUERIES)
+    out = []
+    for q, arrival in enumerate(arrivals):
+        ring = rng.randrange(N_RINGS)
+        node = rng.randrange(NODES)
+        ring_bats = [b for b in range(N_BATS) if b % N_RINGS == ring]
+        bats = rng.sample(ring_bats, 2)
+        out.append((ring, QuerySpec.simple(
+            q, node=node, arrival=arrival,
+            bat_ids=bats, processing_times=[0.002, 0.003],
+        )))
+    return out
+
+
+def _mixed_workload(kind: str, seed: int):
+    """Cross-ring specs: every other query touches one remote BAT."""
+    rng = random.Random(seed * 2003 + 29)
+    arrivals = _arrivals(kind, rng, N_QUERIES)
+    out = []
+    for q, arrival in enumerate(arrivals):
+        ring = rng.randrange(N_RINGS)
+        node = rng.randrange(NODES)
+        ring_bats = [b for b in range(N_BATS) if b % N_RINGS == ring]
+        other_bats = [b for b in range(N_BATS) if b % N_RINGS != ring]
+        bats = [rng.choice(ring_bats)]
+        bats.append(rng.choice(other_bats if q % 2 == 0 else ring_bats))
+        if bats[1] == bats[0]:
+            bats[1] = ring_bats[(ring_bats.index(bats[0]) + 1) % len(ring_bats)]
+        out.append((ring, QuerySpec.simple(
+            q, node=node, arrival=arrival,
+            bat_ids=bats, processing_times=[0.002, 0.003],
+        )))
+    return out
+
+
+def _run_partitioned(cfg: MultiRingConfig, workload, workers: int):
+    fed = PartitionedFederation(cfg, workers=workers, collect_digests=True)
+    for bat_id in range(N_BATS):
+        fed.add_bat(bat_id, size=1 << 20)
+    for ring, spec in workload:
+        fed.submit(QuerySpec(
+            query_id=spec.query_id,
+            node=fed.global_node(ring, spec.node),
+            arrival=spec.arrival,
+            steps=spec.steps,
+            tail_time=spec.tail_time,
+            tag=spec.tag,
+            tier=spec.tier,
+        ))
+    done = fed.run_until_done(max_time=MAX_TIME)
+    digests = fed.ring_digests()
+    summary = fed.summary()
+    return done, digests, summary
+
+
+def _run_classic(cfg: MultiRingConfig, workload):
+    """The reference: each ring as a stand-alone classic deployment."""
+    digests = []
+    for ring in range(N_RINGS):
+        dc = DataCyclotron(config=cfg.ring_config(ring))
+        digest = attach_stream_digest(dc.bus)
+        for bat_id in range(N_BATS):
+            if bat_id % N_RINGS == ring:
+                dc.add_bat(bat_id, size=1 << 20)
+        for r, spec in workload:
+            if r == ring:
+                dc.submit(spec)
+        dc.run_until_done(max_time=MAX_TIME)
+        digests.append(digest.hexdigest())
+    return digests
+
+
+# ----------------------------------------------------------------------
+# contract 1: partitioned == classic, ring-local workloads
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("resilience", [False, True], ids=["plain", "resilience"])
+@pytest.mark.parametrize("kind", ["uniform", "gaussian"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_partitioned_matches_classic(seed, kind, resilience):
+    cfg = _config(seed, resilience)
+    workload = _local_workload(kind, seed)
+    done, partitioned, summary = _run_partitioned(cfg, workload, workers=1)
+    assert done, "partitioned run did not finish"
+    assert summary["failed"] == 0
+    classic = _run_classic(_config(seed, resilience), workload)
+    assert partitioned == classic
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_pooled_partitioned_matches_classic(seed):
+    """The process pool changes nothing on ring-local traffic either."""
+    cfg = _config(seed, False)
+    workload = _local_workload("uniform", seed)
+    done, pooled, _ = _run_partitioned(cfg, workload, workers=2)
+    assert done
+    classic = _run_classic(_config(seed, False), workload)
+    assert pooled == classic
+
+
+# ----------------------------------------------------------------------
+# contract 2: workers=N == workers=1, live cross-ring traffic
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("resilience", [False, True], ids=["plain", "resilience"])
+@pytest.mark.parametrize("kind", ["uniform", "gaussian"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_worker_count_does_not_change_the_trace(seed, kind, resilience):
+    cfg_args = (seed, resilience)
+    workload = _mixed_workload(kind, seed)
+    done1, d1, s1 = _run_partitioned(_config(*cfg_args), workload, workers=1)
+    done2, d2, s2 = _run_partitioned(_config(*cfg_args), workload, workers=2)
+    assert done1 and done2
+    assert s1["fetches_dispatched"] > 0, "workload produced no cross-ring traffic"
+    assert d1 == d2
+    s1.pop("workers")
+    s2.pop("workers")
+    assert s1 == s2
+
+
+def test_cross_ring_traffic_is_actually_exercised():
+    _, _, summary = _run_partitioned(
+        _config(1, False), _mixed_workload("uniform", 1), workers=1
+    )
+    assert summary["fetches_served"] > 0
+    assert summary["kernel_messages"] >= 2 * summary["fetches_served"]
